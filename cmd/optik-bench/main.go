@@ -1,0 +1,90 @@
+// optik-bench regenerates the paper's evaluation figures as text tables.
+//
+// Usage:
+//
+//	optik-bench [flags] <figure>
+//
+// where <figure> is one of: fig5, fig7, fig9, fig10, fig11, fig12, stacks,
+// all.
+//
+// Flags:
+//
+//	-threads  comma-separated thread counts to sweep (default 1,2,4,8,16)
+//	-duration duration of each measured run (default 100ms; the paper
+//	          uses 5s — pass -duration 5s -reps 11 for paper-scale runs)
+//	-reps     repetitions per point, median reported (default 3)
+//
+// Example:
+//
+//	optik-bench -threads 1,4,16 -duration 500ms -reps 5 fig9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/optik-go/optik/internal/figures"
+)
+
+func main() {
+	threadsFlag := flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
+	durationFlag := flag.Duration("duration", 100*time.Millisecond, "duration per measured run")
+	repsFlag := flag.Int("reps", 3, "repetitions per data point (median reported)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	threads, err := parseThreads(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optik-bench:", err)
+		os.Exit(2)
+	}
+	opts := figures.RunOpts{
+		Threads:  threads,
+		Duration: *durationFlag,
+		Reps:     *repsFlag,
+		Out:      os.Stdout,
+	}
+
+	figure := strings.ToLower(flag.Arg(0))
+	runners := map[string]func(figures.RunOpts){
+		"fig5":   figures.Fig5,
+		"fig7":   figures.Fig7,
+		"fig9":   figures.Fig9,
+		"fig10":  figures.Fig10,
+		"fig11":  figures.Fig11,
+		"fig12":  figures.Fig12,
+		"stacks": figures.Stacks,
+		"all":    figures.All,
+	}
+	run, ok := runners[figure]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "optik-bench: unknown figure %q\n", figure)
+		flag.Usage()
+		os.Exit(2)
+	}
+	run(opts)
+}
+
+func parseThreads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid thread count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

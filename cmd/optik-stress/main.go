@@ -1,0 +1,309 @@
+// optik-stress is a long-running correctness harness: it hammers every
+// data structure in the library with concurrent operations, verifies
+// conservation invariants, and checks recorded histories for
+// linearizability with the Wing–Gong checker.
+//
+// Usage:
+//
+//	optik-stress [-duration 10s] [-threads 8] [-structures list,queue,...]
+//
+// Exit status is non-zero if any check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/ds/arraymap"
+	"github.com/optik-go/optik/ds/hashmap"
+	"github.com/optik-go/optik/ds/list"
+	"github.com/optik-go/optik/ds/queue"
+	"github.com/optik-go/optik/ds/skiplist"
+	"github.com/optik-go/optik/internal/linearize"
+	"github.com/optik-go/optik/internal/rng"
+)
+
+func main() {
+	duration := flag.Duration("duration", 10*time.Second, "total stress budget")
+	threads := flag.Int("threads", 8, "concurrent workers per structure")
+	structures := flag.String("structures", "all", "comma-separated families: lists,hashmaps,skiplists,arraymaps,queues (or all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*structures, ",") {
+		want[strings.TrimSpace(s)] = true
+	}
+	all := want["all"]
+
+	sets := map[string]func() ds.Set{}
+	add := func(family string, m map[string]func() ds.Set) {
+		if all || want[family] {
+			for k, v := range m {
+				sets[family+"/"+k] = v
+			}
+		}
+	}
+	add("lists", map[string]func() ds.Set{
+		"harris":      func() ds.Set { return list.NewHarris() },
+		"lazy":        func() ds.Set { return list.NewLazy() },
+		"mcs-gl-opt":  func() ds.Set { return list.NewMCSGL() },
+		"optik-gl":    func() ds.Set { return list.NewOptikGL() },
+		"optik":       func() ds.Set { return list.NewOptik() },
+		"optik-cache": func() ds.Set { return list.NewOptik() },
+		"lazy-cache":  func() ds.Set { return list.NewLazy() },
+	})
+	add("hashmaps", map[string]func() ds.Set{
+		"optik":      func() ds.Set { return hashmap.NewOptik(32) },
+		"optik-gl":   func() ds.Set { return hashmap.NewOptikGL(32) },
+		"optik-map":  func() ds.Set { return hashmap.NewOptikMap(32, 8) },
+		"lazy-gl":    func() ds.Set { return hashmap.NewLazyGL(32) },
+		"java":       func() ds.Set { return hashmap.NewJava(32, 4) },
+		"java-optik": func() ds.Set { return hashmap.NewJavaOptik(32, 4) },
+	})
+	add("skiplists", map[string]func() ds.Set{
+		"herlihy":    func() ds.Set { return skiplist.NewHerlihy() },
+		"herl-optik": func() ds.Set { return skiplist.NewHerlihyOptik() },
+		"fraser":     func() ds.Set { return skiplist.NewFraser() },
+		"optik1":     func() ds.Set { return skiplist.NewOptik1() },
+		"optik2":     func() ds.Set { return skiplist.NewOptik2() },
+	})
+	add("arraymaps", map[string]func() ds.Set{
+		"mcs":   func() ds.Set { return arraymap.NewMCS(64) },
+		"optik": func() ds.Set { return arraymap.NewOptik(64) },
+	})
+
+	queues := map[string]func() ds.Queue{}
+	if all || want["queues"] {
+		queues = map[string]func() ds.Queue{
+			"ms-lf":  func() ds.Queue { return queue.NewMSLF() },
+			"ms-lb":  func() ds.Queue { return queue.NewMSLB() },
+			"optik0": func() ds.Queue { return queue.NewOptik0() },
+			"optik1": func() ds.Queue { return queue.NewOptik1() },
+			"optik2": func() ds.Queue { return queue.NewOptik2() },
+			"optik3": func() ds.Queue { return queue.NewOptikVictim(0) },
+		}
+	}
+
+	total := len(sets) + len(queues)
+	if total == 0 {
+		fmt.Fprintln(os.Stderr, "optik-stress: nothing selected")
+		os.Exit(2)
+	}
+	per := *duration / time.Duration(total)
+	if per < 100*time.Millisecond {
+		per = 100 * time.Millisecond
+	}
+	failures := 0
+
+	for name, mk := range sets {
+		ok := stressSet(name, mk, *threads, per)
+		if !ok {
+			failures++
+		}
+	}
+	for name, mk := range queues {
+		ok := stressQueue("queues/"+name, mk, *threads, per)
+		if !ok {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("FAILED: %d of %d structures\n", failures, total)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: %d structures stressed for %v total\n", total, *duration)
+}
+
+// stressSet runs (a) a conservation stress and (b) a linearizability check
+// on short recorded histories, within budget.
+func stressSet(name string, mk func() ds.Set, threads int, budget time.Duration) bool {
+	deadline := time.Now().Add(budget)
+	// Conservation: net successful inserts-deletes must equal final Len.
+	s := mk()
+	var net atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			view := ds.HandleFor(s)
+			r := rng.NewXorshift(seed)
+			for !stop.Load() {
+				key := r.Intn(64) + 1
+				if r.Intn(2) == 0 {
+					if view.Insert(key, key) {
+						net.Add(1)
+					}
+				} else {
+					if _, ok := view.Delete(key); ok {
+						net.Add(-1)
+					}
+				}
+			}
+		}(uint64(g + 1))
+	}
+	time.Sleep(budget / 2)
+	stop.Store(true)
+	wg.Wait()
+	if int64(s.Len()) != net.Load() {
+		fmt.Printf("%-24s CONSERVATION VIOLATION: len=%d net=%d\n", name, s.Len(), net.Load())
+		return false
+	}
+
+	// Linearizability on small histories until the deadline.
+	model := linearize.SetModel()
+	rounds := 0
+	for time.Now().Before(deadline) {
+		h := recordSetHistory(mk(), min(threads, 6), 100, 6)
+		if !linearize.Check(model, h) {
+			fmt.Printf("%-24s LINEARIZABILITY VIOLATION (%d ops)\n", name, len(h))
+			return false
+		}
+		rounds++
+	}
+	fmt.Printf("%-24s ok (conservation + %d linearizability rounds)\n", name, rounds)
+	return true
+}
+
+func stressQueue(name string, mk func() ds.Queue, threads int, budget time.Duration) bool {
+	deadline := time.Now().Add(budget)
+	// Conservation: every enqueued value dequeued at most once; counts add up.
+	q := mk()
+	const perProducer = 20000
+	seen := make([]atomic.Uint32, threads*perProducer+1)
+	var dequeued atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(uint64(id*perProducer + i + 1))
+				if v, ok := q.Dequeue(); ok {
+					if seen[v].Add(1) != 1 {
+						fmt.Printf("%-24s DUPLICATE DEQUEUE of %d\n", name, v)
+					}
+					dequeued.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if seen[v].Add(1) != 1 {
+			fmt.Printf("%-24s DUPLICATE DEQUEUE of %d on drain\n", name, v)
+			return false
+		}
+		dequeued.Add(1)
+	}
+	if dequeued.Load() != int64(threads*perProducer) {
+		fmt.Printf("%-24s CONSERVATION VIOLATION: dequeued %d of %d\n",
+			name, dequeued.Load(), threads*perProducer)
+		return false
+	}
+
+	model := linearize.QueueModel()
+	rounds := 0
+	for time.Now().Before(deadline) {
+		h := recordQueueHistory(mk(), 3, 14)
+		if !linearize.Check(model, h) {
+			fmt.Printf("%-24s LINEARIZABILITY VIOLATION (%d ops)\n", name, len(h))
+			return false
+		}
+		rounds++
+	}
+	fmt.Printf("%-24s ok (conservation + %d linearizability rounds)\n", name, rounds)
+	return true
+}
+
+func recordSetHistory(s ds.Set, goroutines, iters int, keys uint64) []linearize.Operation {
+	var mu sync.Mutex
+	var history []linearize.Operation
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			view := ds.HandleFor(s)
+			r := rng.NewXorshift(uint64(id + 1))
+			local := make([]linearize.Operation, 0, iters)
+			for i := 0; i < iters; i++ {
+				key := r.Intn(keys) + 1
+				var in linearize.SetInput
+				var out linearize.SetOutput
+				call := time.Since(start).Nanoseconds()
+				switch r.Intn(3) {
+				case 0:
+					val := r.Next()%1000 + 1
+					in = linearize.SetInput{Op: linearize.OpInsert, Key: key, Val: val}
+					out.OK = view.Insert(key, val)
+				case 1:
+					in = linearize.SetInput{Op: linearize.OpDelete, Key: key}
+					out.Val, out.OK = view.Delete(key)
+				default:
+					in = linearize.SetInput{Op: linearize.OpSearch, Key: key}
+					out.Val, out.OK = view.Search(key)
+				}
+				ret := time.Since(start).Nanoseconds()
+				local = append(local, linearize.Operation{
+					ClientID: id, Input: in, Output: out, Call: call, Return: ret,
+				})
+			}
+			mu.Lock()
+			history = append(history, local...)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	return history
+}
+
+func recordQueueHistory(q ds.Queue, goroutines, iters int) []linearize.Operation {
+	var mu sync.Mutex
+	var history []linearize.Operation
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.NewXorshift(uint64(id + 1))
+			local := make([]linearize.Operation, 0, iters)
+			for i := 0; i < iters; i++ {
+				var in linearize.QueueInput
+				var out linearize.QueueOutput
+				call := time.Since(start).Nanoseconds()
+				if r.Intn(2) == 0 {
+					val := uint64(id*1000 + i + 1)
+					in = linearize.QueueInput{Op: linearize.OpEnqueue, Val: val}
+					q.Enqueue(val)
+					out.OK = true
+				} else {
+					in = linearize.QueueInput{Op: linearize.OpDequeue}
+					out.Val, out.OK = q.Dequeue()
+				}
+				ret := time.Since(start).Nanoseconds()
+				local = append(local, linearize.Operation{
+					ClientID: id, Input: in, Output: out, Call: call, Return: ret,
+				})
+			}
+			mu.Lock()
+			history = append(history, local...)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	return history
+}

@@ -1,0 +1,42 @@
+// Package optik is a Go implementation of the OPTIK design pattern and the
+// OPTIK-lock abstraction from:
+//
+//	Rachid Guerraoui and Vasileios Trigonakis.
+//	Optimistic Concurrency with OPTIK. PPoPP 2016.
+//
+// OPTIK couples a version number with a lock at the same granularity. An
+// operation (1) snapshots the version, (2) performs optimistic, read-only
+// work, and (3) acquires the lock *and* validates the version in a single
+// compare-and-swap (TryLockVersion). If the version moved, a conflicting
+// critical section committed and the operation restarts — without ever
+// having waited behind the lock. On success the critical section runs, and
+// Unlock both publishes the new version and releases the lock.
+//
+// This package exposes the two OPTIK-lock implementations of the paper:
+//
+//   - Lock, built on versioned locks (one 64-bit counter, odd = locked); and
+//   - TicketLock, built on ticket locks, which is fair and additionally
+//     reports the queue length (NumQueued) for contention-adaptive designs
+//     such as victim queues.
+//
+// The concurrent data structures built with OPTIK live in the ds/
+// subpackages: ds/arraymap, ds/list, ds/hashmap, ds/skiplist, ds/queue and
+// ds/stack. Each provides the paper's new OPTIK-based algorithms alongside
+// the state-of-the-art baselines they are evaluated against (Harris and lazy
+// lists, Herlihy and Fraser skip lists, Michael-Scott queues, a
+// ConcurrentHashMap-style table, and a Treiber stack).
+//
+// # Minimal example
+//
+//	var l optik.Lock
+//	for {
+//		v := l.GetVersion()
+//		// ... optimistic read-only work ...
+//		if !l.TryLockVersion(v) {
+//			continue // a conflicting update committed; retry
+//		}
+//		// ... critical section ...
+//		l.Unlock()
+//		break
+//	}
+package optik

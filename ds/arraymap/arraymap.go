@@ -1,0 +1,227 @@
+// Package arraymap implements the paper's concurrent array maps (§4.1): a
+// fixed-capacity array of key-value pairs with the three search-structure
+// operations. Two variants are provided:
+//
+//   - MCS: the pessimistic baseline — every operation runs under a global
+//     MCS lock ("mcs" in Figure 7).
+//   - Optik: the OPTIK-based map of Figure 6 — searches and infeasible
+//     updates complete without ever locking; feasible updates validate and
+//     lock in one CAS.
+//
+// Insertions that find no empty slot return false (the paper does not
+// resize, and neither do we). Key 0 marks an empty slot, so user keys are
+// in [ds.MinKey, ds.MaxKey].
+package arraymap
+
+import (
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/core"
+	"github.com/optik-go/optik/internal/locks"
+)
+
+// pair is one slot. The fields are atomics so lock-free readers (the Optik
+// search path) race cleanly with locked writers.
+type pair struct {
+	key atomic.Uint64
+	val atomic.Uint64
+}
+
+// MCS is the lock-based array map: all three operations grab a global MCS
+// lock and traverse the array (§4.1, "Lock-based Map").
+type MCS struct {
+	lock  locks.MCS
+	array []pair
+}
+
+var _ ds.Set = (*MCS)(nil)
+
+// NewMCS returns a lock-based array map with the given capacity.
+func NewMCS(capacity int) *MCS {
+	if capacity <= 0 {
+		panic("arraymap: capacity must be positive")
+	}
+	return &MCS{array: make([]pair, capacity)}
+}
+
+// Search returns the value stored under key, if present.
+func (m *MCS) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	n := m.lock.Lock()
+	defer m.lock.Unlock(n)
+	for i := range m.array {
+		if m.array[i].key.Load() == key {
+			return m.array[i].val.Load(), true
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key→val if key is absent and a free slot exists.
+func (m *MCS) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	n := m.lock.Lock()
+	defer m.lock.Unlock(n)
+	free := -1
+	for i := range m.array {
+		switch m.array[i].key.Load() {
+		case key:
+			return false
+		case 0:
+			if free < 0 {
+				free = i
+			}
+		}
+	}
+	if free < 0 {
+		return false
+	}
+	m.array[free].val.Store(val)
+	m.array[free].key.Store(key)
+	return true
+}
+
+// Delete removes key, returning its value, if present.
+func (m *MCS) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	n := m.lock.Lock()
+	defer m.lock.Unlock(n)
+	for i := range m.array {
+		if m.array[i].key.Load() == key {
+			val := m.array[i].val.Load()
+			m.array[i].key.Store(0)
+			return val, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the number of occupied slots.
+func (m *MCS) Len() int {
+	n := m.lock.Lock()
+	defer m.lock.Unlock(n)
+	count := 0
+	for i := range m.array {
+		if m.array[i].key.Load() != 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// Cap returns the fixed capacity.
+func (m *MCS) Cap() int { return len(m.array) }
+
+// Optik is the OPTIK-based array map of Figure 6. A single OPTIK lock
+// protects the whole array; its version number lets searches read atomic
+// key-value snapshots without locking and lets infeasible updates return
+// without synchronizing at all.
+type Optik struct {
+	lock  core.Lock
+	array []pair
+}
+
+var _ ds.Set = (*Optik)(nil)
+
+// NewOptik returns an OPTIK-based array map with the given capacity.
+func NewOptik(capacity int) *Optik {
+	if capacity <= 0 {
+		panic("arraymap: capacity must be positive")
+	}
+	return &Optik{array: make([]pair, capacity)}
+}
+
+// Search returns the value stored under key, if present. It never locks:
+// it snapshots an unlocked version, and on a key match re-validates the
+// version to guarantee the key-value pair was read atomically
+// (Figure 6(c)).
+func (m *Optik) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+restart:
+	vn := m.lock.GetVersionWait()
+	for i := range m.array {
+		if m.array[i].key.Load() == key {
+			val := m.array[i].val.Load()
+			if m.lock.GetVersion().Same(vn) {
+				return val, true
+			}
+			goto restart
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key→val if key is absent and a free slot exists
+// (Figure 6(b)). The traversal is optimistic; only a feasible insertion
+// locks, via a single validate-and-acquire CAS.
+func (m *Optik) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	for {
+		vn := m.lock.GetVersion()
+		free := -1
+		for i := range m.array {
+			switch m.array[i].key.Load() {
+			case key:
+				return false
+			case 0:
+				if free < 0 {
+					free = i
+				}
+			}
+		}
+		if !m.lock.TryLockVersion(vn) {
+			continue
+		}
+		res := false
+		if free >= 0 {
+			// The validated version guarantees no modification since the
+			// traversal, so the slot is still free and the key still absent.
+			m.array[free].val.Store(val)
+			m.array[free].key.Store(key)
+			res = true
+		}
+		m.lock.Unlock()
+		return res
+	}
+}
+
+// Delete removes key, returning its value, if present (Figure 6(a)). A
+// miss returns without ever locking.
+func (m *Optik) Delete(key uint64) (uint64, bool) {
+restart:
+	ds.CheckKey(key)
+	vn := m.lock.GetVersion()
+	for i := range m.array {
+		if m.array[i].key.Load() == key {
+			if !m.lock.TryLockVersion(vn) {
+				goto restart
+			}
+			m.array[i].key.Store(0)
+			val := m.array[i].val.Load()
+			m.lock.Unlock()
+			return val, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the number of occupied slots, read under a version-validated
+// snapshot so the count is consistent.
+func (m *Optik) Len() int {
+	for {
+		vn := m.lock.GetVersionWait()
+		count := 0
+		for i := range m.array {
+			if m.array[i].key.Load() != 0 {
+				count++
+			}
+		}
+		if m.lock.GetVersion().Same(vn) {
+			return count
+		}
+	}
+}
+
+// Cap returns the fixed capacity.
+func (m *Optik) Cap() int { return len(m.array) }

@@ -1,0 +1,236 @@
+package arraymap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/rng"
+)
+
+func makers() map[string]func(int) ds.Set {
+	return map[string]func(int) ds.Set{
+		"mcs":   func(c int) ds.Set { return NewMCS(c) },
+		"optik": func(c int) ds.Set { return NewOptik(c) },
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for name, mk := range makers() {
+		t.Run(name, func(t *testing.T) {
+			m := mk(4)
+			if _, ok := m.Search(1); ok {
+				t.Fatal("empty map found a key")
+			}
+			if !m.Insert(1, 100) {
+				t.Fatal("insert into empty map failed")
+			}
+			if m.Insert(1, 200) {
+				t.Fatal("duplicate insert succeeded")
+			}
+			if v, ok := m.Search(1); !ok || v != 100 {
+				t.Fatalf("Search(1) = %v,%v", v, ok)
+			}
+			if v, ok := m.Delete(1); !ok || v != 100 {
+				t.Fatalf("Delete(1) = %v,%v", v, ok)
+			}
+			if _, ok := m.Delete(1); ok {
+				t.Fatal("double delete succeeded")
+			}
+			if m.Len() != 0 {
+				t.Fatalf("Len = %d", m.Len())
+			}
+		})
+	}
+}
+
+func TestCapacityLimit(t *testing.T) {
+	for name, mk := range makers() {
+		t.Run(name, func(t *testing.T) {
+			m := mk(3)
+			for k := uint64(1); k <= 3; k++ {
+				if !m.Insert(k, k) {
+					t.Fatalf("insert %d failed", k)
+				}
+			}
+			if m.Insert(4, 4) {
+				t.Fatal("insert into full map succeeded")
+			}
+			if m.Len() != 3 {
+				t.Fatalf("Len = %d", m.Len())
+			}
+			// Freeing a slot re-enables insertion.
+			m.Delete(2)
+			if !m.Insert(4, 4) {
+				t.Fatal("insert after delete failed")
+			}
+		})
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	// Randomized sequential equivalence against map[uint64]uint64.
+	for name, mk := range makers() {
+		t.Run(name, func(t *testing.T) {
+			const capacity = 8
+			m := mk(capacity)
+			model := map[uint64]uint64{}
+			r := rng.NewXorshift(12345)
+			for i := 0; i < 20000; i++ {
+				key := r.Intn(16) + 1
+				switch r.Intn(3) {
+				case 0: // insert
+					val := r.Next()
+					got := m.Insert(key, val)
+					_, present := model[key]
+					want := !present && len(model) < capacity
+					if got != want {
+						t.Fatalf("op %d: Insert(%d) = %v, want %v", i, key, got, want)
+					}
+					if got {
+						model[key] = val
+					}
+				case 1: // delete
+					gotV, got := m.Delete(key)
+					wantV, want := model[key]
+					if got != want || (got && gotV != wantV) {
+						t.Fatalf("op %d: Delete(%d) = %v,%v want %v,%v", i, key, gotV, got, wantV, want)
+					}
+					delete(model, key)
+				default: // search
+					gotV, got := m.Search(key)
+					wantV, want := model[key]
+					if got != want || (got && gotV != wantV) {
+						t.Fatalf("op %d: Search(%d) = %v,%v want %v,%v", i, key, gotV, got, wantV, want)
+					}
+				}
+			}
+			if m.Len() != len(model) {
+				t.Fatalf("Len = %d, model = %d", m.Len(), len(model))
+			}
+		})
+	}
+}
+
+func TestQuickInsertDeleteRoundTrip(t *testing.T) {
+	for name, mk := range makers() {
+		t.Run(name, func(t *testing.T) {
+			f := func(keysRaw []uint64) bool {
+				m := mk(64)
+				inserted := map[uint64]bool{}
+				for _, kr := range keysRaw {
+					k := kr%1000 + 1
+					want := !inserted[k] && len(inserted) < 64
+					if m.Insert(k, k*2) != want {
+						return false
+					}
+					if want {
+						inserted[k] = true
+					}
+				}
+				for k := range inserted {
+					if v, ok := m.Delete(k); !ok || v != k*2 {
+						return false
+					}
+				}
+				return m.Len() == 0
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConcurrentSizeAccounting(t *testing.T) {
+	// Net successful inserts minus deletes must equal the final Len.
+	for name, mk := range makers() {
+		t.Run(name, func(t *testing.T) {
+			m := mk(32)
+			const goroutines, iters = 8, 4000
+			var net atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					r := rng.NewXorshift(seed)
+					for i := 0; i < iters; i++ {
+						key := r.Intn(48) + 1
+						if r.Intn(2) == 0 {
+							if m.Insert(key, key) {
+								net.Add(1)
+							}
+						} else {
+							if _, ok := m.Delete(key); ok {
+								net.Add(-1)
+							}
+						}
+					}
+				}(uint64(g + 1))
+			}
+			wg.Wait()
+			if int64(m.Len()) != net.Load() {
+				t.Fatalf("Len = %d, net = %d", m.Len(), net.Load())
+			}
+		})
+	}
+}
+
+func TestOptikSearchSnapshotAtomicity(t *testing.T) {
+	// A writer repeatedly deletes and reinserts key K with val == key-tag;
+	// readers must never observe a torn pair (the §4.1 atomicity guarantee).
+	m := NewOptik(4)
+	const key = 7
+	m.Insert(key, key*1000)
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Delete(key)
+			m.Insert(key, key*1000)
+		}
+	}()
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 50000; i++ {
+				if v, ok := m.Search(key); ok && v != key*1000 {
+					t.Errorf("torn read: key %d -> val %d", key, v)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	<-writerDone
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMCS(0) },
+		func() { NewOptik(-1) },
+		func() { NewOptik(4).Insert(0, 1) },
+		func() { NewMCS(4).Search(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,277 @@
+package hashmap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/rng"
+)
+
+func variants() map[string]func(buckets int) ds.Set {
+	return map[string]func(int) ds.Set{
+		"optik":      func(b int) ds.Set { return NewOptik(b) },
+		"optik-gl":   func(b int) ds.Set { return NewOptikGL(b) },
+		"optik-map":  func(b int) ds.Set { return NewOptikMap(b, 0) },
+		"lazy-gl":    func(b int) ds.Set { return NewLazyGL(b) },
+		"java":       func(b int) ds.Set { return NewJava(b, 0) },
+		"java-optik": func(b int) ds.Set { return NewJavaOptik(b, 0) },
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			m := mk(16)
+			if _, ok := m.Search(5); ok {
+				t.Fatal("found key in empty table")
+			}
+			if !m.Insert(5, 50) || m.Insert(5, 51) {
+				t.Fatal("insert semantics broken")
+			}
+			if v, ok := m.Search(5); !ok || v != 50 {
+				t.Fatalf("Search(5) = %v,%v", v, ok)
+			}
+			// Collide into the same bucket: keys ≡ 5 (mod 16).
+			if !m.Insert(21, 210) || !m.Insert(37, 370) {
+				t.Fatal("collision inserts failed")
+			}
+			for _, k := range []uint64{5, 21, 37} {
+				if v, ok := m.Search(k); !ok || v != k*10 {
+					t.Fatalf("Search(%d) = %v,%v", k, v, ok)
+				}
+			}
+			if v, ok := m.Delete(21); !ok || v != 210 {
+				t.Fatalf("Delete(21) = %v,%v", v, ok)
+			}
+			if _, ok := m.Search(21); ok {
+				t.Fatal("deleted key visible")
+			}
+			if m.Len() != 2 {
+				t.Fatalf("Len = %d, want 2", m.Len())
+			}
+		})
+	}
+}
+
+func TestAgainstModelSequential(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			m := mk(32)
+			model := map[uint64]uint64{}
+			r := rng.NewXorshift(7)
+			for i := 0; i < 30000; i++ {
+				key := r.Intn(96) + 1
+				switch r.Intn(3) {
+				case 0:
+					val := r.Next()
+					got := m.Insert(key, val)
+					_, present := model[key]
+					want := !present
+					if name == "optik-map" && want {
+						// optik-map buckets can fill up (capacity 8); count
+						// occupancy of this bucket.
+						occupied := 0
+						for k := range model {
+							if k%32 == key%32 {
+								occupied++
+							}
+						}
+						want = occupied < DefaultBucketCap
+					}
+					if got != want {
+						t.Fatalf("op %d: Insert(%d) = %v, want %v", i, key, got, want)
+					}
+					if got {
+						model[key] = val
+					}
+				case 1:
+					gotV, got := m.Delete(key)
+					wantV, want := model[key]
+					if got != want || (got && gotV != wantV) {
+						t.Fatalf("op %d: Delete(%d) = %v,%v want %v,%v", i, key, gotV, got, wantV, want)
+					}
+					delete(model, key)
+				default:
+					gotV, got := m.Search(key)
+					wantV, want := model[key]
+					if got != want || (got && gotV != wantV) {
+						t.Fatalf("op %d: Search(%d) = %v,%v want %v,%v", i, key, gotV, got, wantV, want)
+					}
+				}
+			}
+			if m.Len() != len(model) {
+				t.Fatalf("Len = %d, model = %d", m.Len(), len(model))
+			}
+		})
+	}
+}
+
+func TestConcurrentNetSize(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			m := mk(64)
+			const goroutines, iters = 8, 5000
+			var net atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					r := rng.NewXorshift(seed)
+					for i := 0; i < iters; i++ {
+						key := r.Intn(128) + 1
+						if r.Intn(2) == 0 {
+							if m.Insert(key, key) {
+								net.Add(1)
+							}
+						} else {
+							if _, ok := m.Delete(key); ok {
+								net.Add(-1)
+							}
+						}
+					}
+				}(uint64(g + 1))
+			}
+			wg.Wait()
+			if int64(m.Len()) != net.Load() {
+				t.Fatalf("Len = %d, net = %d", m.Len(), net.Load())
+			}
+		})
+	}
+}
+
+func TestConcurrentValueIntegrity(t *testing.T) {
+	// Values are derived from keys; no foreign values may ever be observed,
+	// even mid-churn (per-bucket version/lock discipline).
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			m := mk(16)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					r := rng.NewXorshift(seed)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						key := r.Intn(32) + 1
+						if r.Intn(2) == 0 {
+							m.Insert(key, key*7)
+						} else {
+							m.Delete(key)
+						}
+					}
+				}(uint64(g + 1))
+			}
+			r := rng.NewXorshift(1234)
+			for i := 0; i < 30000; i++ {
+				key := r.Intn(32) + 1
+				if v, ok := m.Search(key); ok && v != key*7 {
+					t.Errorf("foreign value %d under key %d", v, key)
+					break
+				}
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+func TestSegmentsShareLocksButStayCorrect(t *testing.T) {
+	// More buckets than segments: concurrent updates to different buckets
+	// in the same segment must serialize correctly.
+	for _, tc := range []struct {
+		name string
+		mk   func() ds.Set
+	}{
+		{"java", func() ds.Set { return NewJava(256, 4) }},
+		{"java-optik", func() ds.Set { return NewJavaOptik(256, 4) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.mk()
+			var wg sync.WaitGroup
+			const goroutines, span = 8, 128
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(id uint64) {
+					defer wg.Done()
+					base := id*span + 1
+					for k := base; k < base+span; k++ {
+						if !m.Insert(k, k) {
+							t.Errorf("Insert(%d) failed", k)
+							return
+						}
+					}
+					for k := base; k < base+span; k++ {
+						if v, ok := m.Search(k); !ok || v != k {
+							t.Errorf("Search(%d) = %v,%v", k, v, ok)
+							return
+						}
+					}
+					for k := base; k < base+span; k += 2 {
+						if _, ok := m.Delete(k); !ok {
+							t.Errorf("Delete(%d) failed", k)
+							return
+						}
+					}
+				}(uint64(g))
+			}
+			wg.Wait()
+			if got, want := m.Len(), goroutines*span/2; got != want {
+				t.Fatalf("Len = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestOptikMapBucketOverflow(t *testing.T) {
+	m := NewOptikMap(1, 2) // one bucket, two slots
+	if !m.Insert(1, 1) || !m.Insert(2, 2) {
+		t.Fatal("inserts failed")
+	}
+	if m.Insert(3, 3) {
+		t.Fatal("insert into full bucket succeeded")
+	}
+	m.Delete(1)
+	if !m.Insert(3, 3) {
+		t.Fatal("insert after freeing a slot failed")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewOptik(0) },
+		func() { NewOptikGL(-1) },
+		func() { NewOptikMap(0, 4) },
+		func() { NewLazyGL(0) },
+		func() { NewJava(0, 0) },
+		func() { NewJavaOptik(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSegmentsClampedToBuckets(t *testing.T) {
+	m := NewJava(4, 128)
+	if len(m.segments) != 4 {
+		t.Fatalf("segments = %d, want clamped to 4", len(m.segments))
+	}
+	mo := NewJavaOptik(4, 128)
+	if len(mo.segments) != 4 {
+		t.Fatalf("segments = %d, want clamped to 4", len(mo.segments))
+	}
+}

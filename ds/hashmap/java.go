@@ -1,0 +1,239 @@
+package hashmap
+
+import (
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/backoff"
+	"github.com/optik-go/optik/internal/core"
+	"github.com/optik-go/optik/internal/locks"
+)
+
+// DefaultSegments is the lock-striping factor. The paper configures Java's
+// ConcurrentHashMap with 128 segments, per the Java documentation's advice
+// to "accommodate as many threads as will ever concurrently modify the
+// table".
+const DefaultSegments = 128
+
+// Java is a ConcurrentHashMap-style table [34] ("java" in Figure 10): the
+// buckets are partitioned into segments, each protected by one lock.
+// Updates lock the segment up front — even when the operation turns out
+// infeasible — and searches traverse lock-free. Chains are unsorted with
+// head insertion, as in ConcurrentHashMap.
+type Java struct {
+	segments []locks.TAS
+	heads    []atomic.Pointer[chainNode]
+}
+
+var _ ds.Set = (*Java)(nil)
+
+// NewJava returns a lock-striped table with nbuckets buckets and nsegments
+// segment locks (DefaultSegments if nsegments <= 0).
+func NewJava(nbuckets, nsegments int) *Java {
+	if nbuckets <= 0 {
+		panic("hashmap: nbuckets must be positive")
+	}
+	if nsegments <= 0 {
+		nsegments = DefaultSegments
+	}
+	if nsegments > nbuckets {
+		nsegments = nbuckets
+	}
+	return &Java{
+		segments: make([]locks.TAS, nsegments),
+		heads:    make([]atomic.Pointer[chainNode], nbuckets),
+	}
+}
+
+func (t *Java) segment(bucket int) *locks.TAS {
+	return &t.segments[bucket%len(t.segments)]
+}
+
+// Search returns the value stored under key, if present, without locking.
+func (t *Java) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	b := bucketIndex(key, len(t.heads))
+	for cur := t.heads[b].Load(); cur != nil; cur = cur.next.Load() {
+		if cur.key == key {
+			return cur.val, true
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key→val if absent. The segment lock is taken before the
+// bucket is examined (the "unnecessary locking" §5.2 calls out).
+func (t *Java) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	b := bucketIndex(key, len(t.heads))
+	seg := t.segment(b)
+	seg.Lock()
+	defer seg.Unlock()
+	for cur := t.heads[b].Load(); cur != nil; cur = cur.next.Load() {
+		if cur.key == key {
+			return false
+		}
+	}
+	n := &chainNode{key: key, val: val}
+	n.next.Store(t.heads[b].Load())
+	t.heads[b].Store(n)
+	return true
+}
+
+// Delete removes key, returning its value, if present; the segment lock is
+// held for the whole operation.
+func (t *Java) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	b := bucketIndex(key, len(t.heads))
+	seg := t.segment(b)
+	seg.Lock()
+	defer seg.Unlock()
+	var pred *chainNode
+	for cur := t.heads[b].Load(); cur != nil; pred, cur = cur, cur.next.Load() {
+		if cur.key == key {
+			if pred == nil {
+				t.heads[b].Store(cur.next.Load())
+			} else {
+				pred.next.Store(cur.next.Load())
+			}
+			return cur.val, true
+		}
+	}
+	return 0, false
+}
+
+// Len sums the chain lengths (not linearizable).
+func (t *Java) Len() int {
+	n := 0
+	for i := range t.heads {
+		for cur := t.heads[i].Load(); cur != nil; cur = cur.next.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// JavaOptik is the paper's OPTIK optimization of the ConcurrentHashMap
+// design ("java-optik"): the segment locks become OPTIK locks. Updates
+// first traverse the bucket read-only under a version snapshot; infeasible
+// operations return false without locking, and feasible ones acquire the
+// segment with TryLockVersion — a successful validation proves the bucket
+// unchanged, so no second traversal is needed.
+type JavaOptik struct {
+	segments []core.Lock
+	heads    []atomic.Pointer[chainNode]
+}
+
+var _ ds.Set = (*JavaOptik)(nil)
+
+// NewJavaOptik returns an OPTIK lock-striped table with nbuckets buckets
+// and nsegments segments (DefaultSegments if nsegments <= 0).
+func NewJavaOptik(nbuckets, nsegments int) *JavaOptik {
+	if nbuckets <= 0 {
+		panic("hashmap: nbuckets must be positive")
+	}
+	if nsegments <= 0 {
+		nsegments = DefaultSegments
+	}
+	if nsegments > nbuckets {
+		nsegments = nbuckets
+	}
+	return &JavaOptik{
+		segments: make([]core.Lock, nsegments),
+		heads:    make([]atomic.Pointer[chainNode], nbuckets),
+	}
+}
+
+func (t *JavaOptik) segment(bucket int) *core.Lock {
+	return &t.segments[bucket%len(t.segments)]
+}
+
+// Search returns the value stored under key, if present, without locking.
+func (t *JavaOptik) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	b := bucketIndex(key, len(t.heads))
+	for cur := t.heads[b].Load(); cur != nil; cur = cur.next.Load() {
+		if cur.key == key {
+			return cur.val, true
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key→val if absent. One read-only pass decides feasibility;
+// TryLockVersion then both locks the segment and proves the pass is still
+// valid, so the insert prepends without re-traversing.
+func (t *JavaOptik) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	b := bucketIndex(key, len(t.heads))
+	seg := t.segment(b)
+	var bo backoff.Backoff
+	for {
+		vn := seg.GetVersion()
+		head := t.heads[b].Load()
+		found := false
+		for cur := head; cur != nil; cur = cur.next.Load() {
+			if cur.key == key {
+				found = true
+				break
+			}
+		}
+		if found {
+			return false // infeasible: no locking at all
+		}
+		if !seg.TryLockVersion(vn) {
+			bo.Wait()
+			continue
+		}
+		n := &chainNode{key: key, val: val}
+		n.next.Store(head)
+		t.heads[b].Store(n)
+		seg.Unlock()
+		return true
+	}
+}
+
+// Delete removes key, returning its value, if present. The read-only pass
+// records the predecessor; a validated TryLockVersion lets the unlink reuse
+// it directly.
+func (t *JavaOptik) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	b := bucketIndex(key, len(t.heads))
+	seg := t.segment(b)
+	var bo backoff.Backoff
+	for {
+		vn := seg.GetVersion()
+		var pred, victim *chainNode
+		for cur := t.heads[b].Load(); cur != nil; pred, cur = cur, cur.next.Load() {
+			if cur.key == key {
+				victim = cur
+				break
+			}
+		}
+		if victim == nil {
+			return 0, false // infeasible: no locking at all
+		}
+		if !seg.TryLockVersion(vn) {
+			bo.Wait()
+			continue
+		}
+		if pred == nil {
+			t.heads[b].Store(victim.next.Load())
+		} else {
+			pred.next.Store(victim.next.Load())
+		}
+		seg.Unlock()
+		return victim.val, true
+	}
+}
+
+// Len sums the chain lengths (not linearizable).
+func (t *JavaOptik) Len() int {
+	n := 0
+	for i := range t.heads {
+		for cur := t.heads[i].Load(); cur != nil; cur = cur.next.Load() {
+			n++
+		}
+	}
+	return n
+}

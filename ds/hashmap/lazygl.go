@@ -1,0 +1,110 @@
+package hashmap
+
+import (
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/locks"
+)
+
+// chainNode is a node of the simple per-bucket chains used by LazyGL, Java
+// and JavaOptik. Chains are sorted for LazyGL (it derives from the lazy
+// list) and unsorted head-insert for the ConcurrentHashMap-style tables.
+type chainNode struct {
+	key  uint64
+	val  uint64
+	next atomic.Pointer[chainNode]
+}
+
+// LazyGL is the "lazy-gl" baseline of Figure 10: lazy lists adapted to
+// per-bucket locking. Searches traverse lock-free; updates acquire the
+// bucket's test-and-set lock up front, regardless of whether the operation
+// turns out feasible — the unnecessary locking OPTIK removes.
+type LazyGL struct {
+	bucketLocks []locks.TAS
+	heads       []atomic.Pointer[chainNode]
+}
+
+var _ ds.Set = (*LazyGL)(nil)
+
+// NewLazyGL returns a per-bucket-locked table with nbuckets buckets.
+func NewLazyGL(nbuckets int) *LazyGL {
+	if nbuckets <= 0 {
+		panic("hashmap: nbuckets must be positive")
+	}
+	return &LazyGL{
+		bucketLocks: make([]locks.TAS, nbuckets),
+		heads:       make([]atomic.Pointer[chainNode], nbuckets),
+	}
+}
+
+// Search returns the value stored under key, if present, without locking.
+func (t *LazyGL) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	b := bucketIndex(key, len(t.heads))
+	for cur := t.heads[b].Load(); cur != nil && cur.key <= key; cur = cur.next.Load() {
+		if cur.key == key {
+			return cur.val, true
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key→val if absent; the bucket lock is held for the whole
+// operation, feasible or not.
+func (t *LazyGL) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	b := bucketIndex(key, len(t.heads))
+	t.bucketLocks[b].Lock()
+	defer t.bucketLocks[b].Unlock()
+	var pred *chainNode
+	cur := t.heads[b].Load()
+	for cur != nil && cur.key < key {
+		pred, cur = cur, cur.next.Load()
+	}
+	if cur != nil && cur.key == key {
+		return false
+	}
+	n := &chainNode{key: key, val: val}
+	n.next.Store(cur)
+	if pred == nil {
+		t.heads[b].Store(n)
+	} else {
+		pred.next.Store(n)
+	}
+	return true
+}
+
+// Delete removes key, returning its value, if present; the bucket lock is
+// held for the whole operation.
+func (t *LazyGL) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	b := bucketIndex(key, len(t.heads))
+	t.bucketLocks[b].Lock()
+	defer t.bucketLocks[b].Unlock()
+	var pred *chainNode
+	cur := t.heads[b].Load()
+	for cur != nil && cur.key < key {
+		pred, cur = cur, cur.next.Load()
+	}
+	if cur == nil || cur.key != key {
+		return 0, false
+	}
+	if pred == nil {
+		t.heads[b].Store(cur.next.Load())
+	} else {
+		pred.next.Store(cur.next.Load())
+	}
+	return cur.val, true
+}
+
+// Len sums the chain lengths (not linearizable).
+func (t *LazyGL) Len() int {
+	n := 0
+	for i := range t.heads {
+		for cur := t.heads[i].Load(); cur != nil; cur = cur.next.Load() {
+			n++
+		}
+	}
+	return n
+}

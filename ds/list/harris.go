@@ -1,0 +1,159 @@
+package list
+
+import (
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds"
+)
+
+// harrisRef is an immutable (successor, marked) record. Harris's algorithm
+// steals the low pointer bit to mark a node's next pointer; Go's precise GC
+// forbids that, so each next-pointer state is a fresh record swapped whole
+// by CAS — the mark and the successor still change in a single atomic step.
+type harrisRef struct {
+	node   *harrisNode
+	marked bool
+}
+
+// harrisNode is a node of the Harris lock-free list. A node is logically
+// deleted when its next record is marked.
+type harrisNode struct {
+	key  uint64
+	val  uint64
+	next atomic.Pointer[harrisRef]
+}
+
+// Harris is the lock-free sorted list of Harris [19] ("harris" in
+// Figure 9): deletion first marks the victim's next record (logical delete,
+// the linearization point) and then any traversal physically unlinks the
+// chain of marked nodes with a single CAS on the predecessor.
+type Harris struct {
+	head *harrisNode
+	tail *harrisNode
+}
+
+var _ ds.Set = (*Harris)(nil)
+
+// NewHarris returns an empty Harris list.
+func NewHarris() *Harris {
+	tail := &harrisNode{key: tailKey}
+	tail.next.Store(&harrisRef{}) // never followed; defensive non-nil
+	head := &harrisNode{key: headKey}
+	head.next.Store(&harrisRef{node: tail})
+	return &Harris{head: head, tail: tail}
+}
+
+// search returns adjacent nodes left and right such that
+// left.key < key <= right.key, both unmarked at the time of inspection,
+// snipping out any marked chain between them. leftNext is the record in
+// left.next that points at right (needed as the CAS comparand).
+func (l *Harris) search(key uint64) (left *harrisNode, leftNext *harrisRef, right *harrisNode) {
+	for {
+		var candNext *harrisRef
+		t := l.head
+		tNext := t.next.Load()
+		// Phase 1: advance to the first unmarked node with key >= key,
+		// remembering the last unmarked node before it.
+		for {
+			if !tNext.marked {
+				left = t
+				candNext = tNext
+			}
+			t = tNext.node
+			if t == l.tail {
+				break
+			}
+			tNext = t.next.Load()
+			if tNext.marked || t.key < key {
+				continue
+			}
+			break
+		}
+		right = t
+		leftNext = candNext
+		// Adjacent already?
+		if leftNext.node == right {
+			if right != l.tail && right.next.Load().marked {
+				continue // right got marked under us; retry
+			}
+			return left, leftNext, right
+		}
+		// Snip the marked chain between left and right.
+		newRef := &harrisRef{node: right}
+		if left.next.CompareAndSwap(leftNext, newRef) {
+			if right != l.tail && right.next.Load().marked {
+				continue
+			}
+			return left, newRef, right
+		}
+	}
+}
+
+// Search returns the value stored under key, if present. It is wait-free
+// (it never helps with unlinking): a node counts as present iff reached and
+// unmarked.
+func (l *Harris) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	cur := l.head
+	for cur.key < key {
+		cur = cur.next.Load().node
+	}
+	if cur.key == key && !cur.next.Load().marked {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// Insert adds key→val if absent, linking the new node with one CAS on the
+// predecessor's next record.
+func (l *Harris) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	for {
+		left, leftNext, right := l.search(key)
+		if right != l.tail && right.key == key {
+			return false
+		}
+		n := &harrisNode{key: key, val: val}
+		n.next.Store(&harrisRef{node: right})
+		if left.next.CompareAndSwap(leftNext, &harrisRef{node: n}) {
+			return true
+		}
+	}
+}
+
+// Delete removes key, returning its value, if present. The mark CAS on the
+// victim's next record is the linearization point; the unlink CAS is a
+// best-effort cleanup (search finishes it otherwise).
+func (l *Harris) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	for {
+		left, leftNext, right := l.search(key)
+		if right == l.tail || right.key != key {
+			return 0, false
+		}
+		rightNext := right.next.Load()
+		if rightNext.marked {
+			continue // someone else is deleting it; re-search (helps unlink)
+		}
+		if right.next.CompareAndSwap(rightNext, &harrisRef{node: rightNext.node, marked: true}) {
+			// Try the physical unlink; on failure let a search clean up.
+			if !left.next.CompareAndSwap(leftNext, &harrisRef{node: rightNext.node}) {
+				l.search(key)
+			}
+			return right.val, true
+		}
+	}
+}
+
+// Len counts the unmarked elements; not linearizable.
+func (l *Harris) Len() int {
+	n := 0
+	for cur := l.head.next.Load().node; cur != l.tail; {
+		next := cur.next.Load()
+		if !next.marked {
+			n++
+		}
+		cur = next.node
+	}
+	return n
+}

@@ -1,0 +1,223 @@
+package list
+
+import (
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/backoff"
+	"github.com/optik-go/optik/internal/locks"
+)
+
+// lazyNode is a node of the lazy list [22]: a per-node test-and-set lock
+// (the lock the paper uses for non-OPTIK algorithms), a marked flag for
+// logical deletion, and an atomic next pointer.
+type lazyNode struct {
+	key    uint64
+	val    uint64
+	lock   locks.TAS
+	marked atomic.Bool
+	next   atomic.Pointer[lazyNode]
+}
+
+// Lazy is the lazy concurrent list of Heller et al. [22] ("lazy" in
+// Figure 9): wait-free searches; updates lock the affected nodes and then
+// validate (not marked, still adjacent) — the lock-then-validate pattern
+// OPTIK improves on. Deletion marks the victim before unlinking it.
+type Lazy struct {
+	head *lazyNode
+}
+
+var (
+	_ ds.Set     = (*Lazy)(nil)
+	_ ds.Handled = (*Lazy)(nil)
+)
+
+// NewLazy returns an empty lazy list.
+func NewLazy() *Lazy {
+	tail := &lazyNode{key: tailKey}
+	head := &lazyNode{key: headKey}
+	head.next.Store(tail)
+	return &Lazy{head: head}
+}
+
+// Search returns the value stored under key, if present. It is wait-free:
+// a node counts as present iff reached and not marked.
+func (l *Lazy) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	cur := l.head
+	for cur.key < key {
+		cur = cur.next.Load()
+	}
+	if cur.key == key && !cur.marked.Load() {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// validate checks, under pred's lock, that pred is alive and still points
+// at cur — the lazy list's critical-section validation.
+func lazyValidate(pred, cur *lazyNode) bool {
+	return !pred.marked.Load() && pred.next.Load() == cur
+}
+
+// Insert adds key→val if absent. It locks the predecessor and validates
+// inside the critical section.
+func (l *Lazy) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	ok, _ := l.insertFrom(l.head, key, val)
+	return ok
+}
+
+// insertFrom also returns the final predecessor so handles can cache it.
+// Retries restart from the head: a cached start node may have been deleted
+// meanwhile, and a traversal stuck on a detached chain would never validate.
+func (l *Lazy) insertFrom(start *lazyNode, key, val uint64) (bool, *lazyNode) {
+	var bo backoff.Backoff
+	for {
+		pred, cur := start, start.next.Load()
+		for cur.key < key {
+			pred, cur = cur, cur.next.Load()
+		}
+		if cur.key == key {
+			if cur.marked.Load() {
+				// Logically deleted; the physical unlink is in flight.
+				start = l.head
+				bo.Wait()
+				continue
+			}
+			return false, pred
+		}
+		pred.lock.Lock()
+		if !lazyValidate(pred, cur) {
+			pred.lock.Unlock()
+			start = l.head
+			bo.Wait()
+			continue
+		}
+		n := &lazyNode{key: key, val: val}
+		n.next.Store(cur)
+		pred.next.Store(n)
+		pred.lock.Unlock()
+		return true, pred
+	}
+}
+
+// Delete removes key, returning its value, if present. It locks the
+// predecessor and the victim, validates both, marks the victim (logical
+// deletion — the linearization point) and then unlinks it.
+func (l *Lazy) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	val, ok, _ := l.deleteFrom(l.head, key)
+	return val, ok
+}
+
+// deleteFrom also returns the final predecessor so handles can cache it.
+func (l *Lazy) deleteFrom(start *lazyNode, key uint64) (uint64, bool, *lazyNode) {
+	var bo backoff.Backoff
+	for {
+		pred, cur := start, start.next.Load()
+		for cur.key < key {
+			pred, cur = cur, cur.next.Load()
+		}
+		if cur.key != key || cur.marked.Load() {
+			return 0, false, pred
+		}
+		pred.lock.Lock()
+		cur.lock.Lock()
+		if !lazyValidate(pred, cur) || cur.marked.Load() {
+			cur.lock.Unlock()
+			pred.lock.Unlock()
+			start = l.head // see insertFrom: never retry from a stale start
+			bo.Wait()
+			continue
+		}
+		cur.marked.Store(true)
+		pred.next.Store(cur.next.Load())
+		val := cur.val
+		cur.lock.Unlock()
+		pred.lock.Unlock()
+		return val, true, pred
+	}
+}
+
+// Len counts the unmarked elements; not linearizable.
+func (l *Lazy) Len() int {
+	n := 0
+	for cur := l.head.next.Load(); cur.key != tailKey; cur = cur.next.Load() {
+		if !cur.marked.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// NewHandle returns a per-goroutine view with node caching enabled
+// ("lazy-cache"): validity of a cached entry point is its marked flag —
+// §5.1 notes node caching applies to non-OPTIK lists "given that we can
+// avoid the ABA problem and that we can detect whether a node is valid";
+// the GC avoids ABA and the marked flag detects deletion.
+func (l *Lazy) NewHandle() ds.Set { return &LazyHandle{list: l} }
+
+// LazyHandle is a per-goroutine view of a Lazy list with node caching. It
+// must not be used concurrently.
+type LazyHandle struct {
+	list  *Lazy
+	cache *lazyNode
+	hits  uint64
+	ops   uint64
+}
+
+var _ ds.Set = (*LazyHandle)(nil)
+
+func (h *LazyHandle) entry(key uint64) *lazyNode {
+	h.ops++
+	if c := h.cache; c != nil && c.key < key && !c.marked.Load() {
+		h.hits++
+		return c
+	}
+	return h.list.head
+}
+
+func (h *LazyHandle) remember(n *lazyNode) {
+	if n != nil && n.key != headKey {
+		h.cache = n
+	}
+}
+
+// Search returns the value stored under key, if present.
+func (h *LazyHandle) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	cur := h.entry(key)
+	var pred *lazyNode
+	for cur.key < key {
+		pred = cur
+		cur = cur.next.Load()
+	}
+	h.remember(pred)
+	if cur.key == key && !cur.marked.Load() {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// Insert adds key→val if absent.
+func (h *LazyHandle) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	ok, pred := h.list.insertFrom(h.entry(key), key, val)
+	h.remember(pred)
+	return ok
+}
+
+// Delete removes key, returning its value, if present.
+func (h *LazyHandle) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	val, ok, pred := h.list.deleteFrom(h.entry(key), key)
+	h.remember(pred)
+	return val, ok
+}
+
+// Len counts the elements (delegates to the list).
+func (h *LazyHandle) Len() int { return h.list.Len() }
+
+// CacheStats reports cache hits and total operations.
+func (h *LazyHandle) CacheStats() (hits, ops uint64) { return h.hits, h.ops }

@@ -1,0 +1,32 @@
+// Package list implements the concurrent sorted linked lists of §4.2 and
+// §5.1, under the graph keys used in Figure 9:
+//
+//   - Optik ("optik"): the paper's new fine-grained list — hand-over-hand
+//     *version* tracking with one OPTIK lock per node (Figure 8). Its
+//     searches are entirely oblivious to concurrency.
+//   - OptikGL ("optik-gl"): the paper's new global-lock list — one OPTIK
+//     lock for the whole list; unsuccessful operations and searches never
+//     lock.
+//   - MCSGL ("mcs-gl-opt"): a sequential list behind a global MCS lock with
+//     the unsynchronized-search optimization.
+//   - Lazy ("lazy"): the lazy list of Heller et al. [22] with per-node
+//     test-and-set locks and marked flags.
+//   - Harris ("harris"): the lock-free list of Harris [19]; deletion marks
+//     live in an immutable (successor, marked) record swapped by CAS (the
+//     Go-safe port of pointer-bit marking).
+//
+// Node caching (§5.1) is available for the Optik and Lazy lists through
+// per-goroutine handles: NewHandle returns a view that remembers the last
+// node each operation touched and uses it as the traversal entry point when
+// still valid ("optik-cache" and "lazy-cache").
+//
+// All lists are sorted sets over keys in [ds.MinKey, ds.MaxKey]; head and
+// tail sentinels occupy the two reserved key values.
+package list
+
+import "math"
+
+const (
+	headKey uint64 = 0
+	tailKey uint64 = math.MaxUint64
+)

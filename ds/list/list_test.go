@@ -1,0 +1,516 @@
+package list
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/rng"
+)
+
+// variants enumerates every list algorithm, including the cached handles
+// (which wrap a fresh underlying list per call).
+func variants() map[string]func() ds.Set {
+	return map[string]func() ds.Set{
+		"harris":      func() ds.Set { return NewHarris() },
+		"lazy":        func() ds.Set { return NewLazy() },
+		"lazy-cache":  func() ds.Set { return NewLazy().NewHandle() },
+		"mcs-gl-opt":  func() ds.Set { return NewMCSGL() },
+		"optik-gl":    func() ds.Set { return NewOptikGL() },
+		"optik":       func() ds.Set { return NewOptik() },
+		"optik-cache": func() ds.Set { return NewOptik().NewHandle() },
+	}
+}
+
+// concurrentVariants returns, per algorithm, a factory for the shared
+// structure plus a per-goroutine view maker (handles are per-goroutine).
+func concurrentVariants() map[string]func() (shared ds.Set, view func() ds.Set) {
+	mk := func(newSet func() ds.Set) func() (ds.Set, func() ds.Set) {
+		return func() (ds.Set, func() ds.Set) {
+			s := newSet()
+			return s, func() ds.Set { return ds.HandleFor(s) }
+		}
+	}
+	plain := func(newSet func() ds.Set) func() (ds.Set, func() ds.Set) {
+		return func() (ds.Set, func() ds.Set) {
+			s := newSet()
+			return s, func() ds.Set { return s }
+		}
+	}
+	return map[string]func() (ds.Set, func() ds.Set){
+		"harris":      plain(func() ds.Set { return NewHarris() }),
+		"lazy":        plain(func() ds.Set { return NewLazy() }),
+		"lazy-cache":  mk(func() ds.Set { return NewLazy() }),
+		"mcs-gl-opt":  plain(func() ds.Set { return NewMCSGL() }),
+		"optik-gl":    plain(func() ds.Set { return NewOptikGL() }),
+		"optik":       plain(func() ds.Set { return NewOptik() }),
+		"optik-cache": mk(func() ds.Set { return NewOptik() }),
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			l := mk()
+			if _, ok := l.Search(5); ok {
+				t.Fatal("found key in empty list")
+			}
+			if !l.Insert(5, 50) || l.Insert(5, 51) {
+				t.Fatal("insert semantics broken")
+			}
+			if v, ok := l.Search(5); !ok || v != 50 {
+				t.Fatalf("Search(5) = %v,%v", v, ok)
+			}
+			if !l.Insert(3, 30) || !l.Insert(7, 70) {
+				t.Fatal("insert around existing key failed")
+			}
+			if l.Len() != 3 {
+				t.Fatalf("Len = %d, want 3", l.Len())
+			}
+			if v, ok := l.Delete(5); !ok || v != 50 {
+				t.Fatalf("Delete(5) = %v,%v", v, ok)
+			}
+			if _, ok := l.Delete(5); ok {
+				t.Fatal("double delete succeeded")
+			}
+			if _, ok := l.Search(5); ok {
+				t.Fatal("deleted key still found")
+			}
+			for _, k := range []uint64{3, 7} {
+				if _, ok := l.Search(k); !ok {
+					t.Fatalf("key %d lost", k)
+				}
+			}
+			if l.Len() != 2 {
+				t.Fatalf("Len = %d, want 2", l.Len())
+			}
+		})
+	}
+}
+
+func TestBoundaryKeys(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			l := mk()
+			if !l.Insert(ds.MinKey, 1) || !l.Insert(ds.MaxKey, 2) {
+				t.Fatal("boundary inserts failed")
+			}
+			if v, ok := l.Search(ds.MinKey); !ok || v != 1 {
+				t.Fatal("MinKey lost")
+			}
+			if v, ok := l.Search(ds.MaxKey); !ok || v != 2 {
+				t.Fatal("MaxKey lost")
+			}
+			if _, ok := l.Delete(ds.MaxKey); !ok {
+				t.Fatal("MaxKey delete failed")
+			}
+		})
+	}
+}
+
+func TestRejectsReservedKeys(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			l := mk()
+			for _, fn := range []func(){
+				func() { l.Insert(0, 1) },
+				func() { l.Search(^uint64(0)) },
+				func() { l.Delete(0) },
+			} {
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Fatal("expected panic on reserved key")
+						}
+					}()
+					fn()
+				}()
+			}
+		})
+	}
+}
+
+func TestAgainstModelSequential(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			l := mk()
+			model := map[uint64]uint64{}
+			r := rng.NewXorshift(99)
+			for i := 0; i < 30000; i++ {
+				key := r.Intn(128) + 1
+				switch r.Intn(3) {
+				case 0:
+					val := r.Next()
+					got := l.Insert(key, val)
+					_, present := model[key]
+					if got == present {
+						t.Fatalf("op %d: Insert(%d) = %v with present=%v", i, key, got, present)
+					}
+					if got {
+						model[key] = val
+					}
+				case 1:
+					gotV, got := l.Delete(key)
+					wantV, want := model[key]
+					if got != want || (got && gotV != wantV) {
+						t.Fatalf("op %d: Delete(%d) = %v,%v want %v,%v", i, key, gotV, got, wantV, want)
+					}
+					delete(model, key)
+				default:
+					gotV, got := l.Search(key)
+					wantV, want := model[key]
+					if got != want || (got && gotV != wantV) {
+						t.Fatalf("op %d: Search(%d) = %v,%v want %v,%v", i, key, gotV, got, wantV, want)
+					}
+				}
+			}
+			if l.Len() != len(model) {
+				t.Fatalf("Len = %d, model = %d", l.Len(), len(model))
+			}
+		})
+	}
+}
+
+func TestConcurrentNetSize(t *testing.T) {
+	for name, mkcv := range concurrentVariants() {
+		t.Run(name, func(t *testing.T) {
+			shared, view := mkcv()
+			const goroutines, iters = 8, 5000
+			var net atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					l := view()
+					r := rng.NewXorshift(seed)
+					for i := 0; i < iters; i++ {
+						key := r.Intn(64) + 1
+						if r.Intn(2) == 0 {
+							if l.Insert(key, key) {
+								net.Add(1)
+							}
+						} else {
+							if _, ok := l.Delete(key); ok {
+								net.Add(-1)
+							}
+						}
+					}
+				}(uint64(g + 1))
+			}
+			wg.Wait()
+			if int64(shared.Len()) != net.Load() {
+				t.Fatalf("Len = %d, net = %d", shared.Len(), net.Load())
+			}
+		})
+	}
+}
+
+func TestConcurrentDisjointRanges(t *testing.T) {
+	// Each goroutine owns a disjoint key range: all its operations must
+	// behave exactly like a sequential execution on its range.
+	for name, mkcv := range concurrentVariants() {
+		t.Run(name, func(t *testing.T) {
+			shared, view := mkcv()
+			const goroutines = 8
+			const span = 256
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(id uint64) {
+					defer wg.Done()
+					l := view()
+					base := id*span + 1
+					model := map[uint64]uint64{}
+					r := rng.NewXorshift(id + 1)
+					for i := 0; i < 4000; i++ {
+						key := base + r.Intn(span/2)
+						switch r.Intn(3) {
+						case 0:
+							val := r.Next()
+							got := l.Insert(key, val)
+							_, present := model[key]
+							if got == present {
+								t.Errorf("Insert(%d) inconsistent with private model", key)
+								return
+							}
+							if got {
+								model[key] = val
+							}
+						case 1:
+							gotV, got := l.Delete(key)
+							wantV, want := model[key]
+							if got != want || (got && gotV != wantV) {
+								t.Errorf("Delete(%d) inconsistent with private model", key)
+								return
+							}
+							delete(model, key)
+						default:
+							gotV, got := l.Search(key)
+							wantV, want := model[key]
+							if got != want || (got && gotV != wantV) {
+								t.Errorf("Search(%d) = (%d,%v), want (%d,%v)", key, gotV, got, wantV, want)
+								return
+							}
+						}
+					}
+				}(uint64(g))
+			}
+			wg.Wait()
+			_ = shared
+		})
+	}
+}
+
+func TestConcurrentSingleKeyContention(t *testing.T) {
+	// All goroutines fight over one key; exactly one Insert must succeed
+	// between consecutive successful Deletes and the final state must be
+	// consistent.
+	for name, mkcv := range concurrentVariants() {
+		t.Run(name, func(t *testing.T) {
+			shared, view := mkcv()
+			const goroutines, iters = 8, 3000
+			const key = 42
+			var net atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					l := view()
+					r := rng.NewXorshift(seed)
+					for i := 0; i < iters; i++ {
+						if r.Intn(2) == 0 {
+							if l.Insert(key, seed) {
+								net.Add(1)
+							}
+						} else {
+							if _, ok := l.Delete(key); ok {
+								net.Add(-1)
+							}
+						}
+					}
+				}(uint64(g + 1))
+			}
+			wg.Wait()
+			n := net.Load()
+			if n != 0 && n != 1 {
+				t.Fatalf("net successful inserts for one key = %d", n)
+			}
+			if int64(shared.Len()) != n {
+				t.Fatalf("Len = %d, net = %d", shared.Len(), n)
+			}
+		})
+	}
+}
+
+func TestSortedInvariantUnderChurn(t *testing.T) {
+	for name, mkcv := range concurrentVariants() {
+		t.Run(name, func(t *testing.T) {
+			shared, view := mkcv()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					l := view()
+					r := rng.NewXorshift(seed)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						key := r.Intn(100) + 1
+						if r.Intn(2) == 0 {
+							l.Insert(key, key*10)
+						} else {
+							l.Delete(key)
+						}
+					}
+				}(uint64(g + 1))
+			}
+			// Verify every present key maps to key*10 while churning.
+			r := rng.NewXorshift(77)
+			for i := 0; i < 20000; i++ {
+				key := r.Intn(100) + 1
+				if v, ok := shared.Search(key); ok && v != key*10 {
+					t.Errorf("Search(%d) returned foreign value %d", key, v)
+					break
+				}
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+func TestCacheHandles(t *testing.T) {
+	t.Run("optik-cache", func(t *testing.T) {
+		l := NewOptik()
+		h := l.NewHandle().(*OptikHandle)
+		for k := uint64(10); k <= 1000; k += 10 {
+			h.Insert(k, k)
+		}
+		// Ascending searches should hit the cache a lot.
+		for k := uint64(10); k <= 1000; k += 10 {
+			if _, ok := h.Search(k); !ok {
+				t.Fatalf("key %d lost", k)
+			}
+		}
+		hits, ops := h.CacheStats()
+		if hits == 0 {
+			t.Fatal("node cache never hit on ascending scan")
+		}
+		if ops == 0 || hits > ops {
+			t.Fatalf("bogus cache stats hits=%d ops=%d", hits, ops)
+		}
+	})
+	t.Run("lazy-cache", func(t *testing.T) {
+		l := NewLazy()
+		h := l.NewHandle().(*LazyHandle)
+		for k := uint64(10); k <= 1000; k += 10 {
+			h.Insert(k, k)
+		}
+		for k := uint64(10); k <= 1000; k += 10 {
+			if _, ok := h.Search(k); !ok {
+				t.Fatalf("key %d lost", k)
+			}
+		}
+		hits, _ := h.CacheStats()
+		if hits == 0 {
+			t.Fatal("node cache never hit on ascending scan")
+		}
+	})
+}
+
+func TestCachedEntryInvalidatedByDelete(t *testing.T) {
+	// Delete the cached node through another view; the handle must detect
+	// it and fall back to the head rather than resurrect the node.
+	l := NewOptik()
+	h := l.NewHandle().(*OptikHandle)
+	l.Insert(10, 1)
+	l.Insert(20, 2)
+	l.Insert(30, 3)
+	h.Search(25) // caches node 20
+	if h.cache == nil || h.cache.key != 20 {
+		t.Fatalf("expected cache on node 20, got %+v", h.cache)
+	}
+	l.Delete(20)
+	if v, ok := h.Search(30); !ok || v != 3 {
+		t.Fatalf("Search(30) after cache invalidation = %v,%v", v, ok)
+	}
+	if _, ok := h.Search(20); ok {
+		t.Fatal("deleted key visible through stale cache")
+	}
+	// Insert through the handle with the stale cache must also work.
+	if !h.Insert(20, 22) {
+		t.Fatal("re-insert after cache invalidation failed")
+	}
+	if v, ok := l.Search(20); !ok || v != 22 {
+		t.Fatalf("Search(20) = %v,%v", v, ok)
+	}
+}
+
+func TestHandlesSeeSharedState(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func() ds.Handled
+	}{
+		{"optik", func() ds.Handled { return NewOptik() }},
+		{"lazy", func() ds.Handled { return NewLazy() }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			l := mk.new()
+			h1 := l.NewHandle()
+			h2 := l.NewHandle()
+			h1.Insert(5, 55)
+			if v, ok := h2.Search(5); !ok || v != 55 {
+				t.Fatal("handles do not share state")
+			}
+			if _, ok := h2.Delete(5); !ok {
+				t.Fatal("delete through second handle failed")
+			}
+			if _, ok := h1.Search(5); ok {
+				t.Fatal("stale visibility across handles")
+			}
+		})
+	}
+}
+
+func TestHarrisLogicalDeleteVisibility(t *testing.T) {
+	// A marked (logically deleted) node must be invisible to Search even
+	// before physical unlinking.
+	l := NewHarris()
+	l.Insert(10, 1)
+	// Mark node 10 by hand (simulating a delete that has not unlinked yet).
+	cur := l.head.next.Load().node
+	if cur.key != 10 {
+		t.Fatal("setup failed")
+	}
+	next := cur.next.Load()
+	cur.next.Store(&harrisRef{node: next.node, marked: true})
+	if _, ok := l.Search(10); ok {
+		t.Fatal("marked node visible to Search")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 with marked node", l.Len())
+	}
+	// An insert of the same key must snip the marked node and succeed.
+	if !l.Insert(10, 2) {
+		t.Fatal("insert over marked node failed")
+	}
+	if v, ok := l.Search(10); !ok || v != 2 {
+		t.Fatalf("Search(10) = %v,%v", v, ok)
+	}
+}
+
+func TestLargeAscendingDescendingMix(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			l := mk()
+			const n = 2000
+			for k := uint64(1); k <= n; k++ {
+				if !l.Insert(k, k^0xABCD) {
+					t.Fatalf("insert %d failed", k)
+				}
+			}
+			for k := uint64(n); k >= 1; k-- {
+				if v, ok := l.Search(k); !ok || v != k^0xABCD {
+					t.Fatalf("Search(%d) = %v,%v", k, v, ok)
+				}
+			}
+			for k := uint64(2); k <= n; k += 2 {
+				if _, ok := l.Delete(k); !ok {
+					t.Fatalf("delete %d failed", k)
+				}
+			}
+			if l.Len() != n/2 {
+				t.Fatalf("Len = %d, want %d", l.Len(), n/2)
+			}
+			for k := uint64(1); k <= n; k++ {
+				_, ok := l.Search(k)
+				if want := k%2 == 1; ok != want {
+					t.Fatalf("Search(%d) = %v, want %v", k, ok, want)
+				}
+			}
+		})
+	}
+}
+
+func ExampleOptik() {
+	l := NewOptik()
+	l.Insert(1, 100)
+	l.Insert(2, 200)
+	v, ok := l.Search(2)
+	fmt.Println(v, ok)
+	l.Delete(2)
+	_, ok = l.Search(2)
+	fmt.Println(ok)
+	// Output:
+	// 200 true
+	// false
+}

@@ -1,0 +1,83 @@
+package list
+
+import (
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/locks"
+)
+
+// MCSGL is the "mcs-gl-opt" baseline of Figure 9: a sequential sorted list
+// protected by a global MCS lock, with the easy optimization of §5.1 — the
+// search operation does not acquire the lock (updates linearize at their
+// single store to the predecessor's next pointer). Updates, feasible or
+// not, are fully serialized behind the lock.
+type MCSGL struct {
+	lock locks.MCS
+	head *glNode
+}
+
+var _ ds.Set = (*MCSGL)(nil)
+
+// NewMCSGL returns an empty MCS global-lock list.
+func NewMCSGL() *MCSGL {
+	tail := &glNode{key: tailKey}
+	head := &glNode{key: headKey}
+	head.next.Store(tail)
+	return &MCSGL{head: head}
+}
+
+// Search returns the value stored under key, if present, without locking.
+func (l *MCSGL) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	cur := l.head
+	for cur.key < key {
+		cur = cur.next.Load()
+	}
+	if cur.key == key {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// Insert adds key→val if absent; the whole operation holds the global lock.
+func (l *MCSGL) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	qn := l.lock.Lock()
+	defer l.lock.Unlock(qn)
+	pred, cur := l.head, l.head.next.Load()
+	for cur.key < key {
+		pred, cur = cur, cur.next.Load()
+	}
+	if cur.key == key {
+		return false
+	}
+	n := &glNode{key: key, val: val}
+	n.next.Store(cur)
+	pred.next.Store(n)
+	return true
+}
+
+// Delete removes key, returning its value, if present; the whole operation
+// holds the global lock.
+func (l *MCSGL) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	qn := l.lock.Lock()
+	defer l.lock.Unlock(qn)
+	pred, cur := l.head, l.head.next.Load()
+	for cur.key < key {
+		pred, cur = cur, cur.next.Load()
+	}
+	if cur.key != key {
+		return 0, false
+	}
+	pred.next.Store(cur.next.Load())
+	return cur.val, true
+}
+
+// Len counts the elements; not linearizable (test/monitoring use).
+func (l *MCSGL) Len() int {
+	n := 0
+	for cur := l.head.next.Load(); cur.key != tailKey; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,271 @@
+package list
+
+import (
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/backoff"
+	"github.com/optik-go/optik/internal/core"
+)
+
+// optikNode is a node of the fine-grained OPTIK list. Its OPTIK lock
+// protects the node's next pointer; key and val are immutable after
+// publication. A deleted node's lock is left acquired forever, which is how
+// concurrent operations (and cached entry points) detect deletion.
+type optikNode struct {
+	key  uint64
+	val  uint64
+	lock core.Lock
+	next atomic.Pointer[optikNode]
+}
+
+// Optik is the paper's fine-grained OPTIK-based sorted list (Figure 8):
+// traversal performs hand-over-hand version tracking, updates validate and
+// lock the predecessor (and, for deletions, the victim) with single-CAS
+// TryLockVersion calls, and searches are 100% sequential code.
+type Optik struct {
+	head *optikNode
+}
+
+var (
+	_ ds.Set     = (*Optik)(nil)
+	_ ds.Handled = (*Optik)(nil)
+)
+
+// NewOptik returns an empty fine-grained OPTIK list.
+func NewOptik() *Optik {
+	tail := &optikNode{key: tailKey}
+	head := &optikNode{key: headKey}
+	head.next.Store(tail)
+	return &Optik{head: head}
+}
+
+// Search returns the value stored under key, if present. It is oblivious
+// to concurrency (Figure 8(c)): updates linearize at their single store to
+// the predecessor's next pointer, so a plain traversal is consistent.
+func (l *Optik) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	return l.searchFrom(l.head, key)
+}
+
+func (l *Optik) searchFrom(start *optikNode, key uint64) (uint64, bool) {
+	cur := start
+	for cur.key < key {
+		cur = cur.next.Load()
+	}
+	if cur.key == key {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// Insert adds key→val if absent (Figure 8(b)): it tracks the predecessor's
+// version while traversing and needs to validate-and-lock only the
+// predecessor.
+func (l *Optik) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	return l.insertFrom(l.head, key, val)
+}
+
+func (l *Optik) insertFrom(start *optikNode, key, val uint64) bool {
+	var bo backoff.Backoff
+	for {
+		pred, predv, cur := l.traverse(start, key)
+		if cur.key == key {
+			return false
+		}
+		if !pred.lock.TryLockVersion(predv) {
+			bo.Wait()
+			continue
+		}
+		n := &optikNode{key: key, val: val}
+		n.next.Store(cur)
+		pred.next.Store(n)
+		pred.lock.Unlock()
+		return true
+	}
+}
+
+// Delete removes key, returning its value, if present (Figure 8(a)). It
+// locks both the predecessor and the victim; the victim's lock is never
+// released, which keeps any stale reference (e.g. a node cache) from
+// trusting the node again.
+func (l *Optik) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	return l.deleteFrom(l.head, key)
+}
+
+func (l *Optik) deleteFrom(start *optikNode, key uint64) (uint64, bool) {
+	var bo backoff.Backoff
+	for {
+		pred, predv, cur := l.traverse(start, key)
+		if cur.key != key {
+			return 0, false
+		}
+		curv := cur.lock.GetVersion()
+		if curv.IsLocked() {
+			// Being deleted (or updated) right now; retry.
+			bo.Wait()
+			continue
+		}
+		if !pred.lock.TryLockVersion(predv) {
+			bo.Wait()
+			continue
+		}
+		if !cur.lock.TryLockVersion(curv) {
+			pred.lock.Revert()
+			bo.Wait()
+			continue
+		}
+		pred.next.Store(cur.next.Load())
+		val := cur.val
+		pred.lock.Unlock()
+		// cur's lock is intentionally never unlocked: the node is dead.
+		return val, true
+	}
+}
+
+// traverse walks from start until cur.key >= key, returning the
+// predecessor, the predecessor's version — read *before* following its next
+// pointer, the hand-over-hand version tracking of §4.2 — and cur.
+func (l *Optik) traverse(start *optikNode, key uint64) (pred *optikNode, predv core.Version, cur *optikNode) {
+	cur = start
+	curv := cur.lock.GetVersion()
+	for {
+		pred, predv = cur, curv
+		cur = pred.next.Load()
+		curv = cur.lock.GetVersion()
+		if cur.key >= key {
+			return pred, predv, cur
+		}
+	}
+}
+
+// Len counts the elements; not linearizable (test/monitoring use).
+func (l *Optik) Len() int {
+	n := 0
+	for cur := l.head.next.Load(); cur.key != tailKey; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}
+
+// NewHandle returns a per-goroutine view with node caching enabled
+// ("optik-cache", §5.1): the last node a successful operation traversed to
+// becomes the entry point of the next operation when it is still a valid
+// one (not locked/deleted and ordered before the target key).
+func (l *Optik) NewHandle() ds.Set { return &OptikHandle{list: l} }
+
+// OptikHandle is a per-goroutine view of an Optik list with node caching.
+// It must not be used concurrently; create one handle per goroutine.
+type OptikHandle struct {
+	list  *Optik
+	cache *optikNode
+	hits  uint64
+	ops   uint64
+}
+
+var _ ds.Set = (*OptikHandle)(nil)
+
+// entry picks the traversal entry point: the cached node when it is a valid
+// entry for key, the head sentinel otherwise. Validity: the cached node's
+// lock must be free (a deleted node's OPTIK lock is locked forever) and its
+// key must be strictly before the target.
+func (h *OptikHandle) entry(key uint64) *optikNode {
+	h.ops++
+	if c := h.cache; c != nil && c.key < key && !c.lock.GetVersion().IsLocked() {
+		h.hits++
+		return c
+	}
+	return h.list.head
+}
+
+// remember caches the node whose key is the greatest known to be < key — we
+// use the predecessor observed by the last traversal.
+func (h *OptikHandle) remember(n *optikNode) {
+	if n != nil && n.key != headKey {
+		h.cache = n
+	}
+}
+
+// Search returns the value stored under key, if present.
+func (h *OptikHandle) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	start := h.entry(key)
+	cur := start
+	var pred *optikNode
+	for cur.key < key {
+		pred = cur
+		cur = cur.next.Load()
+	}
+	h.remember(pred)
+	if cur.key == key {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// Insert adds key→val if absent.
+func (h *OptikHandle) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	var bo backoff.Backoff
+	for {
+		start := h.entry(key)
+		pred, predv, cur := h.list.traverse(start, key)
+		h.remember(pred)
+		if cur.key == key {
+			return false
+		}
+		if !pred.lock.TryLockVersion(predv) {
+			h.cache = nil // conservative: the vicinity is churning
+			bo.Wait()
+			continue
+		}
+		n := &optikNode{key: key, val: val}
+		n.next.Store(cur)
+		pred.next.Store(n)
+		pred.lock.Unlock()
+		return true
+	}
+}
+
+// Delete removes key, returning its value, if present.
+func (h *OptikHandle) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	var bo backoff.Backoff
+	for {
+		start := h.entry(key)
+		pred, predv, cur := h.list.traverse(start, key)
+		h.remember(pred)
+		if cur.key != key {
+			return 0, false
+		}
+		curv := cur.lock.GetVersion()
+		if curv.IsLocked() {
+			bo.Wait()
+			continue
+		}
+		if !pred.lock.TryLockVersion(predv) {
+			h.cache = nil
+			bo.Wait()
+			continue
+		}
+		if !cur.lock.TryLockVersion(curv) {
+			pred.lock.Revert()
+			h.cache = nil
+			bo.Wait()
+			continue
+		}
+		pred.next.Store(cur.next.Load())
+		val := cur.val
+		pred.lock.Unlock()
+		return val, true
+	}
+}
+
+// Len counts the elements (delegates to the list).
+func (h *OptikHandle) Len() int { return h.list.Len() }
+
+// CacheStats reports how many operations used the cached entry point, the
+// "hit rate" discussed in §5.1 (49.8% on the large list, ~40% on the small).
+func (h *OptikHandle) CacheStats() (hits, ops uint64) { return h.hits, h.ops }

@@ -1,0 +1,114 @@
+package list
+
+import (
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/backoff"
+	"github.com/optik-go/optik/internal/core"
+)
+
+// glNode is a node of the global-lock lists (OptikGL and MCSGL). The next
+// pointer is atomic because searches traverse without holding the lock;
+// key and val are immutable.
+type glNode struct {
+	key  uint64
+	val  uint64
+	next atomic.Pointer[glNode]
+}
+
+// OptikGL is the paper's new global-lock OPTIK list (§5.1): a sorted list
+// protected by a single OPTIK lock. Searches never synchronize, and update
+// operations that turn out infeasible (insert of a present key, delete of
+// an absent key) return without ever acquiring the lock — the property that
+// makes it outperform mcs-gl-opt and per-bucket locking ("optik-gl" is the
+// base of the per-bucket hash table of §5.2).
+type OptikGL struct {
+	lock core.Lock
+	head *glNode
+}
+
+var _ ds.Set = (*OptikGL)(nil)
+
+// NewOptikGL returns an empty global-lock OPTIK list.
+func NewOptikGL() *OptikGL {
+	tail := &glNode{key: tailKey}
+	head := &glNode{key: headKey}
+	head.next.Store(tail)
+	return &OptikGL{head: head}
+}
+
+// Search returns the value stored under key, if present, without any
+// synchronization: updates linearize at their single store to the
+// predecessor's next pointer.
+func (l *OptikGL) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	cur := l.head
+	for cur.key < key {
+		cur = cur.next.Load()
+	}
+	if cur.key == key {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// Insert adds key→val if absent. The traversal runs before locking; a
+// version-validated TryLockVersion guarantees the list did not change since,
+// so the insertion point is still correct and no second traversal is needed.
+func (l *OptikGL) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	var bo backoff.Backoff
+	for {
+		vn := l.lock.GetVersion()
+		pred, cur := l.head, l.head.next.Load()
+		for cur.key < key {
+			pred, cur = cur, cur.next.Load()
+		}
+		if cur.key == key {
+			return false // no locking for infeasible updates
+		}
+		if !l.lock.TryLockVersion(vn) {
+			bo.Wait()
+			continue
+		}
+		n := &glNode{key: key, val: val}
+		n.next.Store(cur)
+		pred.next.Store(n)
+		l.lock.Unlock()
+		return true
+	}
+}
+
+// Delete removes key, returning its value, if present. A miss returns
+// without locking.
+func (l *OptikGL) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	var bo backoff.Backoff
+	for {
+		vn := l.lock.GetVersion()
+		pred, cur := l.head, l.head.next.Load()
+		for cur.key < key {
+			pred, cur = cur, cur.next.Load()
+		}
+		if cur.key != key {
+			return 0, false
+		}
+		if !l.lock.TryLockVersion(vn) {
+			bo.Wait()
+			continue
+		}
+		pred.next.Store(cur.next.Load())
+		l.lock.Unlock()
+		return cur.val, true
+	}
+}
+
+// Len counts the elements; not linearizable (test/monitoring use).
+func (l *OptikGL) Len() int {
+	n := 0
+	for cur := l.head.next.Load(); cur.key != tailKey; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,163 @@
+package list
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/rng"
+)
+
+// TestQuickSequentialEquivalence property-checks every list variant
+// against a map model over random op sequences.
+func TestQuickSequentialEquivalence(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint16) bool {
+				l := mk()
+				model := map[uint64]uint64{}
+				for _, raw := range ops {
+					key := uint64(raw%32) + 1
+					switch (raw / 32) % 3 {
+					case 0:
+						got := l.Insert(key, key*7)
+						_, present := model[key]
+						if got == present {
+							return false
+						}
+						if got {
+							model[key] = key * 7
+						}
+					case 1:
+						gotV, got := l.Delete(key)
+						wantV, want := model[key]
+						if got != want || (got && gotV != wantV) {
+							return false
+						}
+						delete(model, key)
+					default:
+						gotV, got := l.Search(key)
+						wantV, want := model[key]
+						if got != want || (got && gotV != wantV) {
+							return false
+						}
+					}
+				}
+				return l.Len() == len(model)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSortedOrderAfterChurn verifies the core structural invariant of
+// every list — strictly ascending keys — after heavy concurrent churn.
+func TestSortedOrderAfterChurn(t *testing.T) {
+	check := map[string]func(ds.Set) func() (uint64, bool){
+		// Each walker returns successive keys from the quiesced list.
+		"optik": func(s ds.Set) func() (uint64, bool) {
+			cur := s.(*Optik).head
+			return func() (uint64, bool) {
+				cur = cur.next.Load()
+				return cur.key, cur.key != tailKey
+			}
+		},
+		"optik-gl": func(s ds.Set) func() (uint64, bool) {
+			cur := s.(*OptikGL).head
+			return func() (uint64, bool) {
+				cur = cur.next.Load()
+				return cur.key, cur.key != tailKey
+			}
+		},
+		"mcs-gl-opt": func(s ds.Set) func() (uint64, bool) {
+			cur := s.(*MCSGL).head
+			return func() (uint64, bool) {
+				cur = cur.next.Load()
+				return cur.key, cur.key != tailKey
+			}
+		},
+		"lazy": func(s ds.Set) func() (uint64, bool) {
+			cur := s.(*Lazy).head
+			return func() (uint64, bool) {
+				cur = cur.next.Load()
+				return cur.key, cur.key != tailKey
+			}
+		},
+		"harris": func(s ds.Set) func() (uint64, bool) {
+			cur := s.(*Harris).head
+			tail := s.(*Harris).tail
+			return func() (uint64, bool) {
+				cur = cur.next.Load().node
+				return cur.key, cur != tail
+			}
+		},
+	}
+	makers := map[string]func() ds.Set{
+		"optik":      func() ds.Set { return NewOptik() },
+		"optik-gl":   func() ds.Set { return NewOptikGL() },
+		"mcs-gl-opt": func() ds.Set { return NewMCSGL() },
+		"lazy":       func() ds.Set { return NewLazy() },
+		"harris":     func() ds.Set { return NewHarris() },
+	}
+	for name, mk := range makers {
+		t.Run(name, func(t *testing.T) {
+			l := mk()
+			const goroutines, iters = 8, 4000
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					r := rng.NewXorshift(seed)
+					for i := 0; i < iters; i++ {
+						key := r.Intn(128) + 1
+						if r.Intn(2) == 0 {
+							l.Insert(key, key)
+						} else {
+							l.Delete(key)
+						}
+					}
+				}(uint64(g + 1))
+			}
+			wg.Wait()
+			walk := check[name](l)
+			prev := uint64(0)
+			for {
+				key, more := walk()
+				if !more {
+					break
+				}
+				if key <= prev {
+					t.Fatalf("keys not strictly ascending: %d after %d", key, prev)
+				}
+				prev = key
+			}
+		})
+	}
+}
+
+// TestDeletedNodeLockStaysHeld pins the invariant the node caches rely on:
+// a deleted node's OPTIK lock is never released, so its version reads
+// locked forever.
+func TestDeletedNodeLockStaysHeld(t *testing.T) {
+	l := NewOptik()
+	l.Insert(10, 1)
+	// Capture the node before deleting it.
+	n := l.head.next.Load()
+	if n.key != 10 {
+		t.Fatal("setup failed")
+	}
+	if _, ok := l.Delete(10); !ok {
+		t.Fatal("delete failed")
+	}
+	if !n.lock.GetVersion().IsLocked() {
+		t.Fatal("deleted node's lock must remain held forever")
+	}
+	// The stale node can never be re-validated as an entry point.
+	if n.lock.TryLockVersion(n.lock.GetVersion()) {
+		t.Fatal("TryLockVersion on a dead node succeeded")
+	}
+}

@@ -1,0 +1,56 @@
+package queue
+
+import (
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/locks"
+)
+
+// MSLB is the two-lock Michael-Scott queue [39] ("ms-lb" in Figure 12),
+// with MCS locks as in the paper ("for highly-contented locks, such as the
+// locks in concurrent queues, we use MCS locks"). Enqueues and dequeues
+// synchronize on separate locks and only meet at the dummy node.
+type MSLB struct {
+	headLock locks.MCS
+	tailLock locks.MCS
+	head     *node // guarded by headLock; next pointers are atomic
+	tail     *node // guarded by tailLock
+}
+
+var _ ds.Queue = (*MSLB)(nil)
+
+// NewMSLB returns an empty two-lock MS queue.
+func NewMSLB() *MSLB {
+	dummy := &node{}
+	return &MSLB{head: dummy, tail: dummy}
+}
+
+// Enqueue appends val at the tail under the tail lock.
+func (q *MSLB) Enqueue(val uint64) {
+	n := &node{val: val}
+	qn := q.tailLock.Lock()
+	q.tail.next.Store(n)
+	q.tail = n
+	q.tailLock.Unlock(qn)
+}
+
+// Dequeue removes and returns the head element, if any, under the head
+// lock.
+func (q *MSLB) Dequeue() (uint64, bool) {
+	qn := q.headLock.Lock()
+	next := q.head.next.Load()
+	if next == nil {
+		q.headLock.Unlock(qn)
+		return 0, false
+	}
+	val := next.val
+	q.head = next
+	q.headLock.Unlock(qn)
+	return val, true
+}
+
+// Len counts the queued elements (not linearizable).
+func (q *MSLB) Len() int {
+	qn := q.headLock.Lock()
+	defer q.headLock.Unlock(qn)
+	return lenFrom(q.head)
+}

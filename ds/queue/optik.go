@@ -1,0 +1,209 @@
+package queue
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/backoff"
+	"github.com/optik-go/optik/internal/core"
+)
+
+// optikBase carries the state shared by the OPTIK queue variants: a dummy
+// head guarded by an OPTIK head lock, and an atomic tail pointer whose
+// protection differs per variant (OPTIK tail lock, ticket-OPTIK lock, or
+// lock-free CAS).
+type optikBase struct {
+	headLock core.Lock
+	head     atomic.Pointer[node]
+	tail     atomic.Pointer[node]
+}
+
+func (q *optikBase) init() {
+	dummy := &node{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+}
+
+// emptyCheck reports emptiness from a snapshot: the head dummy's next is
+// nil iff the queue is empty at the moment of the load (the head pointer
+// only ever advances onto a non-nil next, so a nil next proves the dummy is
+// still current).
+func (q *optikBase) emptyCheck() (h, next *node, empty bool) {
+	h = q.head.Load()
+	next = h.next.Load()
+	return h, next, next == nil
+}
+
+// dequeueLockVersion is Optik0's dequeue: prepare optimistically, then
+// LockVersion — if the version validates, the critical section is the
+// single head store; otherwise the operation is redone under the lock, as
+// in the original MS dequeue.
+func (q *optikBase) dequeueLockVersion() (uint64, bool) {
+	var v core.Version
+	for {
+		v = q.headLock.GetVersion()
+		if !v.IsLocked() {
+			break
+		}
+		runtime.Gosched()
+	}
+	_, next, empty := q.emptyCheck()
+	if empty {
+		return 0, false
+	}
+	val := next.val
+	if q.headLock.LockVersion(v) {
+		// Validated: nothing changed since the optimistic phase.
+		q.head.Store(next)
+		q.headLock.Unlock()
+		return val, true
+	}
+	// Validation failed; we hold the lock — prepare and perform in the
+	// critical section as usual.
+	_, next, empty = q.emptyCheck()
+	if empty {
+		q.headLock.Revert() // nothing modified
+		return 0, false
+	}
+	val = next.val
+	q.head.Store(next)
+	q.headLock.Unlock()
+	return val, true
+}
+
+// dequeueTryLock is the dequeue of Optik1/Optik2/OptikVictim: a failed
+// single-CAS validate-and-lock restarts the whole operation instead of
+// waiting behind the lock.
+func (q *optikBase) dequeueTryLock() (uint64, bool) {
+	var bo backoff.Backoff
+	for {
+		v := q.headLock.GetVersion()
+		if v.IsLocked() {
+			runtime.Gosched()
+			continue
+		}
+		_, next, empty := q.emptyCheck()
+		if empty {
+			return 0, false
+		}
+		val := next.val
+		if q.headLock.TryLockVersion(v) {
+			q.head.Store(next)
+			q.headLock.Unlock()
+			return val, true
+		}
+		bo.Wait()
+	}
+}
+
+// Optik0 is the first lock-based MS variant: OPTIK locks on both ends;
+// dequeues use the blocking LockVersion fast path, enqueues use the OPTIK
+// lock as a plain spinlock. §5.4 notes this is "not a good idea" under
+// high contention — OPTIK locks are, at the end of the day, simple
+// spinlocks — and Figure 12 shows exactly that.
+type Optik0 struct {
+	optikBase
+	tailLock core.Lock
+}
+
+var _ ds.Queue = (*Optik0)(nil)
+
+// NewOptik0 returns an empty Optik0 queue.
+func NewOptik0() *Optik0 {
+	q := &Optik0{}
+	q.init()
+	return q
+}
+
+// Enqueue appends val at the tail under the tail lock.
+func (q *Optik0) Enqueue(val uint64) {
+	n := &node{val: val}
+	q.tailLock.Lock()
+	t := q.tail.Load()
+	t.next.Store(n)
+	q.tail.Store(n)
+	q.tailLock.Unlock()
+}
+
+// Dequeue removes and returns the head element, if any.
+func (q *Optik0) Dequeue() (uint64, bool) { return q.dequeueLockVersion() }
+
+// Len counts the queued elements (not linearizable).
+func (q *Optik0) Len() int { return lenFrom(q.head.Load()) }
+
+// Optik1 is the second lock-based MS variant: like Optik0 but dequeues use
+// TryLockVersion and restart on conflict.
+type Optik1 struct {
+	optikBase
+	tailLock core.Lock
+}
+
+var _ ds.Queue = (*Optik1)(nil)
+
+// NewOptik1 returns an empty Optik1 queue.
+func NewOptik1() *Optik1 {
+	q := &Optik1{}
+	q.init()
+	return q
+}
+
+// Enqueue appends val at the tail under the tail lock.
+func (q *Optik1) Enqueue(val uint64) {
+	n := &node{val: val}
+	q.tailLock.Lock()
+	t := q.tail.Load()
+	t.next.Store(n)
+	q.tail.Store(n)
+	q.tailLock.Unlock()
+}
+
+// Dequeue removes and returns the head element, if any.
+func (q *Optik1) Dequeue() (uint64, bool) { return q.dequeueTryLock() }
+
+// Len counts the queued elements (not linearizable).
+func (q *Optik1) Len() int { return lenFrom(q.head.Load()) }
+
+// Optik2 is the lock-based/lock-free hybrid: the unaltered lock-free MS
+// enqueue ("enqueue operations do not offer any opportunities for
+// optimism") with the OPTIK trylock dequeue. Figure 12 shows it tracking
+// ms-lf almost exactly — the single-CAS validation of OPTIK locks "does
+// resemble lock-freedom".
+type Optik2 struct {
+	optikBase
+}
+
+var _ ds.Queue = (*Optik2)(nil)
+
+// NewOptik2 returns an empty Optik2 queue.
+func NewOptik2() *Optik2 {
+	q := &Optik2{}
+	q.init()
+	return q
+}
+
+// Enqueue appends val at the tail, lock-free.
+func (q *Optik2) Enqueue(val uint64) {
+	n := &node{val: val}
+	for {
+		t := q.tail.Load()
+		next := t.next.Load()
+		if t != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(t, next)
+			continue
+		}
+		if t.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(t, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the head element, if any.
+func (q *Optik2) Dequeue() (uint64, bool) { return q.dequeueTryLock() }
+
+// Len counts the queued elements (not linearizable).
+func (q *Optik2) Len() int { return lenFrom(q.head.Load()) }

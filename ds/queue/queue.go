@@ -1,0 +1,109 @@
+// Package queue implements the concurrent FIFO queues of §5.4, under the
+// graph keys of Figure 12:
+//
+//   - MSLF ("ms-lf"): the lock-free Michael-Scott queue [39].
+//   - MSLB ("ms-lb"): the two-lock Michael-Scott queue with MCS locks.
+//   - Optik0 ("optik0"): MS queue with OPTIK locks; dequeues use the
+//     blocking LockVersion — a validated dequeue performs a single store in
+//     the critical section, an invalidated one redoes the work inside it.
+//   - Optik1 ("optik1"): like Optik0 but dequeues use TryLockVersion and
+//     restart on failure; enqueues still lock.
+//   - Optik2 ("optik2"): lock-free MS enqueue (enqueues offer no optimistic
+//     opportunity) combined with the TryLockVersion dequeue.
+//   - OptikVictim ("optik3"): Optik2's dequeue plus *victim queues* — an
+//     enqueue that sees too many threads queued on the ticket-OPTIK tail
+//     lock diverts its node to a secondary victim queue; the first thread
+//     to populate the empty victim queue links the whole batch into the
+//     main queue once it acquires the tail lock.
+//
+// All queues link through a dummy head node; a queue is empty iff the
+// dummy's next pointer is nil, which makes the empty check a single atomic
+// load (and therefore lock-free in the OPTIK variants).
+package queue
+
+import (
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds"
+)
+
+// node is the shared queue node: a value and an atomic next pointer.
+type node struct {
+	val  uint64
+	next atomic.Pointer[node]
+}
+
+// lenFrom counts nodes after the dummy; shared by all variants'
+// non-linearizable Len.
+func lenFrom(head *node) int {
+	n := 0
+	for cur := head.next.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}
+
+// MSLF is the lock-free Michael-Scott queue [39] ("ms-lf" in Figure 12).
+// Go's garbage collector eliminates the ABA problem the original solves
+// with counted pointers.
+type MSLF struct {
+	head atomic.Pointer[node]
+	tail atomic.Pointer[node]
+}
+
+var _ ds.Queue = (*MSLF)(nil)
+
+// NewMSLF returns an empty lock-free MS queue.
+func NewMSLF() *MSLF {
+	q := &MSLF{}
+	dummy := &node{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue appends val at the tail.
+func (q *MSLF) Enqueue(val uint64) {
+	n := &node{val: val}
+	for {
+		t := q.tail.Load()
+		next := t.next.Load()
+		if t != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(t, next) // help a lagging enqueue
+			continue
+		}
+		if t.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(t, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the head element, if any.
+func (q *MSLF) Dequeue() (uint64, bool) {
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		next := h.next.Load()
+		if h != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return 0, false
+		}
+		if h == t {
+			q.tail.CompareAndSwap(t, next) // tail is lagging; help
+			continue
+		}
+		val := next.val
+		if q.head.CompareAndSwap(h, next) {
+			return val, true
+		}
+	}
+}
+
+// Len counts the queued elements (not linearizable).
+func (q *MSLF) Len() int { return lenFrom(q.head.Load()) }

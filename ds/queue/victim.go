@@ -1,0 +1,114 @@
+package queue
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/core"
+	"github.com/optik-go/optik/internal/locks"
+)
+
+// DefaultVictimThreshold is the queue length on the tail lock beyond which
+// enqueues divert to the victim queue ("more than two in our
+// implementation", §5.4).
+const DefaultVictimThreshold = 2
+
+// OptikVictim is the fourth MS variant ("optik3" in Figure 12): dequeues
+// use the OPTIK trylock path; enqueues consult NumQueued on the
+// ticket-based OPTIK tail lock, and when too many threads are waiting they
+// append to a secondary *victim queue* instead. The first thread to place
+// a node in the empty victim queue becomes responsible for linking the
+// whole victim batch into the main queue once it acquires the tail lock;
+// later victim enqueuers wait until their batch has been drained (which
+// makes their elements visible and linearizable).
+type OptikVictim struct {
+	optikBase
+	tailLock  core.TicketLock
+	threshold uint32
+
+	victim struct {
+		lock locks.TAS
+		head *node        // guarded by lock
+		tail *node        // guarded by lock
+		done *atomic.Bool // current batch's drain flag; guarded by lock
+	}
+}
+
+var _ ds.Queue = (*OptikVictim)(nil)
+
+// NewOptikVictim returns an empty victim-queue MS variant with the given
+// diversion threshold (DefaultVictimThreshold if threshold <= 0).
+func NewOptikVictim(threshold int) *OptikVictim {
+	q := &OptikVictim{}
+	q.init()
+	if threshold <= 0 {
+		threshold = DefaultVictimThreshold
+	}
+	q.threshold = uint32(threshold)
+	return q
+}
+
+// Enqueue appends val at the tail, diverting to the victim queue under
+// contention.
+func (q *OptikVictim) Enqueue(val uint64) {
+	n := &node{val: val}
+	if q.tailLock.NumQueued() <= q.threshold {
+		q.tailLock.Lock()
+		t := q.tail.Load()
+		t.next.Store(n)
+		q.tail.Store(n)
+		q.tailLock.Unlock()
+		return
+	}
+
+	// Victim path: append under the (tiny) victim lock. Each batch owns a
+	// fresh done flag, so members of a later batch can never be woken by an
+	// earlier batch's drain.
+	q.victim.lock.Lock()
+	first := q.victim.head == nil
+	if first {
+		q.victim.head = n
+		q.victim.done = new(atomic.Bool)
+	} else {
+		q.victim.tail.next.Store(n)
+	}
+	q.victim.tail = n
+	myBatch := q.victim.done
+	q.victim.lock.Unlock()
+
+	if first {
+		// We own the batch: acquire the main tail lock (fair ticket queue)
+		// and splice everything buffered so far in one shot.
+		q.tailLock.Lock()
+		q.victim.lock.Lock()
+		vh, vt := q.victim.head, q.victim.tail
+		q.victim.head, q.victim.tail = nil, nil
+		q.victim.lock.Unlock()
+
+		t := q.tail.Load()
+		t.next.Store(vh)
+		q.tail.Store(vt)
+		q.tailLock.Unlock()
+
+		// Publish the drain; waiting batch members may now return.
+		myBatch.Store(true)
+		return
+	}
+
+	// Not the batch owner: wait until the batch is linked into the main
+	// queue so the element is visible before Enqueue returns.
+	for !myBatch.Load() {
+		runtime.Gosched()
+	}
+}
+
+// Dequeue removes and returns the head element, if any.
+func (q *OptikVictim) Dequeue() (uint64, bool) { return q.dequeueTryLock() }
+
+// Len counts the elements in the main queue (not linearizable; victim
+// nodes not yet spliced are not counted).
+func (q *OptikVictim) Len() int { return lenFrom(q.head.Load()) }
+
+// Threshold returns the configured diversion threshold.
+func (q *OptikVictim) Threshold() int { return int(q.threshold) }

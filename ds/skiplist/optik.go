@@ -1,0 +1,322 @@
+package skiplist
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/backoff"
+	"github.com/optik-go/optik/internal/core"
+)
+
+// oNode is a node of the OPTIK-based skip list. One OPTIK lock protects
+// the whole tower — §5.3's deliberate granularity trade-off: version
+// validation can fail because an *unrelated* level of the same predecessor
+// changed (a false conflict), in exchange for radically simpler validation.
+type oNode struct {
+	key         uint64
+	val         uint64
+	lock        core.Lock
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+	topLevel    int
+	next        [MaxLevel]atomic.Pointer[oNode]
+}
+
+// Optik is the paper's new skip-list algorithm (§5.3). Parsing tracks the
+// version of every predecessor; insertions link *eagerly* — each level is
+// physically linked immediately after its predecessor's single-CAS
+// validate-and-lock, and a failed level restarts the parse and continues
+// from the level that failed. Deletions lock the victim (whose lock, as in
+// the fine-grained OPTIK list, is never released) and then all
+// predecessors before unlinking.
+//
+// The FineValidate flag selects between the paper's two variants:
+// "optik1" revalidates a failed level with the Herlihy-style fine-grained
+// check before giving up on it; "optik2" restarts immediately and is the
+// more scalable variant under contention.
+type Optik struct {
+	head         *oNode
+	tail         *oNode
+	fineValidate bool
+}
+
+var _ ds.Set = (*Optik)(nil)
+
+// NewOptik1 returns the variant that performs fine-grained validation when
+// a version check fails ("optik1" in Figure 11).
+func NewOptik1() *Optik { return newOptik(true) }
+
+// NewOptik2 returns the variant that restarts immediately on a version
+// check failure ("optik2" in Figure 11).
+func NewOptik2() *Optik { return newOptik(false) }
+
+func newOptik(fine bool) *Optik {
+	tail := &oNode{key: tailKey, topLevel: MaxLevel}
+	tail.fullyLinked.Store(true)
+	head := &oNode{key: headKey, topLevel: MaxLevel}
+	for l := 0; l < MaxLevel; l++ {
+		head.next[l].Store(tail)
+	}
+	head.fullyLinked.Store(true)
+	return &Optik{head: head, tail: tail, fineValidate: fine}
+}
+
+// find parses the list, recording per level the predecessor, its version
+// (read before following its next pointer) and the successor.
+func (s *Optik) find(key uint64, preds *[MaxLevel]*oNode, predVs *[MaxLevel]core.Version, succs *[MaxLevel]*oNode) {
+	pred := s.head
+	predv := pred.lock.GetVersion()
+	for level := MaxLevel - 1; level >= 0; level-- {
+		cur := pred.next[level].Load()
+		for cur.key < key {
+			pred = cur
+			predv = pred.lock.GetVersion()
+			cur = pred.next[level].Load()
+		}
+		preds[level] = pred
+		predVs[level] = predv
+		succs[level] = cur
+	}
+}
+
+// Search returns the value stored under key, if present. Traversal is
+// plain reads; a node is present iff reached at level 0 and not marked.
+func (s *Optik) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	pred := s.head
+	var cur *oNode
+	for level := MaxLevel - 1; level >= 0; level-- {
+		cur = pred.next[level].Load()
+		for cur.key < key {
+			pred = cur
+			cur = pred.next[level].Load()
+		}
+		if cur.key == key {
+			break
+		}
+	}
+	if cur.key == key && !cur.marked.Load() {
+		return cur.val, true
+	}
+	return 0, false
+}
+
+// acquireLevel validates-and-locks pred for one level. Under optik1, a
+// version mismatch falls back to fine-grained validation at the current
+// version; under optik2 it fails immediately. For deletions succ is the
+// (already marked) victim, so the successor-liveness check only applies to
+// insertions.
+func (s *Optik) acquireLevel(pred, succ *oNode, predv core.Version, level int, del bool) bool {
+	if pred.lock.TryLockVersion(predv) {
+		return true
+	}
+	if !s.fineValidate {
+		return false
+	}
+	// optik1: the version moved, but the level might be untouched (a false
+	// conflict on another level of the tower). Re-validate at the current
+	// version and lock it with one more CAS.
+	for i := 0; i < 4; i++ { // bounded: fall back to restart under churn
+		v := pred.lock.GetVersion()
+		if v.IsLocked() || pred.marked.Load() {
+			return false
+		}
+		if pred.next[level].Load() != succ {
+			return false
+		}
+		if !del && succ.marked.Load() {
+			return false
+		}
+		if pred.lock.TryLockVersion(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds key→val if absent, linking eagerly level by level. The
+// level-0 link is the linearization point; the fullyLinked flag keeps a
+// partially inserted node from being deleted mid-linking.
+func (s *Optik) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	topLevel := randomLevel()
+	var preds, succs [MaxLevel]*oNode
+	var predVs [MaxLevel]core.Version
+	var n *oNode
+	startLevel := 0
+	var bo backoff.Backoff
+	for {
+		s.find(key, &preds, &predVs, &succs)
+		if startLevel == 0 {
+			if found := succs[0]; found.key == key {
+				if found.marked.Load() {
+					// Deletion in flight; its unlink is imminent.
+					bo.Wait()
+					continue
+				}
+				return false
+			}
+		}
+		if n == nil {
+			n = &oNode{key: key, val: val, topLevel: topLevel}
+		}
+		restartParse := false
+		level := startLevel
+		for level < topLevel {
+			pred := preds[level]
+			// One predecessor usually covers a run of consecutive levels;
+			// link the whole run under a single acquisition — otherwise the
+			// unlock for the lower level would bump the version our own
+			// snapshot for the next level depends on (a self-conflict).
+			end := level
+			for end+1 < topLevel && preds[end+1] == pred {
+				end++
+			}
+			if !s.acquireLevel(pred, succs[level], predVs[level], level, false) {
+				// Continue from this level after re-parsing (§5.3: "the
+				// insertion continues from the level that failed").
+				startLevel = level
+				restartParse = true
+				break
+			}
+			// A version-validated acquisition proves every level of pred
+			// unchanged since the parse. After optik1's fine-grained
+			// fallback only the acquisition level was validated, so check
+			// the remaining levels of the run under the lock.
+			linked := level
+			for l := level; l <= end; l++ {
+				if l > level && pred.next[l].Load() != succs[l] {
+					break
+				}
+				n.next[l].Store(succs[l])
+				pred.next[l].Store(n)
+				linked = l + 1
+			}
+			pred.lock.Unlock()
+			if linked <= end {
+				startLevel = linked
+				restartParse = true
+				break
+			}
+			level = end + 1
+		}
+		if restartParse {
+			bo.Wait()
+			continue
+		}
+		n.fullyLinked.Store(true)
+		return true
+	}
+}
+
+// Delete removes key, returning its value, if present. The victim's OPTIK
+// lock is acquired with a single validate-and-lock CAS and never released
+// — any parse that cached the dead node as a predecessor fails its
+// validation forever after. All predecessor levels are locked before the
+// top-down unlink; setting the marked flag is the linearization point.
+func (s *Optik) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	var preds, succs [MaxLevel]*oNode
+	var predVs [MaxLevel]core.Version
+	var victim *oNode
+	owned := false
+	var bo backoff.Backoff
+	for {
+		s.find(key, &preds, &predVs, &succs)
+		if !owned {
+			victim = succs[0]
+			if victim.key != key || victim.marked.Load() {
+				return 0, false
+			}
+			if !victim.fullyLinked.Load() {
+				// Partially inserted: wait for the inserter to finish.
+				runtime.Gosched()
+				continue
+			}
+			v := victim.lock.GetVersion()
+			if v.IsLocked() || !victim.lock.TryLockVersion(v) {
+				// A concurrent insert is using the victim as predecessor,
+				// or another delete owns it; re-examine.
+				if victim.marked.Load() {
+					return 0, false
+				}
+				bo.Wait()
+				continue
+			}
+			if victim.marked.Load() {
+				// Cannot happen: markers hold the lock forever. Defensive.
+				return 0, false
+			}
+			victim.marked.Store(true) // linearization point
+			owned = true
+		}
+		// Lock every predecessor level (distinct nodes once), descending
+		// key order overall, so concurrent deletes cannot deadlock.
+		topLevel := victim.topLevel
+		highestLocked := -1
+		var prevPred *oNode
+		ok := true
+		for level := 0; level < topLevel; level++ {
+			pred := preds[level]
+			if pred == prevPred {
+				if pred.next[level].Load() != victim {
+					ok = false
+					break
+				}
+				continue
+			}
+			if !s.acquireLevel(pred, victim, predVs[level], level, true) {
+				ok = false
+				break
+			}
+			// The version validated (or fine-validation passed), so
+			// pred.next[level] == victim still holds.
+			highestLocked = level
+			prevPred = pred
+		}
+		if !ok {
+			revertOPreds(&preds, highestLocked)
+			bo.Wait()
+			continue // the deletion is owned; retry the unlink only
+		}
+		for level := topLevel - 1; level >= 0; level-- {
+			preds[level].next[level].Store(victim.next[level].Load())
+		}
+		val := victim.val
+		unlockOPreds(&preds, highestLocked)
+		// victim.lock stays acquired forever.
+		return val, true
+	}
+}
+
+func unlockOPreds(preds *[MaxLevel]*oNode, highestLocked int) {
+	var prev *oNode
+	for level := 0; level <= highestLocked; level++ {
+		if preds[level] != prev {
+			preds[level].lock.Unlock()
+			prev = preds[level]
+		}
+	}
+}
+
+func revertOPreds(preds *[MaxLevel]*oNode, highestLocked int) {
+	var prev *oNode
+	for level := 0; level <= highestLocked; level++ {
+		if preds[level] != prev {
+			preds[level].lock.Revert()
+			prev = preds[level]
+		}
+	}
+}
+
+// Len counts unmarked elements at level 0 (not linearizable).
+func (s *Optik) Len() int {
+	n := 0
+	for cur := s.head.next[0].Load(); cur != s.tail; cur = cur.next[0].Load() {
+		if !cur.marked.Load() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+// Package skiplist implements the concurrent skip lists of §5.3, under the
+// graph keys of Figure 11:
+//
+//   - Herlihy ("herlihy"): the optimistic skip list of Herlihy et al. [29]
+//     — per-node test-and-set locks, marked/fullyLinked flags, and
+//     fine-grained validation inside the critical section.
+//   - HerlihyOptik ("herl-optik"): the paper's optimization of Herlihy —
+//     per-node OPTIK locks; when the lock acquires with an unchanged
+//     version the fine-grained validation is skipped entirely.
+//   - Fraser ("fraser"): the lock-free skip list of Fraser [15] (in the
+//     formulation of Herlihy & Shavit), with per-level marked successor
+//     records swapped by CAS.
+//   - Optik1 / Optik2 ("optik1"/"optik2"): the paper's new OPTIK-based
+//     skip list — parsing tracks one version per predecessor level, inserts
+//     link eagerly level by level under single-CAS validate-and-lock, and
+//     deletions acquire all predecessor locks before unlinking. Optik1
+//     falls back to Herlihy-style fine-grained validation when a version
+//     check fails; Optik2 restarts immediately (and is the more scalable
+//     variant in the paper).
+//
+// All variants share MaxLevel tower height and a geometric (p = 1/2) level
+// generator. Keys live in [ds.MinKey, ds.MaxKey]; sentinels use the two
+// reserved values.
+package skiplist
+
+import (
+	"math/bits"
+	"math/rand/v2"
+)
+
+// MaxLevel is the tower height cap. 32 levels address 2^32 expected
+// elements, far beyond the paper's largest workload (65536 elements).
+const MaxLevel = 32
+
+// randomLevel draws a tower height in [1, MaxLevel] from a geometric
+// distribution with p = 1/2. math/rand/v2's global generator is used
+// because it is contention-free across goroutines (per-thread states),
+// which matches the paper's per-thread PRNGs.
+func randomLevel() int {
+	// Trailing zeros of a uniform word are geometric(1/2); the OR caps the
+	// height at MaxLevel.
+	return bits.TrailingZeros64(rand.Uint64()|1<<(MaxLevel-1)) + 1
+}
+
+const (
+	headKey uint64 = 0
+	tailKey uint64 = ^uint64(0)
+)

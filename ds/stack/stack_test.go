@@ -1,0 +1,128 @@
+package stack
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/optik-go/optik/ds"
+)
+
+func variants() map[string]func() ds.Stack {
+	return map[string]func() ds.Stack{
+		"treiber": func() ds.Stack { return NewTreiber() },
+		"optik":   func() ds.Stack { return NewOptik() },
+	}
+}
+
+func TestSequentialLIFO(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if _, ok := s.Pop(); ok {
+				t.Fatal("pop from empty stack succeeded")
+			}
+			for i := uint64(1); i <= 100; i++ {
+				s.Push(i)
+			}
+			if s.Len() != 100 {
+				t.Fatalf("Len = %d", s.Len())
+			}
+			for i := uint64(100); i >= 1; i-- {
+				v, ok := s.Pop()
+				if !ok || v != i {
+					t.Fatalf("Pop = %v,%v want %d", v, ok, i)
+				}
+			}
+			if _, ok := s.Pop(); ok {
+				t.Fatal("stack should be empty")
+			}
+		})
+	}
+}
+
+func TestConservation(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			const producers, perProducer = 8, 5000
+			total := producers * perProducer
+			seen := make([]atomic.Uint32, total+1)
+			var popped atomic.Int64
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(id uint64) {
+					defer wg.Done()
+					for i := uint64(0); i < perProducer; i++ {
+						s.Push(id*perProducer + i + 1)
+						if v, ok := s.Pop(); ok {
+							if seen[v].Add(1) != 1 {
+								t.Errorf("value %d popped twice", v)
+								return
+							}
+							popped.Add(1)
+						}
+					}
+				}(uint64(p))
+			}
+			wg.Wait()
+			// Drain what remains.
+			for {
+				v, ok := s.Pop()
+				if !ok {
+					break
+				}
+				if seen[v].Add(1) != 1 {
+					t.Fatalf("value %d popped twice on drain", v)
+				}
+				popped.Add(1)
+			}
+			if popped.Load() != int64(total) {
+				t.Fatalf("popped %d of %d", popped.Load(), total)
+			}
+		})
+	}
+}
+
+func TestPerThreadLIFOOrder(t *testing.T) {
+	// A thread that pushes K then immediately pops must get K back only if
+	// no other thread popped it first; popped values from one's own pushes
+	// observed in reverse push order when running alone.
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			s.Push(1)
+			s.Push(2)
+			if v, _ := s.Pop(); v != 2 {
+				t.Fatal("LIFO violated")
+			}
+			s.Push(3)
+			if v, _ := s.Pop(); v != 3 {
+				t.Fatal("LIFO violated")
+			}
+			if v, _ := s.Pop(); v != 1 {
+				t.Fatal("LIFO violated")
+			}
+		})
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	for name, mk := range variants() {
+		b.Run(name, func(b *testing.B) {
+			s := mk()
+			b.RunParallel(func(pb *testing.PB) {
+				i := uint64(0)
+				for pb.Next() {
+					if i&1 == 0 {
+						s.Push(i)
+					} else {
+						s.Pop()
+					}
+					i++
+				}
+			})
+		})
+	}
+}

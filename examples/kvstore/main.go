@@ -1,0 +1,145 @@
+// kvstore: a concurrent in-memory key-value store backed by the per-bucket
+// OPTIK hash table (§5.2) — the workload the paper's introduction motivates
+// for hash tables. A mixed fleet of reader and writer goroutines simulates
+// a read-mostly cache in front of a database: GETs dominate, SETs and DELs
+// trickle in, and the store reports throughput and hit rates.
+//
+// Run with:
+//
+//	go run ./examples/kvstore [-readers 8] [-writers 2] [-duration 2s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand/v2"
+
+	"github.com/optik-go/optik/ds/hashmap"
+)
+
+// Store maps string keys to string values on top of the uint64-keyed OPTIK
+// hash table: keys are hashed to 64 bits and values interned in a sharded
+// side table (a real store would keep value pointers; the structure under
+// test is the index).
+type Store struct {
+	index *hashmap.OptikGL
+
+	mu     sync.RWMutex
+	values map[uint64]string
+}
+
+// NewStore returns a store with the given number of index buckets.
+func NewStore(buckets int) *Store {
+	return &Store{
+		index:  hashmap.NewOptikGL(buckets),
+		values: make(map[uint64]string),
+	}
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	v := h.Sum64()
+	if v == 0 || v == ^uint64(0) {
+		v = 1 // keep clear of the sentinel keys
+	}
+	return v
+}
+
+// Set stores key→value, returning false if the key already existed.
+func (s *Store) Set(key, value string) bool {
+	k := hashKey(key)
+	s.mu.Lock()
+	s.values[k] = value
+	s.mu.Unlock()
+	return s.index.Insert(k, k)
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) (string, bool) {
+	k := hashKey(key)
+	if _, ok := s.index.Search(k); !ok {
+		return "", false
+	}
+	s.mu.RLock()
+	v, ok := s.values[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Del removes key, reporting whether it was present.
+func (s *Store) Del(key string) bool {
+	k := hashKey(key)
+	if _, ok := s.index.Delete(k); !ok {
+		return false
+	}
+	s.mu.Lock()
+	delete(s.values, k)
+	s.mu.Unlock()
+	return true
+}
+
+func main() {
+	readers := flag.Int("readers", 8, "reader goroutines")
+	writers := flag.Int("writers", 2, "writer goroutines")
+	duration := flag.Duration("duration", 2*time.Second, "run duration")
+	flag.Parse()
+
+	store := NewStore(4096)
+	// Seed the cache.
+	for i := 0; i < 2048; i++ {
+		store.Set(fmt.Sprintf("user:%04d", i), fmt.Sprintf("profile-%d", i))
+	}
+
+	var (
+		gets, hits, sets, dels atomic.Uint64
+		stop                   atomic.Bool
+		wg                     sync.WaitGroup
+	)
+	for r := 0; r < *readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				key := fmt.Sprintf("user:%04d", rand.IntN(4096))
+				if _, ok := store.Get(key); ok {
+					hits.Add(1)
+				}
+				gets.Add(1)
+			}
+		}()
+	}
+	for w := 0; w < *writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				key := fmt.Sprintf("user:%04d", rand.IntN(4096))
+				if rand.IntN(2) == 0 {
+					store.Set(key, "updated")
+					sets.Add(1)
+				} else {
+					store.Del(key)
+					dels.Add(1)
+				}
+			}
+		}()
+	}
+
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+
+	elapsed := duration.Seconds()
+	fmt.Printf("kvstore over %v with %d readers / %d writers\n", *duration, *readers, *writers)
+	fmt.Printf("  GET: %8.2f Kops/s (hit rate %.1f%%)\n",
+		float64(gets.Load())/elapsed/1e3, 100*float64(hits.Load())/float64(max(gets.Load(), 1)))
+	fmt.Printf("  SET: %8.2f Kops/s\n", float64(sets.Load())/elapsed/1e3)
+	fmt.Printf("  DEL: %8.2f Kops/s\n", float64(dels.Load())/elapsed/1e3)
+	fmt.Printf("  index size: %d\n", store.index.Len())
+}

@@ -1,0 +1,90 @@
+// Package backoff implements the exponential backoff policy shared by every
+// data structure in the library, mirroring the paper's methodology: "For
+// fairness, all data structures use the exact same backoff function. We use
+// exponentially increasing backoff times with up to 16k cycles maximum
+// backoff" (§5).
+//
+// Cycles are approximated by iterations of a pause loop; on a ~2-3 GHz core
+// one loop iteration costs a couple of cycles, which keeps the cap in the
+// same order of magnitude as the paper's 16k cycles.
+package backoff
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// MaxSpin is the maximum number of pause-loop iterations, the analog of the
+// paper's 16k-cycle cap.
+const MaxSpin = 16 * 1024
+
+// InitialSpin is the first backoff window.
+const InitialSpin = 64
+
+// Backoff is an exponential backoff helper. The zero value is ready to use.
+// It is not safe for concurrent use; each goroutine owns its own.
+type Backoff struct {
+	cur int
+}
+
+// Reset returns the backoff to its initial window. Call it after a
+// successful operation so the next conflict starts from a short wait.
+func (b *Backoff) Reset() { b.cur = 0 }
+
+// Wait spins for the current window and doubles it, up to MaxSpin. The very
+// first call in a fresh (or reset) state yields to the scheduler without
+// spinning, which keeps uncontended restarts cheap.
+func (b *Backoff) Wait() {
+	if b.cur == 0 {
+		b.cur = InitialSpin
+		runtime.Gosched()
+		return
+	}
+	spin(b.cur)
+	if b.cur < MaxSpin {
+		b.cur *= 2
+	}
+}
+
+// Spins reports the width of the next spin window; exposed for tests.
+func (b *Backoff) Spins() int { return b.cur }
+
+// Spin busy-waits for n pause-loop iterations, capped at MaxSpin. It is the
+// building block for proportional backoff (ticket locks wait in proportion
+// to their distance from the head of the queue).
+func Spin(n int) {
+	if n > MaxSpin {
+		n = MaxSpin
+	}
+	spin(n)
+}
+
+// Poll is one step of a polite busy-wait: a short on-core pause, yielding
+// to the scheduler once every 64 calls. Pass the loop counter. Spin loops
+// that yield on *every* poll pay a scheduler round-trip per lock handoff,
+// which dominates short critical sections; pure spinning starves the
+// runtime when goroutines outnumber cores. This is the middle ground used
+// by every waiting loop in the library.
+func Poll(i int) {
+	if i&63 == 63 {
+		runtime.Gosched()
+		return
+	}
+	spin(InitialSpin / 2)
+}
+
+// spinSink defeats dead-code elimination of the spin loop; the single
+// atomic store per call is negligible against the loop itself.
+var spinSink atomic.Uint64
+
+//go:noinline
+func spin(n int) {
+	// Go has no portable PAUSE intrinsic in the stdlib; an arithmetic loop
+	// whose result escapes keeps the wait on-core without touching shared
+	// cache lines.
+	acc := uint64(0)
+	for i := 0; i < n; i++ {
+		acc += uint64(i) ^ acc>>3
+	}
+	spinSink.Store(acc)
+}

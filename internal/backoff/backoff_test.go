@@ -1,0 +1,60 @@
+package backoff
+
+import "testing"
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	var b Backoff
+	if b.Spins() != 0 {
+		t.Fatal("fresh backoff should have zero window")
+	}
+	b.Wait() // first wait only yields
+	if b.Spins() != InitialSpin {
+		t.Fatalf("after first wait window = %d, want %d", b.Spins(), InitialSpin)
+	}
+	prev := b.Spins()
+	for i := 0; i < 20; i++ {
+		b.Wait()
+		if b.Spins() < prev {
+			t.Fatal("window shrank")
+		}
+		if b.Spins() > MaxSpin {
+			t.Fatalf("window %d exceeds cap %d", b.Spins(), MaxSpin)
+		}
+		prev = b.Spins()
+	}
+	if b.Spins() != MaxSpin {
+		t.Fatalf("window should have reached the cap, got %d", b.Spins())
+	}
+}
+
+func TestBackoffReset(t *testing.T) {
+	var b Backoff
+	b.Wait()
+	b.Wait()
+	b.Reset()
+	if b.Spins() != 0 {
+		t.Fatal("Reset must clear the window")
+	}
+}
+
+func TestBackoffDoubling(t *testing.T) {
+	var b Backoff
+	b.Wait()
+	w1 := b.Spins()
+	b.Wait()
+	if b.Spins() != 2*w1 {
+		t.Fatalf("expected doubling: %d -> %d", w1, b.Spins())
+	}
+}
+
+func BenchmarkWaitCapped(b *testing.B) {
+	var bo Backoff
+	for i := 0; i < 20; i++ {
+		bo.Wait()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Measure a full capped window.
+		spin(MaxSpin)
+	}
+}

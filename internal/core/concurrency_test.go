@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRevertPreservesValidationUnderConcurrency: readers snapshot the
+// version; writers acquire and Revert (no modification). Readers'
+// snapshots must remain valid — Revert must never look like a committed
+// critical section.
+func TestRevertPreservesValidationUnderConcurrency(t *testing.T) {
+	var l Lock
+	var committed atomic.Uint64
+	stop := make(chan struct{})
+	var writers, validators sync.WaitGroup
+
+	// Writers: mostly revert, occasionally commit (bumping a counter so
+	// validators can tell real commits apart).
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				v := l.GetVersionWait()
+				if !l.TryLockVersion(v) {
+					continue
+				}
+				if i%100 == 0 {
+					committed.Add(1)
+					l.Unlock()
+				} else {
+					l.Revert()
+				}
+			}
+		}()
+	}
+	// Validators: a successful TryLockVersion with a fresh snapshot must
+	// observe the committed counter unchanged since the snapshot.
+	for r := 0; r < 4; r++ {
+		validators.Add(1)
+		go func() {
+			defer validators.Done()
+			for i := 0; i < 20000; i++ {
+				v := l.GetVersionWait()
+				snap := committed.Load()
+				if l.TryLockVersion(v) {
+					if committed.Load() != snap {
+						t.Error("validated acquisition but commits advanced")
+						l.Revert()
+						return
+					}
+					l.Revert()
+				}
+			}
+		}()
+	}
+	validators.Wait()
+	close(stop)
+	writers.Wait()
+}
+
+// TestVersionNeverDecreasesAcrossCommits: observed versions from
+// GetVersionWait are monotonically non-decreasing in the absence of
+// Revert.
+func TestVersionNeverDecreasesAcrossCommits(t *testing.T) {
+	var l Lock
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					v := l.GetVersionWait()
+					if l.TryLockVersion(v) {
+						l.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	prev := Version(0)
+	for i := 0; i < 100000; i++ {
+		v := l.GetVersionWait()
+		if v < prev {
+			t.Fatalf("version went backwards: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestTicketLockVersionBackoffConcurrent exercises the proportional
+// backoff path under real contention.
+func TestTicketLockVersionBackoffConcurrent(t *testing.T) {
+	var l TicketLock
+	var counter int
+	var wg sync.WaitGroup
+	const goroutines, iters = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.LockVersionBackoff(l.GetVersion())
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+// TestMixedTryAndBlockingAcquisition interleaves TryLockVersion,
+// LockVersion and plain Lock on one versioned lock.
+func TestMixedTryAndBlockingAcquisition(t *testing.T) {
+	var l Lock
+	var counter int
+	var wg sync.WaitGroup
+	const goroutines, iters = 9, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(mode int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch mode {
+				case 0:
+					for {
+						v := l.GetVersionWait()
+						if l.TryLockVersion(v) {
+							break
+						}
+					}
+				case 1:
+					l.LockVersion(l.GetVersion())
+				default:
+					l.Lock()
+				}
+				counter++
+				l.Unlock()
+			}
+		}(g % 3)
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}

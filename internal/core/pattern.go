@@ -1,0 +1,69 @@
+package core
+
+// This file encodes the OPTIK pattern itself (Figure 2) as a reusable
+// control-flow helper: snapshot the version, run the optimistic phase, then
+// lock-and-validate in one CAS and run the critical section. It exists
+// mostly for small structures protected by a single OPTIK lock (array maps,
+// per-bucket lists); the fine-grained algorithms in ds/ inline the pattern
+// because they track several versions at once (hand-over-hand version
+// tracking).
+
+// Outcome tells Update's retry loop what the optimistic phase decided.
+type Outcome int
+
+const (
+	// Proceed: the operation needs the critical section; lock and validate.
+	Proceed Outcome = iota
+	// Abort: the operation's result is already determined without locking
+	// (e.g. inserting a key that is present); return without synchronizing.
+	Abort
+	// Restart: the optimistic phase observed an inconsistency; retry now.
+	Restart
+)
+
+// Update runs the OPTIK pattern against a single versioned OPTIK lock:
+//
+//	restart:
+//	  v := lock.GetVersion()
+//	  outcome := optimistic(v)      // read-only phase
+//	  if outcome == Abort   -> return false (no synchronization at all)
+//	  if outcome == Restart -> goto restart
+//	  if !lock.TryLockVersion(v)  -> goto restart
+//	  critical()                    // write phase, lock held
+//	  lock.Unlock()
+//	  return true
+//
+// It returns whether the critical section ran. The optimistic callback
+// receives the version snapshot for algorithms that want to double-check it
+// mid-phase.
+func Update(l *Lock, optimistic func(Version) Outcome, critical func()) bool {
+	for {
+		v := l.GetVersion()
+		switch optimistic(v) {
+		case Abort:
+			return false
+		case Restart:
+			continue
+		}
+		if !l.TryLockVersion(v) {
+			continue
+		}
+		critical()
+		l.Unlock()
+		return true
+	}
+}
+
+// Read runs an optimistic read-only operation: it snapshots an unlocked
+// version, runs the body, and re-validates that the version is unchanged,
+// retrying until the body executed against a quiescent lock. This is the
+// search-side of the pattern (Figure 6(c)).
+func Read[T any](l *Lock, body func() T) T {
+	for {
+		v := l.GetVersionWait()
+		out := body()
+		if l.GetVersion().Same(v) {
+			return out
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package figures defines every experiment of the paper's evaluation —
+// one entry per figure — and renders the same rows/series the paper
+// reports. Both the root bench_test.go targets and cmd/optik-bench drive
+// these definitions, so the benchmark surface has a single source of truth.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/ds/arraymap"
+	"github.com/optik-go/optik/ds/hashmap"
+	"github.com/optik-go/optik/ds/list"
+	"github.com/optik-go/optik/ds/queue"
+	"github.com/optik-go/optik/ds/skiplist"
+	"github.com/optik-go/optik/ds/stack"
+	"github.com/optik-go/optik/internal/workload"
+)
+
+// RunOpts controls scale: thread counts to sweep, per-run duration and
+// repetitions (the paper uses 11 × 5 s; defaults here are laptop-sized).
+type RunOpts struct {
+	Threads  []int
+	Duration time.Duration
+	Reps     int
+	Out      io.Writer
+}
+
+// DefaultThreads is the default sweep.
+var DefaultThreads = []int{1, 2, 4, 8, 16}
+
+// Normalize fills zero fields with defaults.
+func (o RunOpts) Normalize() RunOpts {
+	if len(o.Threads) == 0 {
+		o.Threads = DefaultThreads
+	}
+	if o.Duration <= 0 {
+		o.Duration = 100 * time.Millisecond
+	}
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+	return o
+}
+
+// NamedSet couples a graph key with a Set factory.
+type NamedSet struct {
+	Name string
+	New  func() ds.Set
+}
+
+// NamedQueue couples a graph key with a Queue factory.
+type NamedQueue struct {
+	Name string
+	New  func() ds.Queue
+}
+
+// SetWorkload is one panel of a set-structure figure.
+type SetWorkload struct {
+	Label       string
+	InitialSize int
+	UpdatePct   int
+	Zipf        bool
+	// Buckets configures hash tables (paper: buckets == initial size).
+	Buckets int
+}
+
+// ListAlgos returns the Figure-9 series in graph order.
+func ListAlgos() []NamedSet {
+	return []NamedSet{
+		{"harris", func() ds.Set { return list.NewHarris() }},
+		{"lazy", func() ds.Set { return list.NewLazy() }},
+		{"mcs-gl-opt", func() ds.Set { return list.NewMCSGL() }},
+		{"optik-gl", func() ds.Set { return list.NewOptikGL() }},
+		{"optik", func() ds.Set { return list.NewOptik() }},
+		{"optik-cache", func() ds.Set { return list.NewOptik() }}, // handles via HandleFor
+		{"lazy-cache", func() ds.Set { return list.NewLazy() }},
+	}
+}
+
+// listAlgoNoCache returns factories whose handles do NOT enable caching;
+// the plain "optik"/"lazy" series must not pick up handles. The workload
+// driver enables caching through ds.HandleFor, so the cache-less series
+// wrap the structure to hide the Handled interface.
+type noHandle struct{ ds.Set }
+
+// hideHandles prevents ds.HandleFor from discovering node-cache handles on
+// series that must run without them.
+func hideHandles(n NamedSet) NamedSet {
+	inner := n.New
+	return NamedSet{Name: n.Name, New: func() ds.Set { return noHandle{inner()} }}
+}
+
+// Fig9ListAlgos returns the Figure-9 series with caching enabled only on
+// the -cache series.
+func Fig9ListAlgos() []NamedSet {
+	algos := ListAlgos()
+	out := make([]NamedSet, 0, len(algos))
+	for _, a := range algos {
+		switch a.Name {
+		case "optik-cache", "lazy-cache":
+			out = append(out, a)
+		default:
+			out = append(out, hideHandles(a))
+		}
+	}
+	return out
+}
+
+// HashAlgos returns the Figure-10 series in graph order. buckets follows
+// the paper: one bucket per initial element.
+func HashAlgos(buckets int) []NamedSet {
+	return []NamedSet{
+		{"lazy-gl", func() ds.Set { return hashmap.NewLazyGL(buckets) }},
+		{"java", func() ds.Set { return hashmap.NewJava(buckets, 0) }},
+		{"java-optik", func() ds.Set { return hashmap.NewJavaOptik(buckets, 0) }},
+		{"optik", func() ds.Set { return hashmap.NewOptik(buckets) }},
+		{"optik-gl", func() ds.Set { return hashmap.NewOptikGL(buckets) }},
+		{"optik-map", func() ds.Set { return hashmap.NewOptikMap(buckets, 0) }},
+	}
+}
+
+// SkiplistAlgos returns the Figure-11 series in graph order.
+func SkiplistAlgos() []NamedSet {
+	return []NamedSet{
+		{"fraser", func() ds.Set { return skiplist.NewFraser() }},
+		{"herlihy", func() ds.Set { return skiplist.NewHerlihy() }},
+		{"herl-optik", func() ds.Set { return skiplist.NewHerlihyOptik() }},
+		{"optik1", func() ds.Set { return skiplist.NewOptik1() }},
+		{"optik2", func() ds.Set { return skiplist.NewOptik2() }},
+	}
+}
+
+// QueueAlgos returns the Figure-12 series in graph order.
+func QueueAlgos() []NamedQueue {
+	return []NamedQueue{
+		{"ms-lf", func() ds.Queue { return queue.NewMSLF() }},
+		{"ms-lb", func() ds.Queue { return queue.NewMSLB() }},
+		{"optik0", func() ds.Queue { return queue.NewOptik0() }},
+		{"optik1", func() ds.Queue { return queue.NewOptik1() }},
+		{"optik2", func() ds.Queue { return queue.NewOptik2() }},
+		{"optik3", func() ds.Queue { return queue.NewOptikVictim(0) }},
+	}
+}
+
+// MapAlgos returns the Figure-7 series.
+func MapAlgos(capacity int) []NamedSet {
+	return []NamedSet{
+		{"mcs", func() ds.Set { return arraymap.NewMCS(capacity) }},
+		{"optik", func() ds.Set { return arraymap.NewOptik(capacity) }},
+	}
+}
+
+// StackAlgos returns the §5.5 series.
+func StackAlgos() []struct {
+	Name string
+	New  func() ds.Stack
+} {
+	return []struct {
+		Name string
+		New  func() ds.Stack
+	}{
+		{"treiber", func() ds.Stack { return stack.NewTreiber() }},
+		{"optik", func() ds.Stack { return stack.NewOptik() }},
+	}
+}
+
+// runSetSeries sweeps threads × algorithms for one workload and prints a
+// Mops/s table row per thread count.
+func runSetSeries(o RunOpts, title string, wl SetWorkload, algos []NamedSet) {
+	fmt.Fprintf(o.Out, "# %s — %s (%d elements, %d%% updates%s)\n",
+		title, wl.Label, wl.InitialSize, wl.UpdatePct, zipfTag(wl.Zipf))
+	fmt.Fprintf(o.Out, "%-8s", "threads")
+	for _, a := range algos {
+		fmt.Fprintf(o.Out, "%12s", a.Name)
+	}
+	fmt.Fprintln(o.Out)
+	for _, th := range o.Threads {
+		fmt.Fprintf(o.Out, "%-8d", th)
+		for _, a := range algos {
+			cfg := workload.Config{
+				Threads:     th,
+				Duration:    o.Duration,
+				InitialSize: wl.InitialSize,
+				UpdatePct:   wl.UpdatePct,
+				Zipf:        wl.Zipf,
+			}
+			res := workload.MedianOf(o.Reps, func() workload.Result {
+				return workload.RunSet(cfg, a.New)
+			})
+			fmt.Fprintf(o.Out, "%12.3f", res.Mops)
+		}
+		fmt.Fprintln(o.Out)
+	}
+	fmt.Fprintln(o.Out)
+}
+
+func zipfTag(z bool) string {
+	if z {
+		return ", zipf a=0.9"
+	}
+	return ""
+}
+
+// Fig5 regenerates Figure 5: validated single-lock throughput and CAS per
+// validation for ttas / optik-ticket / optik-versioned.
+func Fig5(o RunOpts) {
+	o = o.Normalize()
+	fmt.Fprintln(o.Out, "# Figure 5 — locking and validation with and without OPTIK locks")
+	fmt.Fprintf(o.Out, "%-8s", "threads")
+	for _, impl := range workload.LockImpls {
+		fmt.Fprintf(o.Out, "%24s", string(impl)+" Mops")
+	}
+	for _, impl := range workload.LockImpls {
+		fmt.Fprintf(o.Out, "%24s", string(impl)+" CAS/val")
+	}
+	fmt.Fprintln(o.Out)
+	for _, th := range o.Threads {
+		fmt.Fprintf(o.Out, "%-8d", th)
+		results := make([]workload.LockResult, len(workload.LockImpls))
+		for i, impl := range workload.LockImpls {
+			results[i] = workload.RunLock(workload.LockConfig{Threads: th, Duration: o.Duration}, impl)
+		}
+		for _, r := range results {
+			fmt.Fprintf(o.Out, "%24.3f", r.Mops)
+		}
+		for _, r := range results {
+			fmt.Fprintf(o.Out, "%24.2f", r.CASPerValidation)
+		}
+		fmt.Fprintln(o.Out)
+	}
+	fmt.Fprintln(o.Out)
+}
+
+// Fig7 regenerates Figure 7: lock-based vs OPTIK-based array map on the
+// small (4 elements) and large (1024 elements) workloads, plus the
+// latency-distribution boxplots at 10 threads.
+func Fig7(o RunOpts) {
+	o = o.Normalize()
+	for _, wl := range []SetWorkload{
+		{Label: "Small map", InitialSize: 4, UpdatePct: 10},
+		{Label: "Large map", InitialSize: 1024, UpdatePct: 10},
+	} {
+		algos := MapAlgos(mapCapacityFor(wl.InitialSize))
+		runSetSeries(o, "Figure 7", wl, algos)
+	}
+	// Latency boxplots at 10 threads on the small map.
+	fmt.Fprintln(o.Out, "# Figure 7 (right) — latency distribution, small map, 10 threads (ns)")
+	for _, a := range MapAlgos(mapCapacityFor(4)) {
+		cfg := workload.Config{
+			Threads: 10, Duration: o.Duration, InitialSize: 4, UpdatePct: 10,
+			SampleLatency: true,
+		}
+		res := workload.RunSet(cfg, a.New)
+		for k := workload.SearchSuc; k <= workload.DeleteFal; k++ {
+			fmt.Fprintf(o.Out, "%-8s %-9s %s\n", a.Name, k, res.Latency[k])
+		}
+	}
+	fmt.Fprintln(o.Out)
+}
+
+// mapCapacityFor sizes the array map exactly to the initial element count,
+// as in the paper: the map starts full, so insertions only succeed after a
+// deletion frees a slot (on the 4-element map "only 25% of the updates are
+// successful").
+func mapCapacityFor(initial int) int { return initial }
+
+// Fig9 regenerates Figure 9: linked lists over five workloads.
+func Fig9(o RunOpts) {
+	o = o.Normalize()
+	for _, wl := range []SetWorkload{
+		{Label: "Large", InitialSize: 8192, UpdatePct: 20},
+		{Label: "Medium", InitialSize: 1024, UpdatePct: 20},
+		{Label: "Small", InitialSize: 64, UpdatePct: 20},
+		{Label: "Large skewed", InitialSize: 8192, UpdatePct: 20, Zipf: true},
+		{Label: "Small skewed", InitialSize: 64, UpdatePct: 20, Zipf: true},
+	} {
+		runSetSeries(o, "Figure 9", wl, Fig9ListAlgos())
+	}
+}
+
+// Fig10 regenerates Figure 10: hash tables on the medium and small-skewed
+// workloads (buckets = initial size).
+func Fig10(o RunOpts) {
+	o = o.Normalize()
+	for _, wl := range []SetWorkload{
+		{Label: "Medium", InitialSize: 8192, UpdatePct: 20, Buckets: 8192},
+		{Label: "Small skewed", InitialSize: 512, UpdatePct: 20, Zipf: true, Buckets: 512},
+	} {
+		runSetSeries(o, "Figure 10", wl, HashAlgos(wl.Buckets))
+	}
+}
+
+// Fig11 regenerates Figure 11: skip lists on the large-skewed and
+// small-skewed workloads.
+func Fig11(o RunOpts) {
+	o = o.Normalize()
+	for _, wl := range []SetWorkload{
+		{Label: "Large skewed", InitialSize: 65536, UpdatePct: 20, Zipf: true},
+		{Label: "Small skewed", InitialSize: 1024, UpdatePct: 20, Zipf: true},
+	} {
+		runSetSeries(o, "Figure 11", wl, SkiplistAlgos())
+	}
+}
+
+// Fig12 regenerates Figure 12: queues over the three mixes, plus the
+// enqueue/dequeue latency boxplots at 10 threads on the stable mix.
+func Fig12(o RunOpts) {
+	o = o.Normalize()
+	mixes := []struct {
+		Label      string
+		EnqueuePct int
+	}{
+		{"Decreasing size (40% enq)", 40},
+		{"Stable size (50% enq)", 50},
+		{"Increasing size (60% enq)", 60},
+	}
+	for _, mix := range mixes {
+		fmt.Fprintf(o.Out, "# Figure 12 — queues, %s, init 65536\n", mix.Label)
+		fmt.Fprintf(o.Out, "%-8s", "threads")
+		for _, a := range QueueAlgos() {
+			fmt.Fprintf(o.Out, "%12s", a.Name)
+		}
+		fmt.Fprintln(o.Out)
+		for _, th := range o.Threads {
+			fmt.Fprintf(o.Out, "%-8d", th)
+			for _, a := range QueueAlgos() {
+				cfg := workload.QueueConfig{
+					Threads: th, Duration: o.Duration,
+					InitialSize: 65536, EnqueuePct: mix.EnqueuePct,
+				}
+				res := workload.MedianOfQueue(o.Reps, func() workload.QueueResult {
+					return workload.RunQueue(cfg, a.New)
+				})
+				fmt.Fprintf(o.Out, "%12.3f", res.Mops)
+			}
+			fmt.Fprintln(o.Out)
+		}
+		fmt.Fprintln(o.Out)
+	}
+	fmt.Fprintln(o.Out, "# Figure 12 (right) — enq/deq latency, stable mix, 10 threads (ns)")
+	for _, a := range QueueAlgos() {
+		cfg := workload.QueueConfig{
+			Threads: 10, Duration: o.Duration,
+			InitialSize: 65536, EnqueuePct: 50, SampleLatency: true,
+		}
+		res := workload.RunQueue(cfg, a.New)
+		fmt.Fprintf(o.Out, "%-8s enqueue  %s\n", a.Name, res.EnqLatency)
+		fmt.Fprintf(o.Out, "%-8s dequeue  %s\n", a.Name, res.DeqLatency)
+	}
+	fmt.Fprintln(o.Out)
+}
+
+// Stacks regenerates the §5.5 stack comparison (not a numbered figure in
+// the paper; reported as "behave similarly").
+func Stacks(o RunOpts) {
+	o = o.Normalize()
+	fmt.Fprintln(o.Out, "# §5.5 — stacks, 50/50 push/pop")
+	fmt.Fprintf(o.Out, "%-8s", "threads")
+	for _, a := range StackAlgos() {
+		fmt.Fprintf(o.Out, "%12s", a.Name)
+	}
+	fmt.Fprintln(o.Out)
+	for _, th := range o.Threads {
+		fmt.Fprintf(o.Out, "%-8d", th)
+		for _, a := range StackAlgos() {
+			res := workload.RunStack(th, o.Duration, a.New)
+			fmt.Fprintf(o.Out, "%12.3f", res)
+		}
+		fmt.Fprintln(o.Out)
+	}
+	fmt.Fprintln(o.Out)
+}
+
+// All regenerates every figure.
+func All(o RunOpts) {
+	Fig5(o)
+	Fig7(o)
+	Fig9(o)
+	Fig10(o)
+	Fig11(o)
+	Fig12(o)
+	Stacks(o)
+}

@@ -1,0 +1,90 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/optik-go/optik/ds"
+)
+
+// tinyOpts keeps the smoke runs fast.
+func tinyOpts(buf *bytes.Buffer) RunOpts {
+	return RunOpts{
+		Threads:  []int{2},
+		Duration: 20 * time.Millisecond,
+		Reps:     1,
+		Out:      buf,
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	o := RunOpts{}.Normalize()
+	if len(o.Threads) == 0 || o.Duration <= 0 || o.Reps <= 0 {
+		t.Fatalf("Normalize left zero fields: %+v", o)
+	}
+}
+
+func TestEveryFigureEmitsItsSeries(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(RunOpts)
+		want []string
+	}{
+		{"fig5", Fig5, []string{"Figure 5", "ttas", "optik-versioned", "optik-ticket"}},
+		{"fig7", Fig7, []string{"Figure 7", "mcs", "optik", "srch-suc", "delt-fal"}},
+		{"fig9", Fig9, []string{"Figure 9", "harris", "lazy", "mcs-gl-opt", "optik-gl", "optik-cache", "lazy-cache", "Small skewed"}},
+		{"fig10", Fig10, []string{"Figure 10", "lazy-gl", "java", "java-optik", "optik-map"}},
+		{"fig11", Fig11, []string{"Figure 11", "fraser", "herlihy", "herl-optik", "optik1", "optik2"}},
+		{"fig12", Fig12, []string{"Figure 12", "ms-lf", "ms-lb", "optik0", "optik3", "enqueue", "dequeue"}},
+		{"stacks", Stacks, []string{"stacks", "treiber", "optik"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.name == "fig11" || c.name == "fig12" {
+				// These prefill 65536 elements; keep but don't parallelize.
+				t.Parallel()
+			}
+			var buf bytes.Buffer
+			c.run(tinyOpts(&buf))
+			out := buf.String()
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Fatalf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestAlgoRegistriesComplete(t *testing.T) {
+	if got := len(Fig9ListAlgos()); got != 7 {
+		t.Fatalf("fig9 series = %d, want 7", got)
+	}
+	if got := len(HashAlgos(8)); got != 6 {
+		t.Fatalf("fig10 series = %d, want 6", got)
+	}
+	if got := len(SkiplistAlgos()); got != 5 {
+		t.Fatalf("fig11 series = %d, want 5", got)
+	}
+	if got := len(QueueAlgos()); got != 6 {
+		t.Fatalf("fig12 series = %d, want 6", got)
+	}
+	if got := len(MapAlgos(4)); got != 2 {
+		t.Fatalf("fig7 series = %d, want 2", got)
+	}
+}
+
+func TestHideHandlesSuppressesCaching(t *testing.T) {
+	// The -cache series must expose per-goroutine handles; the plain series
+	// of the same structures must not, or the workload driver would turn
+	// node caching on for them too.
+	for _, a := range Fig9ListAlgos() {
+		_, handled := a.New().(ds.Handled)
+		wantHandled := a.Name == "optik-cache" || a.Name == "lazy-cache"
+		if handled != wantHandled {
+			t.Errorf("series %q: Handled = %v, want %v", a.Name, handled, wantHandled)
+		}
+	}
+}

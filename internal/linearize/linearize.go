@@ -1,0 +1,225 @@
+// Package linearize implements a Wing–Gong linearizability checker with the
+// memoization of Lowe ("Testing for linearizability", 2017) — the algorithm
+// behind tools like Knossos and Porcupine. The data structures in ds/ claim
+// linearizability (§2 of the paper measures consistency against it); the
+// integration tests record concurrent histories and verify them here.
+//
+// Set histories are P-compositional: a set is linearizable iff its
+// restriction to each key is, so histories are partitioned per key and each
+// (small) sub-history is checked independently, which keeps the exponential
+// search tractable. Queue and stack histories cannot be partitioned and are
+// checked whole, on small windows.
+package linearize
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Operation is one invocation/response pair observed in a history.
+type Operation struct {
+	ClientID int
+	Input    any
+	Output   any
+	Call     int64 // invocation timestamp (monotonic)
+	Return   int64 // response timestamp; must be >= Call
+}
+
+// Model is a sequential specification. States must be usable as map keys
+// via Key (a collision-free encoding chosen by the model).
+type Model struct {
+	// Init returns the initial state.
+	Init func() any
+	// Step applies input/output to state, reporting whether the pair is
+	// legal in that state and, if so, the successor state.
+	Step func(state, input, output any) (bool, any)
+	// Key encodes a state for memoization. Two states with equal keys must
+	// be behaviourally identical.
+	Key func(state any) string
+	// Partition optionally splits a history into independently checkable
+	// sub-histories (P-compositionality); nil checks the history whole.
+	Partition func(ops []Operation) [][]Operation
+}
+
+// Check reports whether history is linearizable with respect to model.
+func Check(model Model, history []Operation) bool {
+	parts := [][]Operation{history}
+	if model.Partition != nil {
+		parts = model.Partition(history)
+	}
+	for _, part := range parts {
+		if !checkSingle(model, part) {
+			return false
+		}
+	}
+	return true
+}
+
+// event is an entry in the doubly-linked event list: a call or return.
+type event struct {
+	id         int // operation index
+	isCall     bool
+	op         *Operation
+	match      *event // call <-> return
+	prev, next *event
+}
+
+// checkSingle runs the Wing–Gong/Lowe algorithm on one sub-history.
+func checkSingle(model Model, ops []Operation) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	if n > 64*1024 {
+		panic("linearize: history too large")
+	}
+	events := buildEvents(ops)
+	head := &event{id: -1}
+	head.next = events
+	if events != nil {
+		events.prev = head
+	}
+
+	type frame struct {
+		call  *event
+		state any
+	}
+	var stack []frame
+	state := model.Init()
+	linearized := newBitset(n)
+	cache := map[cacheKey]struct{}{}
+
+	entry := head.next
+	for head.next != nil {
+		if entry == nil {
+			// Dead end: backtrack.
+			if len(stack) == 0 {
+				return false
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			state = top.state
+			linearized.clear(top.call.id)
+			unlift(top.call)
+			entry = top.call.next
+			continue
+		}
+		if entry.isCall {
+			ok, next := model.Step(state, entry.op.Input, entry.op.Output)
+			if ok {
+				linearized.set(entry.id)
+				key := makeCacheKey(linearized, model.Key(next))
+				if _, seen := cache[key]; !seen {
+					cache[key] = struct{}{}
+					stack = append(stack, frame{call: entry, state: state})
+					state = next
+					lift(entry)
+					entry = head.next
+					continue
+				}
+				linearized.clear(entry.id)
+			}
+			entry = entry.next
+			continue
+		}
+		// Return event reached: every op that returned before this point
+		// must already be linearized; backtrack.
+		if len(stack) == 0 {
+			return false
+		}
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		state = top.state
+		linearized.clear(top.call.id)
+		unlift(top.call)
+		entry = top.call.next
+	}
+	return true
+}
+
+// buildEvents renders ops as a time-ordered doubly-linked list of call and
+// return events.
+func buildEvents(ops []Operation) *event {
+	evs := make([]*event, 0, 2*len(ops))
+	for i := range ops {
+		op := &ops[i]
+		call := &event{id: i, isCall: true, op: op}
+		ret := &event{id: i, op: op}
+		call.match = ret
+		ret.match = call
+		evs = append(evs, call, ret)
+	}
+	sort.SliceStable(evs, func(a, b int) bool {
+		ta, tb := evTime(evs[a]), evTime(evs[b])
+		if ta != tb {
+			return ta < tb
+		}
+		// Calls first on ties: with equal timestamps the real order is
+		// unknowable, so treat the operations as overlapping (permissive —
+		// never reports a false violation) and keep an instantaneous op's
+		// call ahead of its own return.
+		return evs[a].isCall && !evs[b].isCall
+	})
+	for i := 0; i < len(evs); i++ {
+		if i+1 < len(evs) {
+			evs[i].next = evs[i+1]
+			evs[i+1].prev = evs[i]
+		}
+	}
+	return evs[0]
+}
+
+func evTime(e *event) int64 {
+	if e.isCall {
+		return e.op.Call
+	}
+	return e.op.Return
+}
+
+// lift removes a call event and its return from the list (the op has been
+// linearized).
+func lift(call *event) {
+	call.prev.next = call.next
+	if call.next != nil {
+		call.next.prev = call.prev
+	}
+	ret := call.match
+	ret.prev.next = ret.next
+	if ret.next != nil {
+		ret.next.prev = ret.prev
+	}
+}
+
+// unlift reinserts a call and its return (backtracking).
+func unlift(call *event) {
+	ret := call.match
+	ret.prev.next = ret
+	if ret.next != nil {
+		ret.next.prev = ret
+	}
+	call.prev.next = call
+	if call.next != nil {
+		call.next.prev = call
+	}
+}
+
+// bitset tracks which operations are currently linearized.
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+type cacheKey struct {
+	bits  string
+	state string
+}
+
+func makeCacheKey(b bitset, stateKey string) cacheKey {
+	buf := make([]byte, 8*len(b))
+	for i, w := range b {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	return cacheKey{bits: string(buf), state: stateKey}
+}

@@ -1,0 +1,209 @@
+package linearize
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Set operations for SetModel histories.
+const (
+	OpSearch = iota
+	OpInsert
+	OpDelete
+)
+
+// SetInput is the input of one set operation.
+type SetInput struct {
+	Op  int
+	Key uint64
+	Val uint64
+}
+
+// SetOutput is the observed result.
+type SetOutput struct {
+	Val uint64
+	OK  bool
+}
+
+// setState is the per-key state: whether the key is present and with which
+// value (P-compositional checking never needs more).
+type setState struct {
+	present bool
+	val     uint64
+}
+
+// SetModel returns the sequential specification of the Set interface,
+// partitioned per key (P-compositionality: a set is linearizable iff each
+// single-key restriction is).
+func SetModel() Model {
+	return Model{
+		Init: func() any { return setState{} },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(setState)
+			in := input.(SetInput)
+			out := output.(SetOutput)
+			switch in.Op {
+			case OpSearch:
+				if out.OK {
+					return s.present && s.val == out.Val, s
+				}
+				return !s.present, s
+			case OpInsert:
+				if out.OK {
+					return !s.present, setState{present: true, val: in.Val}
+				}
+				return s.present, s
+			case OpDelete:
+				if out.OK {
+					return s.present && s.val == out.Val, setState{}
+				}
+				return !s.present, s
+			}
+			return false, s
+		},
+		Key: func(state any) string {
+			s := state.(setState)
+			return fmt.Sprintf("%v:%d", s.present, s.val)
+		},
+		Partition: func(ops []Operation) [][]Operation {
+			byKey := map[uint64][]Operation{}
+			for _, op := range ops {
+				k := op.Input.(SetInput).Key
+				byKey[k] = append(byKey[k], op)
+			}
+			parts := make([][]Operation, 0, len(byKey))
+			for _, p := range byKey {
+				parts = append(parts, p)
+			}
+			return parts
+		},
+	}
+}
+
+// Queue operations for QueueModel histories.
+const (
+	OpEnqueue = iota
+	OpDequeue
+)
+
+// QueueInput is the input of one queue operation.
+type QueueInput struct {
+	Op  int
+	Val uint64
+}
+
+// QueueOutput is the observed result (for dequeues).
+type QueueOutput struct {
+	Val uint64
+	OK  bool
+}
+
+// queueState is an immutable FIFO snapshot.
+type queueState struct {
+	items string // encoded, comma-separated
+}
+
+func queuePush(s queueState, v uint64) queueState {
+	if s.items == "" {
+		return queueState{items: fmt.Sprintf("%d", v)}
+	}
+	return queueState{items: s.items + "," + fmt.Sprintf("%d", v)}
+}
+
+func queuePop(s queueState) (uint64, queueState, bool) {
+	if s.items == "" {
+		return 0, s, false
+	}
+	head := s.items
+	rest := ""
+	if i := strings.IndexByte(s.items, ','); i >= 0 {
+		head, rest = s.items[:i], s.items[i+1:]
+	}
+	var v uint64
+	fmt.Sscanf(head, "%d", &v)
+	return v, queueState{items: rest}, true
+}
+
+// QueueModel returns the sequential FIFO specification. Queue histories are
+// not partitionable; keep them small.
+func QueueModel() Model {
+	return Model{
+		Init: func() any { return queueState{} },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(queueState)
+			in := input.(QueueInput)
+			switch in.Op {
+			case OpEnqueue:
+				return true, queuePush(s, in.Val)
+			case OpDequeue:
+				out := output.(QueueOutput)
+				v, rest, ok := queuePop(s)
+				if out.OK {
+					return ok && v == out.Val, rest
+				}
+				return !ok, s
+			}
+			return false, s
+		},
+		Key: func(state any) string { return state.(queueState).items },
+	}
+}
+
+// Stack operations for StackModel histories.
+const (
+	OpPush = iota
+	OpPop
+)
+
+// StackInput is the input of one stack operation.
+type StackInput struct {
+	Op  int
+	Val uint64
+}
+
+// StackOutput is the observed result (for pops).
+type StackOutput struct {
+	Val uint64
+	OK  bool
+}
+
+type stackState struct {
+	items string
+}
+
+// StackModel returns the sequential LIFO specification.
+func StackModel() Model {
+	return Model{
+		Init: func() any { return stackState{} },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(stackState)
+			in := input.(StackInput)
+			switch in.Op {
+			case OpPush:
+				if s.items == "" {
+					return true, stackState{items: fmt.Sprintf("%d", in.Val)}
+				}
+				return true, stackState{items: s.items + "," + fmt.Sprintf("%d", in.Val)}
+			case OpPop:
+				out := output.(StackOutput)
+				if s.items == "" {
+					return !out.OK, s
+				}
+				i := strings.LastIndexByte(s.items, ',')
+				top := s.items[i+1:]
+				rest := ""
+				if i >= 0 {
+					rest = s.items[:i]
+				}
+				var v uint64
+				fmt.Sscanf(top, "%d", &v)
+				if out.OK {
+					return v == out.Val, stackState{items: rest}
+				}
+				return false, s
+			}
+			return false, s
+		},
+		Key: func(state any) string { return state.(stackState).items },
+	}
+}

@@ -1,0 +1,114 @@
+// Package locks provides the baseline spinlock algorithms the paper compares
+// against and builds on: test-and-set (TAS), test-and-test-and-set (TTAS),
+// ticket locks, and MCS queue locks. It also provides VersionedTTAS, the
+// "lock then validate a separate version word" baseline of Figure 5.
+//
+// The paper uses test-and-set locks for the non-OPTIK data structures and MCS
+// locks for highly contended ones (global-lock lists, queue head/tail locks).
+package locks
+
+import (
+	"sync/atomic"
+
+	"github.com/optik-go/optik/internal/backoff"
+)
+
+// Locker is the minimal spinlock interface shared by TAS, TTAS and Ticket
+// locks. MCS has a different shape (it threads a queue node through
+// Lock/Unlock) and does not implement it.
+type Locker interface {
+	Lock()
+	Unlock()
+	TryLock() bool
+}
+
+// TAS is a test-and-set spinlock: every acquisition attempt is an atomic
+// exchange, so a contended TAS lock keeps its cache line in a ping-pong.
+type TAS struct {
+	state atomic.Uint32
+}
+
+// Lock spins with repeated atomic exchanges until the lock is acquired.
+func (l *TAS) Lock() {
+	for i := 0; l.state.Swap(1) != 0; i++ {
+		backoff.Poll(i)
+	}
+}
+
+// TryLock attempts a single exchange.
+func (l *TAS) TryLock() bool { return l.state.Swap(1) == 0 }
+
+// Unlock releases the lock.
+func (l *TAS) Unlock() { l.state.Store(0) }
+
+// Locked reports whether the lock is currently held (racy; for tests/stats).
+func (l *TAS) Locked() bool { return l.state.Load() != 0 }
+
+// TTAS is a test-and-test-and-set spinlock: it spins on a plain load and
+// only attempts the atomic exchange when the lock looks free, which keeps the
+// line in shared state while waiting.
+type TTAS struct {
+	state atomic.Uint32
+}
+
+// Lock spins reading until the lock looks free, then tries to grab it.
+func (l *TTAS) Lock() {
+	for i := 0; ; i++ {
+		if l.state.Load() == 0 && l.state.Swap(1) == 0 {
+			return
+		}
+		backoff.Poll(i)
+	}
+}
+
+// TryLock attempts acquisition only if the lock looks free.
+func (l *TTAS) TryLock() bool {
+	return l.state.Load() == 0 && l.state.Swap(1) == 0
+}
+
+// Unlock releases the lock.
+func (l *TTAS) Unlock() { l.state.Store(0) }
+
+// Locked reports whether the lock is currently held (racy; for tests/stats).
+func (l *TTAS) Locked() bool { return l.state.Load() != 0 }
+
+// Ticket is a fair FIFO spinlock. The two 32-bit halves (next ticket, now
+// serving) are packed into a single 64-bit word so the whole lock state can
+// be read atomically, which is what the OPTIK ticket implementation in
+// internal/core exploits.
+type Ticket struct {
+	word atomic.Uint64 // high 32: next ticket; low 32: now serving
+}
+
+const ticketShift = 32
+
+// Lock takes a ticket with fetch-and-add and spins until served.
+func (l *Ticket) Lock() {
+	w := l.word.Add(1 << ticketShift)
+	my := uint32(w >> ticketShift) // our ticket is (next-1) after the add
+	my--
+	for i := 0; uint32(l.word.Load()) != my; i++ {
+		backoff.Poll(i)
+	}
+}
+
+// TryLock acquires the lock only if no one holds it and no one is queued.
+func (l *Ticket) TryLock() bool {
+	w := l.word.Load()
+	next, cur := uint32(w>>ticketShift), uint32(w)
+	if next != cur {
+		return false
+	}
+	want := (uint64(next+1) << ticketShift) | uint64(cur)
+	return l.word.CompareAndSwap(w, want)
+}
+
+// Unlock advances the now-serving counter.
+func (l *Ticket) Unlock() { l.word.Add(1) }
+
+// Queued returns the number of threads holding or waiting for the lock
+// (0 = free). This is the property the paper's victim queues build on.
+func (l *Ticket) Queued() uint32 {
+	w := l.word.Load()
+	return uint32(w>>ticketShift) - uint32(w)
+}

@@ -1,0 +1,304 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// exerciseMutex hammers a critical section guarded by lock/unlock callbacks
+// and checks mutual exclusion plus the final counter value.
+func exerciseMutex(t *testing.T, name string, lock func(), unlock func()) {
+	t.Helper()
+	const (
+		goroutines = 8
+		iters      = 2000
+	)
+	var (
+		counter int // plain int: the lock must protect it
+		inside  atomic.Int32
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				lock()
+				if inside.Add(1) != 1 {
+					t.Errorf("%s: two threads inside the critical section", name)
+				}
+				counter++
+				inside.Add(-1)
+				unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("%s: counter = %d, want %d", name, counter, goroutines*iters)
+	}
+}
+
+func TestTASMutualExclusion(t *testing.T) {
+	var l TAS
+	exerciseMutex(t, "TAS", l.Lock, l.Unlock)
+}
+
+func TestTTASMutualExclusion(t *testing.T) {
+	var l TTAS
+	exerciseMutex(t, "TTAS", l.Lock, l.Unlock)
+}
+
+func TestTicketMutualExclusion(t *testing.T) {
+	var l Ticket
+	exerciseMutex(t, "Ticket", l.Lock, l.Unlock)
+}
+
+func TestMCSMutualExclusion(t *testing.T) {
+	// MCS threads a queue node through Lock/Unlock, so it cannot reuse
+	// exerciseMutex; drive it directly.
+	var l MCS
+	const goroutines, iters = 8, 2000
+	var counter int
+	var inside atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				n := l.Lock()
+				if inside.Add(1) != 1 {
+					t.Error("MCS: two threads inside the critical section")
+				}
+				counter++
+				inside.Add(-1)
+				l.Unlock(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("MCS: counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+func TestTryLocks(t *testing.T) {
+	t.Run("TAS", func(t *testing.T) {
+		var l TAS
+		if !l.TryLock() {
+			t.Fatal("TryLock on free lock failed")
+		}
+		if l.TryLock() {
+			t.Fatal("TryLock on held lock succeeded")
+		}
+		l.Unlock()
+		if !l.TryLock() {
+			t.Fatal("TryLock after unlock failed")
+		}
+	})
+	t.Run("TTAS", func(t *testing.T) {
+		var l TTAS
+		if !l.TryLock() || l.TryLock() {
+			t.Fatal("TTAS TryLock semantics broken")
+		}
+		l.Unlock()
+		if !l.TryLock() {
+			t.Fatal("TTAS TryLock after unlock failed")
+		}
+	})
+	t.Run("Ticket", func(t *testing.T) {
+		var l Ticket
+		if !l.TryLock() || l.TryLock() {
+			t.Fatal("Ticket TryLock semantics broken")
+		}
+		l.Unlock()
+		if !l.TryLock() {
+			t.Fatal("Ticket TryLock after unlock failed")
+		}
+	})
+	t.Run("MCS", func(t *testing.T) {
+		var l MCS
+		n := l.TryLock()
+		if n == nil {
+			t.Fatal("MCS TryLock on free lock failed")
+		}
+		if l.TryLock() != nil {
+			t.Fatal("MCS TryLock on held lock succeeded")
+		}
+		l.Unlock(n)
+		n = l.TryLock()
+		if n == nil {
+			t.Fatal("MCS TryLock after unlock failed")
+		}
+		l.Unlock(n)
+	})
+}
+
+func TestTicketQueued(t *testing.T) {
+	var l Ticket
+	if l.Queued() != 0 {
+		t.Fatal("fresh lock should have 0 queued")
+	}
+	l.Lock()
+	if l.Queued() != 1 {
+		t.Fatalf("held lock Queued = %d, want 1", l.Queued())
+	}
+	// Simulate two more waiters by taking tickets directly.
+	l.word.Add(1 << ticketShift)
+	l.word.Add(1 << ticketShift)
+	if l.Queued() != 3 {
+		t.Fatalf("Queued = %d, want 3", l.Queued())
+	}
+	// Drain: serve the two fake tickets and our own.
+	l.word.Add(3)
+	if l.Queued() != 0 {
+		t.Fatalf("Queued after drain = %d, want 0", l.Queued())
+	}
+}
+
+func TestTicketFairness(t *testing.T) {
+	// Grant order must equal ticket-draw order: draw tickets in a known
+	// serial order while the lock is held, release, and record service order.
+	var l2 Ticket
+	l2.Lock()
+	served := make([]int, 0, 8)
+	var wg2 sync.WaitGroup
+	var gate sync.Mutex
+	ready := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg2.Add(1)
+		gate.Lock() // serialize goroutine start so ticket order is i
+		go func(me int) {
+			defer wg2.Done()
+			w := l2.word.Add(1 << ticketShift)
+			my := uint32(w>>ticketShift) - 1
+			gate.Unlock()
+			<-ready
+			for uint32(l2.word.Load()) != my {
+			}
+			served = append(served, me) // safe: we hold the ticket lock
+			l2.word.Add(1)              // unlock
+		}(i)
+		// Wait until the goroutine grabbed its ticket before starting next.
+		gate.Lock()
+		gate.Unlock()
+	}
+	close(ready)
+	l2.Unlock()
+	wg2.Wait()
+	for i, v := range served {
+		if v != i {
+			t.Fatalf("ticket lock served out of order: %v", served)
+		}
+	}
+}
+
+func TestVersionedTTAS(t *testing.T) {
+	var l VersionedTTAS
+	v := l.GetVersion()
+	if !l.LockAndValidate(v) {
+		t.Fatal("validation on quiescent lock failed")
+	}
+	l.UnlockCommit()
+	if l.GetVersion() != v+1 {
+		t.Fatalf("version = %d, want %d", l.GetVersion(), v+1)
+	}
+	// Stale version must fail validation (and release the lock).
+	if l.LockAndValidate(v) {
+		t.Fatal("stale version validated")
+	}
+	if l.lock.Locked() {
+		t.Fatal("failed validation must release the lock")
+	}
+	if l.CASCount() == 0 {
+		t.Fatal("CAS counter did not advance")
+	}
+	l.ResetCASCount()
+	if l.CASCount() != 0 {
+		t.Fatal("ResetCASCount did not zero the counter")
+	}
+}
+
+func TestVersionedTTASConcurrent(t *testing.T) {
+	var l VersionedTTAS
+	const goroutines, iters = 8, 500
+	var commits atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for {
+					v := l.GetVersion()
+					if l.LockAndValidate(v) {
+						commits.Add(1)
+						l.UnlockCommit()
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := commits.Load(); got != goroutines*iters {
+		t.Fatalf("commits = %d, want %d", got, goroutines*iters)
+	}
+	if l.GetVersion() != goroutines*iters {
+		t.Fatalf("version = %d, want %d", l.GetVersion(), goroutines*iters)
+	}
+}
+
+func BenchmarkTASUncontended(b *testing.B) {
+	var l TAS
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkTTASUncontended(b *testing.B) {
+	var l TTAS
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkTicketUncontended(b *testing.B) {
+	var l Ticket
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkMCSUncontended(b *testing.B) {
+	var l MCS
+	for i := 0; i < b.N; i++ {
+		n := l.Lock()
+		l.Unlock(n)
+	}
+}
+
+func BenchmarkTicketContended(b *testing.B) {
+	var l Ticket
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Lock()
+			l.Unlock()
+		}
+	})
+}
+
+func BenchmarkMCSContended(b *testing.B) {
+	var l MCS
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := l.Lock()
+			l.Unlock(n)
+		}
+	})
+}

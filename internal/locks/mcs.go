@@ -1,0 +1,85 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/optik-go/optik/internal/backoff"
+)
+
+// MCS is a Mellor-Crummey–Scott queue lock. Each waiter spins on its own
+// queue node, so a contended MCS lock generates no global cache-line
+// ping-pong, which is why the paper uses it for global-lock structures and
+// queue locks ("Notice that for highly-contended locks, such as the locks in
+// concurrent queues, we use MCS locks").
+//
+// Lock returns the queue node that must be passed to Unlock. Nodes are
+// pooled internally, so the common Lock/Unlock pair does not allocate.
+type MCS struct {
+	tail atomic.Pointer[MCSNode]
+	pool sync.Pool
+}
+
+// MCSNode is a queue node for an MCS lock. Callers treat it as opaque.
+type MCSNode struct {
+	next    atomic.Pointer[MCSNode]
+	waiting atomic.Uint32
+}
+
+// Lock acquires the lock and returns the node to pass to Unlock.
+func (l *MCS) Lock() *MCSNode {
+	n, _ := l.pool.Get().(*MCSNode)
+	if n == nil {
+		n = new(MCSNode)
+	}
+	n.next.Store(nil)
+	n.waiting.Store(1)
+	pred := l.tail.Swap(n)
+	if pred != nil {
+		pred.next.Store(n)
+		for i := 0; n.waiting.Load() != 0; i++ {
+			backoff.Poll(i)
+		}
+	}
+	return n
+}
+
+// TryLock acquires the lock only if it is free, returning the node on
+// success and nil otherwise.
+func (l *MCS) TryLock() *MCSNode {
+	n, _ := l.pool.Get().(*MCSNode)
+	if n == nil {
+		n = new(MCSNode)
+	}
+	n.next.Store(nil)
+	n.waiting.Store(1)
+	if l.tail.CompareAndSwap(nil, n) {
+		return n
+	}
+	l.pool.Put(n)
+	return nil
+}
+
+// Unlock releases the lock, handing it to the next queued waiter if any.
+func (l *MCS) Unlock(n *MCSNode) {
+	if next := n.next.Load(); next != nil {
+		next.waiting.Store(0)
+	} else if l.tail.CompareAndSwap(n, nil) {
+		l.pool.Put(n)
+		return
+	} else {
+		// A successor swapped itself in but has not linked yet; wait for it.
+		for i := 0; ; i++ {
+			if next := n.next.Load(); next != nil {
+				next.waiting.Store(0)
+				break
+			}
+			backoff.Poll(i)
+		}
+	}
+	l.pool.Put(n)
+}
+
+// Locked reports whether any thread holds or waits for the lock (racy; for
+// tests/stats only).
+func (l *MCS) Locked() bool { return l.tail.Load() != nil }

@@ -1,0 +1,64 @@
+package locks
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// VersionedTTAS is the Figure-5 baseline: implementing the OPTIK pattern
+// *without* OPTIK locks. It packs a 32-bit TTAS lock and a 32-bit version
+// number in 8 bytes, exactly as the paper describes ("4 bytes for a
+// test-and-test-and-set (TTAS) lock and 4 bytes for the version number").
+//
+// To validate a version the thread must first acquire the lock — possibly
+// after contending for it — and only then compare the version, which is the
+// wasted work OPTIK locks eliminate.
+type VersionedTTAS struct {
+	lock    TTAS
+	version atomic.Uint32
+	// cas counts CAS(-equivalent) attempts, the metric of Figure 5 (right).
+	cas atomic.Uint64
+}
+
+// GetVersion returns the current version number.
+func (l *VersionedTTAS) GetVersion() uint32 { return l.version.Load() }
+
+// LockAndValidate acquires the TTAS lock and then checks target against the
+// version, counting every test-and-set attempt as a CAS. On success the
+// caller runs its critical section and must call UnlockCommit; on validation
+// failure the lock is released immediately and false is returned.
+func (l *VersionedTTAS) LockAndValidate(target uint32) bool {
+	// Busy-spin like the paper's C TTAS: waiters poll the lock word and
+	// pounce together the moment it frees, which is exactly the
+	// CAS-per-validation herd Figure 5 (right) plots. Yield only rarely so
+	// multiprogrammed runs still make progress.
+	for spins := 0; ; spins++ {
+		if l.lock.state.Load() == 0 {
+			l.cas.Add(1)
+			if l.lock.state.Swap(1) == 0 {
+				break
+			}
+		}
+		if spins%1024 == 1023 {
+			runtime.Gosched()
+		}
+	}
+	if l.version.Load() != target {
+		l.lock.Unlock()
+		return false
+	}
+	return true
+}
+
+// UnlockCommit increments the version and releases the lock, publishing the
+// critical section.
+func (l *VersionedTTAS) UnlockCommit() {
+	l.version.Add(1)
+	l.lock.Unlock()
+}
+
+// CASCount returns the number of lock-word CAS attempts so far.
+func (l *VersionedTTAS) CASCount() uint64 { return l.cas.Load() }
+
+// ResetCASCount zeroes the CAS counter (between benchmark phases).
+func (l *VersionedTTAS) ResetCASCount() { l.cas.Store(0) }

@@ -1,0 +1,134 @@
+package qsbr_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/optik-go/optik/internal/qsbr"
+)
+
+// reuseNode is a Treiber-stack node that gets recycled through the QSBR
+// free lists, exactly like ssmem recycles nodes in the paper's C
+// implementation. Recycling a node that a concurrent Pop still references
+// would re-expose the classic ABA corruption — QSBR's epoch protocol is
+// what makes the reuse safe, and this test validates precisely that.
+type reuseNode struct {
+	val  uint64
+	next *reuseNode
+}
+
+// reuseStack is a Treiber stack whose Pop retires nodes to a per-thread
+// QSBR handle instead of dropping them to the garbage collector.
+type reuseStack struct {
+	top atomic.Pointer[reuseNode]
+}
+
+func (s *reuseStack) push(th *qsbr.Thread, val uint64) {
+	var n *reuseNode
+	if v := th.Alloc(); v != nil {
+		n = v.(*reuseNode) // recycled: safe only because QSBR said so
+	} else {
+		n = new(reuseNode)
+	}
+	n.val = val
+	for {
+		top := s.top.Load()
+		n.next = top
+		if s.top.CompareAndSwap(top, n) {
+			return
+		}
+	}
+}
+
+func (s *reuseStack) pop(th *qsbr.Thread) (uint64, bool) {
+	for {
+		top := s.top.Load()
+		if top == nil {
+			return 0, false
+		}
+		next := top.next
+		if s.top.CompareAndSwap(top, next) {
+			val := top.val
+			th.Retire(top) // recycle once every thread has quiesced
+			return val, true
+		}
+	}
+}
+
+// TestQSBRProtectsTreiberReuse runs producers/consumers that aggressively
+// recycle nodes. Conservation must hold: every pushed value popped exactly
+// once. Without the epoch protocol (e.g. if Retire handed nodes straight
+// to the free list) the ABA race would corrupt the stack within
+// milliseconds at this intensity.
+func TestQSBRProtectsTreiberReuse(t *testing.T) {
+	d := qsbr.NewDomain()
+	var s reuseStack
+	const goroutines = 8
+	const perG = 30000
+	total := goroutines * perG
+	seen := make([]atomic.Uint32, total+1)
+	var popped atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := d.Register()
+			defer d.Unregister(th)
+			for i := 0; i < perG; i++ {
+				s.push(th, uint64(id*perG+i+1))
+				if v, ok := s.pop(th); ok {
+					if v == 0 || v > uint64(total) {
+						t.Errorf("corrupt value %d", v)
+						return
+					}
+					if seen[v].Add(1) != 1 {
+						t.Errorf("value %d popped twice (ABA corruption)", v)
+						return
+					}
+					popped.Add(1)
+				}
+				// Quiescent point between operations, as in the paper.
+				th.Quiescent()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Drain the remainder single-threaded.
+	th := d.Register()
+	for {
+		v, ok := s.pop(th)
+		if !ok {
+			break
+		}
+		if seen[v].Add(1) != 1 {
+			t.Fatalf("value %d popped twice on drain", v)
+		}
+		popped.Add(1)
+	}
+	d.Unregister(th)
+	if popped.Load() != int64(total) {
+		t.Fatalf("popped %d of %d", popped.Load(), total)
+	}
+}
+
+// TestQSBRReuseActuallyHappens confirms the free lists are exercised (the
+// test above would pass vacuously if nothing were ever recycled).
+func TestQSBRReuseActuallyHappens(t *testing.T) {
+	d := qsbr.NewDomain()
+	th := d.Register()
+	var s reuseStack
+	for i := 0; i < 1000; i++ {
+		s.push(th, uint64(i+1))
+		s.pop(th)
+		th.Quiescent()
+	}
+	_, reclaimed, reused := th.Stats()
+	if reclaimed == 0 {
+		t.Fatal("no nodes ever reclaimed")
+	}
+	if reused == 0 {
+		t.Fatal("no nodes ever reused")
+	}
+}

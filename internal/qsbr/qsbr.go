@@ -1,0 +1,228 @@
+// Package qsbr implements quiescent-state-based memory reclamation, the Go
+// analog of ssmem, the allocator the paper's data structures use ("a simple
+// memory allocator with quiescent-based memory reclamation", §3.3).
+//
+// The paper's point is that OPTIK *decouples* concurrency control from
+// memory reclamation: any scheme (hazard pointers, RCU, quiescent states)
+// works underneath. In Go the garbage collector already guarantees the one
+// property the data structures rely on — an unlinked node stays valid while
+// any thread still references it — so the structures in ds/ allocate
+// GC-managed nodes. This package exists as a faithful, fully tested ssmem
+// substitute: it provides per-thread retire lists, a global epoch advanced by
+// quiescent-state announcements, and free-list reuse of reclaimed objects,
+// so the reclamation experiments and overheads remain reproducible.
+//
+// Protocol: each participating thread owns a Thread handle. Between
+// operations the thread calls Quiescent(). Retire(obj) buffers obj on the
+// thread's retire list stamped with the current epoch; once every registered
+// thread has announced a quiescent state after that epoch, the object is
+// moved to the free list and handed out again by Alloc.
+package qsbr
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Domain groups the threads that may access a set of retired objects.
+// A Domain is safe for concurrent use; Thread handles are not (one per
+// goroutine, like the paper's per-thread ssmem allocators).
+type Domain struct {
+	epoch atomic.Uint64
+
+	mu      sync.Mutex
+	threads []*Thread
+	// orphans holds retirements of unregistered threads. Once the minimum
+	// announced epoch passes an orphan's epoch no thread can reference it,
+	// and dropping the last pointer hands it to the Go garbage collector
+	// (the domain has no owner to push it to a free list for).
+	orphans        []retiredObject
+	orphansDropped uint64
+	// orphanCount mirrors len(orphans) so Quiescent can skip taking the
+	// mutex on the (hot) no-orphans path.
+	orphanCount atomic.Int64
+}
+
+// NewDomain returns an empty reclamation domain. The global epoch starts
+// at 1 so that a zero announcement always reads as "not yet quiescent".
+func NewDomain() *Domain {
+	d := &Domain{}
+	d.epoch.Store(1)
+	return d
+}
+
+// Epoch returns the current global epoch (for tests and stats).
+func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
+
+// Register creates a Thread handle bound to this domain. The handle must be
+// used by a single goroutine.
+func (d *Domain) Register() *Thread {
+	t := &Thread{domain: d}
+	t.announced.Store(d.epoch.Load())
+	d.mu.Lock()
+	d.threads = append(d.threads, t)
+	d.mu.Unlock()
+	return t
+}
+
+// Unregister removes t from the domain. Its pending retirements become
+// domain orphans and are dropped (handed to the garbage collector) once the
+// minimum announced epoch passes them. Using t after Unregister is a bug.
+func (d *Domain) Unregister(t *Thread) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, th := range d.threads {
+		if th == t {
+			d.threads = append(d.threads[:i], d.threads[i+1:]...)
+			break
+		}
+	}
+	d.orphans = append(d.orphans, t.retired...)
+	d.orphanCount.Store(int64(len(d.orphans)))
+	t.retired = nil
+	d.pruneOrphansLocked(d.minAnnouncedLocked())
+}
+
+// OrphansPending returns the number of orphaned retirements not yet dropped.
+func (d *Domain) OrphansPending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.orphans)
+}
+
+// OrphansDropped returns the number of orphans released to the GC so far.
+func (d *Domain) OrphansDropped() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.orphansDropped
+}
+
+// minAnnounced returns the smallest epoch announced by any registered
+// thread, or the current epoch when no threads are registered, and prunes
+// any orphans that became unreachable.
+func (d *Domain) minAnnounced() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	min := d.minAnnouncedLocked()
+	d.pruneOrphansLocked(min)
+	return min
+}
+
+func (d *Domain) minAnnouncedLocked() uint64 {
+	// Start above the current epoch: with no registered threads nothing can
+	// hold a reference, so every retirement is immediately safe.
+	min := d.epoch.Load() + 1
+	for _, t := range d.threads {
+		if a := t.announced.Load(); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+func (d *Domain) pruneOrphansLocked(safe uint64) {
+	if len(d.orphans) == 0 {
+		return
+	}
+	kept := d.orphans[:0]
+	for _, r := range d.orphans {
+		if r.epoch < safe {
+			d.orphansDropped++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(d.orphans); i++ {
+		d.orphans[i] = retiredObject{}
+	}
+	d.orphans = kept
+	d.orphanCount.Store(int64(len(kept)))
+}
+
+// retiredObject pairs a retired pointer with the epoch at which it became
+// unreachable from the structure.
+type retiredObject struct {
+	obj   any
+	epoch uint64
+}
+
+// Thread is a per-goroutine participant: it buffers retirements, announces
+// quiescent states, and reuses reclaimed objects through a local free list.
+type Thread struct {
+	domain    *Domain
+	announced atomic.Uint64
+
+	retired []retiredObject
+	free    []any
+
+	// Stats (monotonic, owner-read).
+	retireCount  uint64
+	reclaimCount uint64
+	reuseCount   uint64
+}
+
+// Alloc returns a reclaimed object from the free list, or nil when the free
+// list is empty (the caller then allocates normally). This mirrors ssmem's
+// free-list-first allocation.
+func (t *Thread) Alloc() any {
+	if n := len(t.free); n > 0 {
+		obj := t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+		t.reuseCount++
+		return obj
+	}
+	return nil
+}
+
+// Retire marks obj unreachable from the shared structure as of the current
+// epoch. The object will be recycled once every registered thread passes a
+// quiescent state.
+func (t *Thread) Retire(obj any) {
+	t.retired = append(t.retired, retiredObject{obj: obj, epoch: t.domain.epoch.Load()})
+	t.retireCount++
+}
+
+// Quiescent announces that this thread holds no references into the shared
+// structures, advances the global epoch, and reclaims every retired object
+// whose epoch is older than the minimum announced epoch. Data structures
+// call this between operations — exactly the paper's quiescent-state model.
+func (t *Thread) Quiescent() {
+	e := t.domain.epoch.Add(1)
+	t.announced.Store(e)
+	if len(t.retired) == 0 {
+		if t.domain.orphanCount.Load() > 0 {
+			t.domain.minAnnounced() // prunes eligible orphans
+		}
+		return
+	}
+	safe := t.domain.minAnnounced()
+	// Objects retired strictly before the minimum announced epoch cannot be
+	// referenced by any thread anymore.
+	kept := t.retired[:0]
+	for _, r := range t.retired {
+		if r.epoch < safe {
+			t.free = append(t.free, r.obj)
+			t.reclaimCount++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	// Zero the tail so reclaimed entries do not pin objects.
+	for i := len(kept); i < len(t.retired); i++ {
+		t.retired[i] = retiredObject{}
+	}
+	t.retired = kept
+}
+
+// Stats reports the lifetime counts of retired, reclaimed and reused
+// objects for this thread.
+func (t *Thread) Stats() (retired, reclaimed, reused uint64) {
+	return t.retireCount, t.reclaimCount, t.reuseCount
+}
+
+// PendingRetired returns the number of objects waiting for reclamation.
+func (t *Thread) PendingRetired() int { return len(t.retired) }
+
+// FreeListLen returns the number of immediately reusable objects.
+func (t *Thread) FreeListLen() int { return len(t.free) }

@@ -1,0 +1,89 @@
+// Package rng provides the per-thread pseudo-random number generators and the
+// key distributions used by the OPTIK microbenchmarks.
+//
+// The paper draws keys uniformly at random from a range twice the initial
+// structure size, or from a zipfian distribution with parameter a = 0.9 where
+// the largest keys are the most popular (§5, Experimental Methodology). Each
+// worker owns its own generator, so no synchronization is needed on the hot
+// path.
+package rng
+
+// Xorshift is a xorshift64* generator. It is the per-thread PRNG used by all
+// workloads: tiny state, no allocation, and good enough statistical quality
+// for key selection. The zero value is repaired to a fixed non-zero seed on
+// first use.
+type Xorshift struct {
+	state uint64
+}
+
+// NewXorshift returns a generator seeded with seed. A zero seed is replaced
+// with a fixed constant because the xorshift state must never be zero.
+func NewXorshift(seed uint64) *Xorshift {
+	x := &Xorshift{}
+	x.Seed(seed)
+	return x
+}
+
+// Seed resets the generator state.
+func (x *Xorshift) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	x.state = seed
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (x *Xorshift) Next() uint64 {
+	s := x.state
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	s ^= s >> 12
+	s ^= s << 25
+	s ^= s >> 27
+	x.state = s
+	return s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (x *Xorshift) Intn(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Intn with n == 0")
+	}
+	return x.Next() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (x *Xorshift) Float64() float64 {
+	return float64(x.Next()>>11) / float64(1<<53)
+}
+
+// Distribution generates keys in [1, Range]. Key 0 is reserved by the data
+// structures for sentinels, so distributions never emit it.
+type Distribution interface {
+	// NextKey returns the next key in [1, Range].
+	NextKey() uint64
+	// Range returns the number of distinct keys the distribution can emit.
+	Range() uint64
+}
+
+// Uniform draws keys uniformly from [1, n].
+type Uniform struct {
+	rng *Xorshift
+	n   uint64
+}
+
+// NewUniform returns a uniform distribution over [1, n] driven by its own
+// xorshift generator.
+func NewUniform(n, seed uint64) *Uniform {
+	if n == 0 {
+		panic("rng: NewUniform with empty range")
+	}
+	return &Uniform{rng: NewXorshift(seed), n: n}
+}
+
+// NextKey implements Distribution.
+func (u *Uniform) NextKey() uint64 { return u.rng.Intn(u.n) + 1 }
+
+// Range implements Distribution.
+func (u *Uniform) Range() uint64 { return u.n }

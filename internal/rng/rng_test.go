@@ -1,0 +1,237 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestXorshiftZeroSeedRepaired(t *testing.T) {
+	x := NewXorshift(0)
+	if x.Next() == 0 {
+		t.Fatal("zero seed must be repaired to a non-zero state")
+	}
+	var y Xorshift // zero value
+	if y.Next() == 0 {
+		t.Fatal("zero-value generator must still produce output")
+	}
+}
+
+func TestXorshiftDeterministic(t *testing.T) {
+	a, b := NewXorshift(42), NewXorshift(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestXorshiftDifferentSeedsDiverge(t *testing.T) {
+	a, b := NewXorshift(1), NewXorshift(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestXorshiftNonZeroForever(t *testing.T) {
+	x := NewXorshift(7)
+	for i := 0; i < 1_000_000; i++ {
+		if x.state == 0 {
+			t.Fatal("xorshift state reached zero")
+		}
+		x.Next()
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint16) bool {
+		n := uint64(nRaw)%1000 + 1
+		x := NewXorshift(seed)
+		for i := 0; i < 100; i++ {
+			if v := x.Intn(n); v >= n {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	NewXorshift(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := NewXorshift(3)
+	for i := 0; i < 100000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestUniformCoversRangeWithoutZero(t *testing.T) {
+	const n = 64
+	u := NewUniform(n, 9)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100000; i++ {
+		k := u.NextKey()
+		if k == 0 || k > n {
+			t.Fatalf("key %d out of [1,%d]", k, n)
+		}
+		seen[k] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("uniform over %d keys only produced %d distinct keys", n, len(seen))
+	}
+}
+
+func TestUniformRoughlyUniform(t *testing.T) {
+	const n = 16
+	const draws = 160000
+	u := NewUniform(n, 11)
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		counts[u.NextKey()]++
+	}
+	want := float64(draws) / n
+	for k := 1; k <= n; k++ {
+		if math.Abs(float64(counts[k])-want) > want*0.1 {
+			t.Fatalf("key %d drawn %d times, want ~%v", k, counts[k], want)
+		}
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	for _, n := range []uint64{1, 2, 10, 1024} {
+		z := NewZipf(n, DefaultZipfTheta, true, 5)
+		for i := 0; i < 10000; i++ {
+			k := z.NextKey()
+			if k == 0 || k > n {
+				t.Fatalf("n=%d: key %d out of range", n, k)
+			}
+		}
+	}
+}
+
+func TestZipfSkewLargestPopular(t *testing.T) {
+	const n = 1024
+	const draws = 200000
+	z := NewZipf(n, DefaultZipfTheta, true, 7)
+	counts := make(map[uint64]int)
+	for i := 0; i < draws; i++ {
+		counts[z.NextKey()]++
+	}
+	// With largestPopular, key n must be the single most popular key.
+	maxKey, maxCount := uint64(0), -1
+	for k, c := range counts {
+		if c > maxCount {
+			maxKey, maxCount = k, c
+		}
+	}
+	if maxKey != n {
+		t.Fatalf("most popular key = %d, want %d", maxKey, n)
+	}
+	// The head of the distribution must dominate: the top key should take a
+	// few percent of all draws at theta=0.9 (paper: most contended node gets
+	// ~15%% of requests on the small skewed list of 64 keys).
+	if frac := float64(maxCount) / draws; frac < 0.01 {
+		t.Fatalf("top key fraction %v, want >= 1%%", frac)
+	}
+}
+
+func TestZipfSmallestPopularMirror(t *testing.T) {
+	const n = 256
+	const draws = 100000
+	zl := NewZipf(n, DefaultZipfTheta, false, 3)
+	counts := make(map[uint64]int)
+	for i := 0; i < draws; i++ {
+		counts[zl.NextKey()]++
+	}
+	maxKey, maxCount := uint64(0), -1
+	for k, c := range counts {
+		if c > maxCount {
+			maxKey, maxCount = k, c
+		}
+	}
+	if maxKey != 1 {
+		t.Fatalf("most popular key = %d, want 1", maxKey)
+	}
+}
+
+func TestZipfSmallSkewedContention(t *testing.T) {
+	// Paper footnote 9: on the small skewed list (64 keys) the most
+	// contended key receives ~15% of requests. Check we are in that
+	// neighbourhood (10%..25%).
+	const n = 64
+	const draws = 200000
+	z := NewZipf(n, DefaultZipfTheta, true, 13)
+	top := 0
+	for i := 0; i < draws; i++ {
+		if z.NextKey() == n {
+			top++
+		}
+	}
+	frac := float64(top) / draws
+	if frac < 0.08 || frac > 0.30 {
+		t.Fatalf("top-key fraction %v, want ~0.15", frac)
+	}
+}
+
+func TestZipfDeterministicPerSeed(t *testing.T) {
+	a := NewZipf(100, 0.9, true, 21)
+	b := NewZipf(100, 0.9, true, 21)
+	for i := 0; i < 1000; i++ {
+		if a.NextKey() != b.NextKey() {
+			t.Fatal("same-seed zipf diverged")
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 0.9, true, 1) },
+		func() { NewZipf(10, 0, true, 1) },
+		func() { NewZipf(10, 1, true, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkXorshift(b *testing.B) {
+	x := NewXorshift(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = x.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfNextKey(b *testing.B) {
+	z := NewZipf(65536, DefaultZipfTheta, true, 1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = z.NextKey()
+	}
+	_ = sink
+}

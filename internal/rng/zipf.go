@@ -1,0 +1,82 @@
+package rng
+
+import "math"
+
+// Zipf draws keys from a zipfian distribution with exponent theta over
+// [1, n], following the standard YCSB construction (Gray et al., "Quickly
+// Generating Billion-Record Synthetic Databases"). Rank 1 is the most
+// popular. The paper's skewed workloads use a = 0.9 with the *largest* keys
+// the most popular, so we map rank r to key n - r + 1.
+//
+// The zeta constant is precomputed once at construction (O(n)); NextKey is
+// O(1) and allocation free.
+type Zipf struct {
+	rng     *Xorshift
+	n       uint64
+	theta   float64
+	zetaN   float64
+	zeta2   float64
+	alpha   float64
+	eta     float64
+	largest bool
+}
+
+// DefaultZipfTheta is the skew parameter used throughout the paper's skewed
+// workloads ("zipfian distribution of keys with a = 0.9").
+const DefaultZipfTheta = 0.9
+
+// NewZipf builds a zipfian distribution over [1, n] with the given theta.
+// If largestPopular is true the distribution is mirrored so the largest keys
+// are the most popular, matching the paper's workloads.
+func NewZipf(n uint64, theta float64, largestPopular bool, seed uint64) *Zipf {
+	if n == 0 {
+		panic("rng: NewZipf with empty range")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("rng: NewZipf theta must be in (0, 1)")
+	}
+	z := &Zipf{
+		rng:     NewXorshift(seed),
+		n:       n,
+		theta:   theta,
+		zetaN:   zeta(n, theta),
+		zeta2:   zeta(2, theta),
+		largest: largestPopular,
+	}
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetaN)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// NextKey implements Distribution.
+func (z *Zipf) NextKey() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetaN
+	var rank uint64
+	switch {
+	case uz < 1.0:
+		rank = 1
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		rank = 2
+	default:
+		rank = 1 + uint64(float64(z.n)*math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank > z.n {
+		rank = z.n
+	}
+	if z.largest {
+		return z.n - rank + 1
+	}
+	return rank
+}
+
+// Range implements Distribution.
+func (z *Zipf) Range() uint64 { return z.n }

@@ -1,0 +1,127 @@
+// Package stats provides the small statistics toolkit used by the benchmark
+// harness: percentile summaries for latency boxplots (the paper reports 5th,
+// 25th, 50th, 75th and 95th percentiles), medians across repetitions, and
+// throughput aggregation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentiles reported by the paper's latency boxplots.
+var BoxplotPercentiles = []float64{5, 25, 50, 75, 95}
+
+// Summary is a five-number latency summary in nanoseconds plus the sample
+// count, matching the paper's boxplots (which use cycles; see DESIGN.md for
+// the substitution).
+type Summary struct {
+	Count                  int
+	P5, P25, P50, P75, P95 float64
+	Mean                   float64
+}
+
+// Summarize computes a Summary over samples. It sorts a copy; the input is
+// not modified. An empty input yields a zero Summary.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		Count: len(s),
+		P5:    Percentile(s, 5),
+		P25:   Percentile(s, 25),
+		P50:   Percentile(s, 50),
+		P75:   Percentile(s, 75),
+		P95:   Percentile(s, 95),
+		Mean:  sum / float64(len(s)),
+	}
+}
+
+// String renders the summary as a compact boxplot row.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d p5=%.0f p25=%.0f p50=%.0f p75=%.0f p95=%.0f mean=%.0f",
+		s.Count, s.P5, s.P25, s.P50, s.P75, s.P95, s.Mean)
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted (ascending)
+// samples using linear interpolation between closest ranks. It panics if
+// sorted is empty or p is out of range.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of [0,100]")
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the median of xs. The input is not modified. It panics on
+// an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMeanRatio returns the geometric mean of pairwise ratios a[i]/b[i].
+// It is used to aggregate "X times faster on average" claims the way the
+// paper does across thread counts. Pairs where b[i] == 0 are skipped; if all
+// pairs are skipped it returns 0.
+func GeoMeanRatio(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: GeoMeanRatio length mismatch")
+	}
+	prod := 1.0
+	n := 0
+	for i := range a {
+		if b[i] == 0 {
+			continue
+		}
+		prod *= a[i] / b[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}

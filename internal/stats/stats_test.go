@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileKnownValues(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {75, 7.75},
+	}
+	for _, c := range cases {
+		if got := Percentile(s, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	if got := Percentile([]float64{42}, 95); got != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s = append(s, v)
+			}
+		}
+		if len(s) == 0 {
+			return true
+		}
+		sort.Float64s(s)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(s, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+	// Input must not be mutated.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestMedianPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Median(nil)
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var samples []float64
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, float64(i))
+	}
+	s := Summarize(samples)
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 < 50 || s.P50 > 51 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P5 >= s.P25 || s.P25 >= s.P50 || s.P50 >= s.P75 || s.P75 >= s.P95 {
+		t.Fatalf("percentiles not ordered: %+v", s)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if Summarize(nil) != (Summary{}) {
+		t.Fatal("empty Summarize must be zero")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestGeoMeanRatio(t *testing.T) {
+	a := []float64{2, 8}
+	b := []float64{1, 2}
+	// ratios 2 and 4 -> geomean sqrt(8) ~ 2.828
+	if got := GeoMeanRatio(a, b); math.Abs(got-math.Sqrt(8)) > 1e-9 {
+		t.Fatalf("got %v", got)
+	}
+	if got := GeoMeanRatio([]float64{1}, []float64{0}); got != 0 {
+		t.Fatalf("all-skipped should be 0, got %v", got)
+	}
+}
+
+func TestGeoMeanRatioMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GeoMeanRatio([]float64{1}, nil)
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/rng"
+)
+
+// RunStack drives a 50/50 push/pop workload (§5.5's brief stack
+// experiment) and returns throughput in Mops/s.
+func RunStack(threads int, duration time.Duration, factory func() ds.Stack) float64 {
+	if threads <= 0 || duration <= 0 {
+		panic("workload: threads and duration must be positive")
+	}
+	s := factory()
+	for i := 0; i < 1024; i++ {
+		s.Push(uint64(i + 1))
+	}
+	var (
+		stop    atomic.Bool
+		ops     atomic.Uint64
+		wg      sync.WaitGroup
+		started = make(chan struct{})
+	)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			r := rng.NewXorshift(id + 1)
+			var local uint64
+			<-started
+			// Check the stop flag every 32 operations: a per-op atomic
+			// load of the shared flag costs ~20% of the harness CPU.
+			for it := 0; ; it++ {
+				if it&31 == 0 && stop.Load() {
+					break
+				}
+				if r.Next()%2 == 0 {
+					s.Push(r.Next())
+				} else {
+					s.Pop()
+				}
+				local++
+				pause(r)
+			}
+			ops.Add(local)
+		}(uint64(t))
+	}
+	begin := time.Now()
+	close(started)
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	return float64(ops.Load()) / time.Since(begin).Seconds() / 1e6
+}

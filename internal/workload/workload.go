@@ -1,0 +1,295 @@
+// Package workload is the microbenchmark driver that regenerates the
+// paper's evaluation (§5, Experimental Methodology):
+//
+//   - On every run the structure is initialized to a target size over a key
+//     range twice that size, so roughly half of the attempted updates fail;
+//     the reported update rate is the *effective* one (operations that
+//     altered the structure), exactly as in the paper's graphs.
+//   - Keys are drawn per-thread, uniformly or zipfian with a = 0.9 (largest
+//     keys most popular).
+//   - All structures share the same backoff policy (internal/backoff).
+//   - Latency is sampled into a fixed 16K-entry ring per thread and
+//     reported as the paper's five-percentile boxplots, per operation kind
+//     and success/failure (srch/insr/delt × suc/fal).
+//   - Results across repetitions are aggregated by median.
+package workload
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/rng"
+	"github.com/optik-go/optik/internal/stats"
+)
+
+// OpKind indexes the six operation-outcome classes of the paper's latency
+// boxplots (Figure 7 and 12).
+type OpKind int
+
+// Operation-outcome classes.
+const (
+	SearchSuc OpKind = iota
+	InsertSuc
+	DeleteSuc
+	SearchFal
+	InsertFal
+	DeleteFal
+	numOpKinds
+)
+
+// String returns the paper's graph label for the kind.
+func (k OpKind) String() string {
+	return [...]string{"srch-suc", "insr-suc", "delt-suc", "srch-fal", "insr-fal", "delt-fal"}[k]
+}
+
+// SampleRingSize matches the paper's per-thread latency arrays ("every
+// thread holds an array of 16K latency measurements").
+const SampleRingSize = 16 * 1024
+
+// Config describes one search-structure workload.
+type Config struct {
+	Threads int
+	// Duration of the measured run.
+	Duration time.Duration
+	// InitialSize is the structure's initial (and approximately sustained)
+	// element count. The key range defaults to twice this.
+	InitialSize int
+	// KeyRange overrides the default 2×InitialSize range when positive.
+	KeyRange uint64
+	// UpdatePct is the *effective* update percentage as reported by the
+	// paper's graphs. The driver issues 2×UpdatePct attempted updates
+	// (half insertions, half deletions); with the doubled key range about
+	// half of them fail, sustaining the target.
+	UpdatePct int
+	// Zipf selects the skewed key distribution (a = 0.9, largest keys most
+	// popular).
+	Zipf bool
+	// Seed makes runs reproducible; 0 picks a fixed default.
+	Seed uint64
+	// SampleLatency enables the per-thread latency rings.
+	SampleLatency bool
+}
+
+func (c Config) keyRange() uint64 {
+	if c.KeyRange > 0 {
+		return c.KeyRange
+	}
+	return uint64(2 * c.InitialSize)
+}
+
+// Result aggregates one run.
+type Result struct {
+	// Ops is the total number of completed operations.
+	Ops uint64
+	// Mops is throughput in million operations per second.
+	Mops float64
+	// Counts per operation-outcome class.
+	Counts [numOpKinds]uint64
+	// Latency boxplots per class (nanoseconds); empty without sampling.
+	Latency [numOpKinds]stats.Summary
+	// EffectiveUpdates is the fraction of all operations that modified the
+	// structure.
+	EffectiveUpdates float64
+	// Elapsed is the measured wall-clock duration.
+	Elapsed time.Duration
+}
+
+// worker state: per-kind sample rings.
+type sampler struct {
+	rings [numOpKinds][]float64
+	pos   [numOpKinds]int
+}
+
+func newSampler() *sampler {
+	s := &sampler{}
+	for k := range s.rings {
+		s.rings[k] = make([]float64, 0, SampleRingSize)
+	}
+	return s
+}
+
+func (s *sampler) add(k OpKind, ns float64) {
+	if len(s.rings[k]) < SampleRingSize {
+		s.rings[k] = append(s.rings[k], ns)
+		return
+	}
+	// Ring wrap: overwrite oldest, like the paper's fixed arrays.
+	s.rings[k][s.pos[k]] = ns
+	s.pos[k] = (s.pos[k] + 1) % SampleRingSize
+}
+
+// RunSet drives a search-structure workload and returns its result.
+// factory is invoked once per run to build a fresh structure.
+func RunSet(cfg Config, factory func() ds.Set) Result {
+	if cfg.Threads <= 0 || cfg.InitialSize <= 0 || cfg.Duration <= 0 {
+		panic("workload: Threads, InitialSize and Duration must be positive")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0xD1CEB00C
+	}
+	s := factory()
+	prefill(s, cfg.InitialSize, cfg.keyRange(), seed)
+	// Collect garbage from previous runs (earlier algorithms' structures)
+	// before the measured window, so the last series in a sweep is not
+	// taxed with its predecessors' dead heap.
+	runtime.GC()
+
+	var (
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		total   Result
+		rings   [numOpKinds][]float64
+		started = make(chan struct{})
+	)
+	updateCut := uint64(2 * cfg.UpdatePct) // attempted updates out of 100
+	if updateCut > 100 {
+		updateCut = 100
+	}
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			view := ds.HandleFor(s)
+			dist := newDist(cfg, seed+id*0x9E3779B9)
+			opr := rng.NewXorshift(seed ^ (id+1)*0xBF58476D1CE4E5B9)
+			var smp *sampler
+			if cfg.SampleLatency {
+				smp = newSampler()
+			}
+			var counts [numOpKinds]uint64
+			<-started
+			// Check the stop flag every 32 operations: a per-op atomic
+			// load of the shared flag costs ~20% of the harness CPU.
+			for it := 0; ; it++ {
+				if it&31 == 0 && stop.Load() {
+					break
+				}
+				key := dist.NextKey()
+				roll := opr.Next() % 100
+				var kind OpKind
+				var begin time.Time
+				if smp != nil {
+					begin = time.Now()
+				}
+				switch {
+				case roll < updateCut/2: // insertion attempt
+					if view.Insert(key, key) {
+						kind = InsertSuc
+					} else {
+						kind = InsertFal
+					}
+				case roll < updateCut: // deletion attempt
+					if _, ok := view.Delete(key); ok {
+						kind = DeleteSuc
+					} else {
+						kind = DeleteFal
+					}
+				default:
+					if _, ok := view.Search(key); ok {
+						kind = SearchSuc
+					} else {
+						kind = SearchFal
+					}
+				}
+				if smp != nil {
+					smp.add(kind, float64(time.Since(begin).Nanoseconds()))
+				}
+				counts[kind]++
+				pause(opr)
+			}
+			mu.Lock()
+			for k := range counts {
+				total.Counts[k] += counts[k]
+				if smp != nil {
+					rings[k] = append(rings[k], smp.rings[k]...)
+				}
+			}
+			mu.Unlock()
+		}(uint64(t))
+	}
+	begin := time.Now()
+	close(started)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	total.Elapsed = time.Since(begin)
+
+	for k := range total.Counts {
+		total.Ops += total.Counts[k]
+	}
+	total.Mops = float64(total.Ops) / total.Elapsed.Seconds() / 1e6
+	if total.Ops > 0 {
+		total.EffectiveUpdates = float64(total.Counts[InsertSuc]+total.Counts[DeleteSuc]) / float64(total.Ops)
+	}
+	if cfg.SampleLatency {
+		for k := range rings {
+			total.Latency[k] = stats.Summarize(rings[k])
+		}
+	}
+	return total
+}
+
+// prefill inserts random distinct keys until the structure holds size
+// elements.
+func prefill(s ds.Set, size int, keyRange uint64, seed uint64) {
+	r := rng.NewXorshift(seed)
+	inserted := 0
+	for inserted < size {
+		key := r.Intn(keyRange) + 1
+		if s.Insert(key, key) {
+			inserted++
+		}
+	}
+}
+
+// newDist builds the per-thread key distribution.
+func newDist(cfg Config, seed uint64) rng.Distribution {
+	if cfg.Zipf {
+		return rng.NewZipf(cfg.keyRange(), rng.DefaultZipfTheta, true, seed)
+	}
+	return rng.NewUniform(cfg.keyRange(), seed)
+}
+
+// pause waits briefly between iterations ("after every iteration, threads
+// wait for a short duration, in order to avoid long runs").
+func pause(r *rng.Xorshift) {
+	n := int(r.Next() % 64)
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+// MedianOf runs fn reps times and returns the run with median throughput
+// (the paper reports "the median value of 11 repetitions").
+func MedianOf(reps int, fn func() Result) Result {
+	if reps <= 0 {
+		panic("workload: reps must be positive")
+	}
+	results := make([]Result, reps)
+	mops := make([]float64, reps)
+	for i := range results {
+		results[i] = fn()
+		mops[i] = results[i].Mops
+	}
+	med := stats.Median(mops)
+	best := 0
+	bestDiff := diffAbs(results[0].Mops, med)
+	for i, r := range results {
+		if d := diffAbs(r.Mops, med); d < bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	return results[best]
+}
+
+func diffAbs(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

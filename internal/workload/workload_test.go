@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/ds/list"
+	"github.com/optik-go/optik/ds/queue"
+)
+
+func TestRunSetBasics(t *testing.T) {
+	cfg := Config{
+		Threads:       4,
+		Duration:      50 * time.Millisecond,
+		InitialSize:   128,
+		UpdatePct:     20,
+		SampleLatency: true,
+	}
+	res := RunSet(cfg, func() ds.Set { return list.NewOptik() })
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Mops <= 0 {
+		t.Fatal("throughput not positive")
+	}
+	var sum uint64
+	for _, c := range res.Counts {
+		sum += c
+	}
+	if sum != res.Ops {
+		t.Fatalf("counts sum %d != ops %d", sum, res.Ops)
+	}
+	// Effective updates should be in the neighbourhood of the target 20%
+	// (the key range doubles the attempted updates; allow slack).
+	if res.EffectiveUpdates < 0.08 || res.EffectiveUpdates > 0.35 {
+		t.Fatalf("effective updates = %v, want ~0.2", res.EffectiveUpdates)
+	}
+	if res.Latency[SearchSuc].Count == 0 {
+		t.Fatal("no successful-search latency samples")
+	}
+	if res.Latency[SearchSuc].P95 < res.Latency[SearchSuc].P5 {
+		t.Fatal("latency percentiles inverted")
+	}
+}
+
+func TestRunSetZipf(t *testing.T) {
+	cfg := Config{
+		Threads:     2,
+		Duration:    30 * time.Millisecond,
+		InitialSize: 64,
+		UpdatePct:   20,
+		Zipf:        true,
+	}
+	res := RunSet(cfg, func() ds.Set { return list.NewLazy() })
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+}
+
+func TestRunSetValidatesConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad config")
+		}
+	}()
+	RunSet(Config{}, func() ds.Set { return list.NewOptik() })
+}
+
+func TestOpKindStrings(t *testing.T) {
+	want := []string{"srch-suc", "insr-suc", "delt-suc", "srch-fal", "insr-fal", "delt-fal"}
+	for k := OpKind(0); k < numOpKinds; k++ {
+		if k.String() != want[k] {
+			t.Fatalf("kind %d = %q, want %q", k, k.String(), want[k])
+		}
+	}
+}
+
+func TestRunQueueMixes(t *testing.T) {
+	for _, enq := range []int{40, 50, 60} {
+		cfg := QueueConfig{
+			Threads:       4,
+			Duration:      30 * time.Millisecond,
+			InitialSize:   1024,
+			EnqueuePct:    enq,
+			SampleLatency: true,
+		}
+		res := RunQueue(cfg, func() ds.Queue { return queue.NewMSLF() })
+		if res.Ops == 0 {
+			t.Fatalf("enq=%d: no ops", enq)
+		}
+		if res.Enqueues+res.Dequeues != res.Ops {
+			t.Fatalf("enq=%d: ops mismatch", enq)
+		}
+		frac := float64(res.Enqueues) / float64(res.Ops)
+		if frac < float64(enq)/100-0.1 || frac > float64(enq)/100+0.1 {
+			t.Fatalf("enq=%d: enqueue fraction %v", enq, frac)
+		}
+		if res.EnqLatency.Count == 0 || res.DeqLatency.Count == 0 {
+			t.Fatalf("enq=%d: missing latency samples", enq)
+		}
+	}
+}
+
+func TestRunLockImpls(t *testing.T) {
+	for _, impl := range LockImpls {
+		res := RunLock(LockConfig{Threads: 4, Duration: 30 * time.Millisecond}, impl)
+		if res.Validations == 0 {
+			t.Fatalf("%s: no validated acquisitions", impl)
+		}
+		if res.CASPerValidation <= 0 {
+			t.Fatalf("%s: CAS/validation = %v", impl, res.CASPerValidation)
+		}
+	}
+}
+
+func TestOptikLockBeatsTTASUnderContention(t *testing.T) {
+	// The headline Figure-5 property, at reduced scale: with many threads
+	// on one lock, the OPTIK versioned lock completes more validated
+	// acquisitions than lock-then-validate TTAS, and spends fewer CAS per
+	// validation.
+	if testing.Short() {
+		t.Skip("contention comparison skipped in -short")
+	}
+	cfg := LockConfig{Threads: 8, Duration: 300 * time.Millisecond}
+	ttas := RunLock(cfg, LockTTAS)
+	optik := RunLock(cfg, LockOptikVersioned)
+	if optik.Mops <= ttas.Mops {
+		t.Logf("warning: optik %.2f Mops <= ttas %.2f Mops (timing-sensitive)", optik.Mops, ttas.Mops)
+	}
+	if optik.CASPerValidation > ttas.CASPerValidation {
+		t.Fatalf("optik CAS/validation %.2f > ttas %.2f",
+			optik.CASPerValidation, ttas.CASPerValidation)
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	i := 0
+	res := MedianOf(3, func() Result {
+		i++
+		return Result{Mops: float64(i)}
+	})
+	if res.Mops != 2 {
+		t.Fatalf("median run = %v, want the middle one", res.Mops)
+	}
+}
+
+func TestMedianOfQueue(t *testing.T) {
+	i := 0
+	res := MedianOfQueue(3, func() QueueResult {
+		i++
+		return QueueResult{Mops: float64(i)}
+	})
+	if res.Mops != 2 {
+		t.Fatalf("median run = %v", res.Mops)
+	}
+}

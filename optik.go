@@ -1,0 +1,52 @@
+package optik
+
+import "github.com/optik-go/optik/internal/core"
+
+// Version is a snapshot of a Lock's version number. Snapshot it with
+// GetVersion (or GetVersionWait), then pass it to TryLockVersion or
+// LockVersion to detect conflicting critical sections.
+type Version = core.Version
+
+// Init is the version of a zero-valued (never locked) Lock.
+const Init = core.Init
+
+// Lock is an OPTIK lock built on a versioned lock: a single 64-bit counter
+// where even means unlocked and odd means locked. The zero value is ready
+// to use. See the package documentation for the usage pattern.
+type Lock = core.Lock
+
+// TicketVersion is a snapshot of a TicketLock.
+type TicketVersion = core.TicketVersion
+
+// TicketLock is an OPTIK lock built on a ticket lock. It is FIFO-fair and
+// exposes NumQueued, the number of threads holding or waiting for the lock,
+// which contention-adaptive designs (such as the victim queues in ds/queue)
+// use to divert work away from a congested lock.
+type TicketLock = core.TicketLock
+
+// Outcome is the decision returned by the optimistic phase passed to Update.
+type Outcome = core.Outcome
+
+// Outcomes for Update's optimistic phase.
+const (
+	// Proceed requests the critical section: lock and validate.
+	Proceed = core.Proceed
+	// Abort finishes the operation without any synchronization (the result
+	// is already determined, e.g. the key being inserted is present).
+	Abort = core.Abort
+	// Restart retries the optimistic phase immediately.
+	Restart = core.Restart
+)
+
+// Update runs the OPTIK pattern (optimistic phase, single-CAS
+// lock-and-validate, critical section) against l, retrying on conflicts.
+// It returns whether the critical section ran.
+func Update(l *Lock, optimistic func(Version) Outcome, critical func()) bool {
+	return core.Update(l, optimistic, critical)
+}
+
+// Read runs a read-only body against l, validating with the version that no
+// critical section committed during it, and retries otherwise.
+func Read[T any](l *Lock, body func() T) T {
+	return core.Read(l, body)
+}

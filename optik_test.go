@@ -1,0 +1,82 @@
+package optik_test
+
+import (
+	"sync"
+	"testing"
+
+	optik "github.com/optik-go/optik"
+)
+
+// TestPublicAPIPattern exercises the exported surface end to end: a shared
+// counter updated through the OPTIK pattern by hand and via Update/Read.
+func TestPublicAPIPattern(t *testing.T) {
+	var l optik.Lock
+	counter := 0
+
+	// Manual pattern (the package-doc example).
+	for {
+		v := l.GetVersion()
+		if !l.TryLockVersion(v) {
+			continue
+		}
+		counter++
+		l.Unlock()
+		break
+	}
+	if counter != 1 {
+		t.Fatalf("counter = %d", counter)
+	}
+
+	// Update helper, concurrently.
+	const goroutines, iters = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				optik.Update(&l,
+					func(optik.Version) optik.Outcome { return optik.Proceed },
+					func() { counter++ })
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 1+goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, 1+goroutines*iters)
+	}
+
+	// Read helper sees a consistent value.
+	if got := optik.Read(&l, func() int { return counter }); got != counter {
+		t.Fatalf("Read = %d", got)
+	}
+}
+
+func TestPublicTicketLock(t *testing.T) {
+	var l optik.TicketLock
+	v := l.GetVersion()
+	if !l.TryLockVersion(v) {
+		t.Fatal("TryLockVersion failed on quiescent ticket lock")
+	}
+	if l.NumQueued() != 1 {
+		t.Fatalf("NumQueued = %d, want 1", l.NumQueued())
+	}
+	l.Unlock()
+	if l.GetVersion().Same(v) {
+		t.Fatal("version must advance across the critical section")
+	}
+}
+
+func TestAbortShortCircuits(t *testing.T) {
+	var l optik.Lock
+	before := l.GetVersion()
+	ran := optik.Update(&l,
+		func(optik.Version) optik.Outcome { return optik.Abort },
+		func() { t.Error("critical section must not run") })
+	if ran {
+		t.Fatal("Abort must return false")
+	}
+	if l.GetVersion() != before {
+		t.Fatal("Abort must not touch the lock")
+	}
+}
