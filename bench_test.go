@@ -15,6 +15,7 @@ import (
 
 	"github.com/optik-go/optik/ds"
 	"github.com/optik-go/optik/ds/arraymap"
+	"github.com/optik-go/optik/ds/hashmap"
 	"github.com/optik-go/optik/ds/list"
 	"github.com/optik-go/optik/ds/queue"
 	"github.com/optik-go/optik/internal/figures"
@@ -191,6 +192,48 @@ func BenchmarkStacks(b *testing.B) {
 				b.ReportMetric(0, "ns/op")
 			})
 		}
+	}
+}
+
+// BenchmarkBucketLayout isolates the bucket memory layout: OptikGL's
+// packed parallel arrays (eight bucket locks per cache line, head pointers
+// in a second array) versus the padded one-cache-line slab bucket, under
+// the same per-bucket OPTIK locking discipline. Update-heavy so the lock
+// lines stay hot: at 1 thread the layouts should be at parity (one miss vs
+// two on a cold bucket), at 16 the packed arrays additionally pay
+// false-sharing invalidations on every neighbor-bucket CAS.
+func BenchmarkBucketLayout(b *testing.B) {
+	impls := []figures.NamedSet{
+		{Name: "packed-arrays", New: func() ds.Set { return hashmap.NewOptikGL(4096) }},
+		{Name: "padded-slab", New: func() ds.Set { return hashmap.NewSlab(4096) }},
+	}
+	for _, impl := range impls {
+		for _, th := range []int{1, 16} {
+			b.Run(fmt.Sprintf("%s/threads=%d", impl.Name, th), func(b *testing.B) {
+				reportSet(b, workload.Config{
+					Threads: th, Duration: benchDuration,
+					InitialSize: 4096, UpdatePct: 50,
+				}, impl.New)
+			})
+		}
+	}
+}
+
+// BenchmarkResizeRamp drives the resize-under-load scenario: insert-heavy
+// ramp from 1k to 200k elements through live incremental migrations.
+func BenchmarkResizeRamp(b *testing.B) {
+	for _, th := range benchThreads {
+		b.Run(fmt.Sprintf("resizable/threads=%d", th), func(b *testing.B) {
+			var mops float64
+			for i := 0; i < b.N; i++ {
+				res := workload.RunRamp(workload.RampConfig{
+					Threads: th, StartSize: 1000, TargetSize: 200_000, SearchPct: 10,
+				}, func() ds.Set { return hashmap.NewResizable(1024) })
+				mops = res.Mops
+			}
+			b.ReportMetric(mops, "Mops/s")
+			b.ReportMetric(0, "ns/op")
+		})
 	}
 }
 

@@ -1,11 +1,12 @@
-// optik-bench regenerates the paper's evaluation figures as text tables.
+// optik-bench regenerates the paper's evaluation figures as text tables,
+// plus the resize-under-load scenario.
 //
 // Usage:
 //
 //	optik-bench [flags] <figure>
 //
 // where <figure> is one of: fig5, fig7, fig9, fig10, fig11, fig12, stacks,
-// all.
+// resize, all.
 //
 // Flags:
 //
@@ -13,10 +14,13 @@
 //	-duration duration of each measured run (default 100ms; the paper
 //	          uses 5s — pass -duration 5s -reps 11 for paper-scale runs)
 //	-reps     repetitions per point, median reported (default 3)
+//	-json     also write every measured point (impl, threads, Mops/s,
+//	          CAS/validation) as a JSON document to the given file, so the
+//	          perf trajectory can be tracked across changes
 //
 // Example:
 //
-//	optik-bench -threads 1,4,16 -duration 500ms -reps 5 fig9
+//	optik-bench -threads 1,4,16 -duration 500ms -reps 5 -json BENCH_fig9.json fig9
 package main
 
 import (
@@ -34,8 +38,9 @@ func main() {
 	threadsFlag := flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
 	durationFlag := flag.Duration("duration", 100*time.Millisecond, "duration per measured run")
 	repsFlag := flag.Int("reps", 3, "repetitions per data point (median reported)")
+	jsonFlag := flag.String("json", "", "write machine-readable results (JSON) to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,6 +60,11 @@ func main() {
 		Reps:     *repsFlag,
 		Out:      os.Stdout,
 	}
+	var rec *figures.Recorder
+	if *jsonFlag != "" {
+		rec = &figures.Recorder{}
+		opts.Record = rec
+	}
 
 	figure := strings.ToLower(flag.Arg(0))
 	runners := map[string]func(figures.RunOpts){
@@ -65,6 +75,7 @@ func main() {
 		"fig11":  figures.Fig11,
 		"fig12":  figures.Fig12,
 		"stacks": figures.Stacks,
+		"resize": figures.FigResize,
 		"all":    figures.All,
 	}
 	run, ok := runners[figure]
@@ -74,6 +85,23 @@ func main() {
 		os.Exit(2)
 	}
 	run(opts)
+
+	if rec != nil {
+		f, err := os.Create(*jsonFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optik-bench:", err)
+			os.Exit(1)
+		}
+		err = rec.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optik-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "optik-bench: wrote %d data points to %s\n", len(rec.Rows), *jsonFlag)
+	}
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -65,6 +65,9 @@ func main() {
 		"lazy-gl":    func() ds.Set { return hashmap.NewLazyGL(32) },
 		"java":       func() ds.Set { return hashmap.NewJava(32, 4) },
 		"java-optik": func() ds.Set { return hashmap.NewJavaOptik(32, 4) },
+		"slab":       func() ds.Set { return hashmap.NewSlab(32) },
+		// Tiny initial size so the stress drives it through live resizes.
+		"resizable": func() ds.Set { return hashmap.NewResizable(2) },
 	})
 	add("skiplists", map[string]func() ds.Set{
 		"herlihy":    func() ds.Set { return skiplist.NewHerlihy() },

@@ -26,6 +26,17 @@
 // lists, Herlihy and Fraser skip lists, Michael-Scott queues, a
 // ConcurrentHashMap-style table, and a Treiber stack).
 //
+// Beyond the paper, ds/hashmap adds two cache-conscious tables built on a
+// slab of 64-byte buckets that co-locate each bucket's OPTIK lock, chain
+// head and a small inline key/value prefix, so the common operation touches
+// exactly one cache line: hashmap.Slab (fixed capacity) and
+// hashmap.Resizable, which grows under load with lock-free reads across an
+// old/new slab pair and per-bucket OPTIK-validated incremental migration.
+// The padding and striped-counter primitives behind them are reusable:
+// Lock is complemented by cache-line-padded forms for dense lock arrays
+// (internal/core's PaddedLock and PaddedTicketLock, internal/locks'
+// PaddedTAS and PaddedTicket).
+//
 // # Minimal example
 //
 //	var l optik.Lock

@@ -116,9 +116,12 @@ func (m *MCS) Cap() int { return len(m.array) }
 // Optik is the OPTIK-based array map of Figure 6. A single OPTIK lock
 // protects the whole array; its version number lets searches read atomic
 // key-value snapshots without locking and lets infeasible updates return
-// without synchronizing at all.
+// without synchronizing at all. The lock is padded to its own cache line:
+// otherwise it shares a line with the array's slice header, and every
+// acquisition CAS would invalidate the header line that the optimistic
+// readers re-load on each probe.
 type Optik struct {
-	lock  core.Lock
+	lock  core.PaddedLock
 	array []pair
 }
 

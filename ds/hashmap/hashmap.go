@@ -14,8 +14,25 @@
 //     version-validated read-only pass returns infeasible updates without
 //     locking and saves feasible updates the second bucket traversal.
 //
-// Tables have a fixed number of buckets (the paper sizes buckets equal to
-// the initial element count) and hash by key modulo buckets.
+// The paper's tables have a fixed number of buckets (sized equal to the
+// initial element count) and hash by key modulo buckets.
+//
+// Beyond the paper, the package adds two tables built on a cache-conscious
+// bucket slab (slab.go):
+//
+//   - Slab ("slab"): OptikGL's locking discipline on a contiguous slab of
+//     64-byte buckets, each co-locating the OPTIK lock, the overflow-chain
+//     head and a three-pair inline prefix. OptikGL's packed parallel
+//     arrays put eight bucket locks on one cache line — every update CAS
+//     false-shares with seven neighbor buckets — and split lock and head
+//     across two lines, so even an uncontended operation takes two misses.
+//     The slab bucket makes the common hit/miss/insert/delete path touch
+//     exactly one line and gives every bucket lock a private line.
+//   - Resizable ("resizable"): the slab plus optimistic growth — lock-free
+//     reads across an old/new slab pair, per-bucket OPTIK-validated
+//     incremental migration, and a striped size counter that triggers
+//     doubling and makes Len O(shards) instead of O(n). See resizable.go
+//     for the design.
 package hashmap
 
 import (

@@ -17,6 +17,8 @@ func variants() map[string]func(buckets int) ds.Set {
 		"lazy-gl":    func(b int) ds.Set { return NewLazyGL(b) },
 		"java":       func(b int) ds.Set { return NewJava(b, 0) },
 		"java-optik": func(b int) ds.Set { return NewJavaOptik(b, 0) },
+		"slab":       func(b int) ds.Set { return NewSlab(b) },
+		"resizable":  func(b int) ds.Set { return NewResizable(b) },
 	}
 }
 
@@ -253,6 +255,8 @@ func TestConstructorValidation(t *testing.T) {
 		func() { NewLazyGL(0) },
 		func() { NewJava(0, 0) },
 		func() { NewJavaOptik(0, 0) },
+		func() { NewSlab(0) },
+		func() { NewResizable(-3) },
 	} {
 		func() {
 			defer func() {

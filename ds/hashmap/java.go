@@ -21,7 +21,7 @@ const DefaultSegments = 128
 // infeasible — and searches traverse lock-free. Chains are unsorted with
 // head insertion, as in ConcurrentHashMap.
 type Java struct {
-	segments []locks.TAS
+	segments []locks.PaddedTAS
 	heads    []atomic.Pointer[chainNode]
 }
 
@@ -40,12 +40,12 @@ func NewJava(nbuckets, nsegments int) *Java {
 		nsegments = nbuckets
 	}
 	return &Java{
-		segments: make([]locks.TAS, nsegments),
+		segments: make([]locks.PaddedTAS, nsegments),
 		heads:    make([]atomic.Pointer[chainNode], nbuckets),
 	}
 }
 
-func (t *Java) segment(bucket int) *locks.TAS {
+func (t *Java) segment(bucket int) *locks.PaddedTAS {
 	return &t.segments[bucket%len(t.segments)]
 }
 
@@ -120,7 +120,7 @@ func (t *Java) Len() int {
 // segment with TryLockVersion — a successful validation proves the bucket
 // unchanged, so no second traversal is needed.
 type JavaOptik struct {
-	segments []core.Lock
+	segments []core.PaddedLock
 	heads    []atomic.Pointer[chainNode]
 }
 
@@ -139,12 +139,12 @@ func NewJavaOptik(nbuckets, nsegments int) *JavaOptik {
 		nsegments = nbuckets
 	}
 	return &JavaOptik{
-		segments: make([]core.Lock, nsegments),
+		segments: make([]core.PaddedLock, nsegments),
 		heads:    make([]atomic.Pointer[chainNode], nbuckets),
 	}
 }
 
-func (t *JavaOptik) segment(bucket int) *core.Lock {
+func (t *JavaOptik) segment(bucket int) *core.PaddedLock {
 	return &t.segments[bucket%len(t.segments)]
 }
 

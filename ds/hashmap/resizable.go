@@ -1,0 +1,366 @@
+package hashmap
+
+import (
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/backoff"
+	"github.com/optik-go/optik/internal/core"
+)
+
+// Resizable is the first growing structure in the library: a hash table on
+// the cache-line bucket slab that doubles its bucket count under load,
+// following the paper's discipline end to end — reads stay lock-free and
+// optimistic across the resize, and every write (including the migration
+// of a bucket) is a per-bucket OPTIK critical section.
+//
+// The design:
+//
+//   - The table is a chain of slabs (rtable). Normally the chain is one
+//     slab long and operations are exactly the Slab fast path plus one
+//     pointer load.
+//   - A striped, cache-line-padded size counter (core.Striped) tracks the
+//     element count. When the load factor passes maxLoad, the deepest
+//     slab links an empty slab of twice the size as its next.
+//   - Migration is incremental and cooperative: each update claims up to
+//     migrateQuantum buckets of the old slab (an atomic cursor), moves
+//     their entries into the new slab, and forwards them. A migrated
+//     bucket's head points at the forwarding sentinel and stays that way
+//     forever; operations that encounter it simply hop to the next slab.
+//   - Moving a bucket is itself an OPTIK critical section on that bucket's
+//     lock: concurrent feasible updates fail TryLockVersion and retry
+//     until they see the sentinel, and optimistic readers that raced the
+//     copy fail version validation and re-run. When the last bucket is
+//     forwarded, the root pointer advances and the old slab is garbage.
+//
+// Unlike the fixed tables, the miss paths of Search and Delete must
+// re-validate the bucket version: migration moves a key from the old slab
+// to the new one without an instant of absence, so an unvalidated scan
+// that straddles the copy could miss a continuously-present key. On a
+// quiescent bucket the validation is one extra load of the line the scan
+// already owns.
+//
+// The size counter also changes Len from an O(n) traversal to an O(shards)
+// sum, independent of the element count.
+type Resizable struct {
+	root  atomic.Pointer[rtable]
+	count *core.Striped
+}
+
+var _ ds.Set = (*Resizable)(nil)
+
+// rtable is one slab in the resize chain. mask is len(buckets)-1 (bucket
+// counts are powers of two); cursor hands out buckets to migrate and
+// migrated counts the ones fully forwarded.
+type rtable struct {
+	buckets  []bucket
+	mask     uint64
+	next     atomic.Pointer[rtable]
+	cursor   atomic.Int64
+	migrated atomic.Int64
+}
+
+// forwarded is the sentinel a migrated bucket's head points at, forever.
+// Like the deleted-node locks of the OPTIK lists, the permanence is the
+// point: any operation that meets it knows the bucket's contents live in
+// the next slab, with no instant at which the bucket looks merely empty.
+var forwarded chainNode
+
+// maxLoad is the load factor (elements per bucket) beyond which the table
+// doubles; 2 keeps the expected bucket population within the inline
+// prefix, so the one-cache-line fast path survives growth.
+const maxLoad = 2
+
+// migrateQuantum bounds the helping work one update performs while a
+// resize is in flight: claim and move up to this many old buckets.
+const migrateQuantum = 2
+
+// growthCheckMask amortizes load-factor checks: the O(shards) Sum runs
+// when an update's counter cell crosses a multiple of 64 (or an insert
+// spills to an overflow chain — the bucket is visibly overfull).
+const growthCheckMask = 64 - 1
+
+// NewResizable returns a growing table with at least nbuckets buckets
+// (rounded up to a power of two).
+func NewResizable(nbuckets int) *Resizable {
+	if nbuckets <= 0 {
+		panic("hashmap: nbuckets must be positive")
+	}
+	n := 1
+	for n < nbuckets {
+		n <<= 1
+	}
+	r := &Resizable{count: core.NewStriped(0)}
+	r.root.Store(newRTable(n))
+	return r
+}
+
+func newRTable(nbuckets int) *rtable {
+	return &rtable{buckets: make([]bucket, nbuckets), mask: uint64(nbuckets - 1)}
+}
+
+// index spreads keys with a Fibonacci multiplicative hash. The fixed
+// tables use key mod nbuckets, mirroring the paper; a power-of-two mask
+// needs the multiply so dense key ranges don't collapse onto low bits.
+func (t *rtable) index(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15 >> 32) & t.mask)
+}
+
+// Search returns the value stored under key, if present. It never locks:
+// forwarded buckets are followed into the next slab, inline hits validate
+// the version for pair atomicity, and misses validate that no critical
+// section (update or migration) moved the bucket under the scan.
+func (r *Resizable) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	t := r.root.Load()
+	for {
+		b := &t.buckets[t.index(key)]
+	restart:
+		vn := b.lock.GetVersionWait()
+		head := b.head.Load()
+		if head == &forwarded {
+			t = t.next.Load()
+			continue
+		}
+		for i := range b.inline {
+			if b.inline[i].key.Load() == key {
+				val := b.inline[i].val.Load()
+				if b.lock.GetVersion().Same(vn) {
+					return val, true
+				}
+				goto restart
+			}
+		}
+		for cur := head; cur != nil && cur.key <= key; cur = cur.next.Load() {
+			if cur.key == key {
+				return cur.val, true
+			}
+		}
+		if b.lock.GetVersion().Same(vn) {
+			return 0, false
+		}
+		goto restart
+	}
+}
+
+// Insert adds key→val if absent. A duplicate returns false without any
+// synchronization; a feasible insert validates its scan with one
+// TryLockVersion CAS, then bumps the size counter and, when thresholds
+// say so, starts or helps a resize.
+func (r *Resizable) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	r.help()
+	t := r.root.Load()
+	var bo backoff.Backoff
+	spilled := false
+	for {
+		b := &t.buckets[t.index(key)]
+		vn := b.lock.GetVersion()
+		head := b.head.Load()
+		if head == &forwarded {
+			t = t.next.Load()
+			continue
+		}
+		free := -1
+		dup := false
+		for i := range b.inline {
+			switch b.inline[i].key.Load() {
+			case key:
+				dup = true
+			case 0:
+				if free < 0 {
+					free = i
+				}
+			}
+		}
+		if dup {
+			return false // infeasible: no locking at all
+		}
+		var pred *chainNode
+		cur := head
+		for cur != nil && cur.key < key {
+			pred, cur = cur, cur.next.Load()
+		}
+		if cur != nil && cur.key == key {
+			return false // infeasible: no locking at all
+		}
+		if !b.lock.TryLockVersion(vn) {
+			bo.Wait()
+			continue
+		}
+		b.put(key, val, free, pred, cur)
+		b.lock.Unlock()
+		spilled = free < 0
+		break
+	}
+	c := r.count.Add(key, 1)
+	if spilled || c&growthCheckMask == 0 {
+		r.maybeGrow()
+	}
+	return true
+}
+
+// Delete removes key, returning its value, if present. A validated miss
+// returns without locking; a hit validates-and-locks in one CAS.
+func (r *Resizable) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	r.help()
+	t := r.root.Load()
+	var bo backoff.Backoff
+	for {
+		b := &t.buckets[t.index(key)]
+		vn := b.lock.GetVersionWait()
+		head := b.head.Load()
+		if head == &forwarded {
+			t = t.next.Load()
+			continue
+		}
+		slot := -1
+		for i := range b.inline {
+			if b.inline[i].key.Load() == key {
+				slot = i
+				break
+			}
+		}
+		if slot >= 0 {
+			if !b.lock.TryLockVersion(vn) {
+				bo.Wait()
+				continue
+			}
+			// Validated: the slot still holds key, so the value is its.
+			val := b.inline[slot].val.Load()
+			b.inline[slot].key.Store(0)
+			b.lock.Unlock()
+			r.count.Add(key, -1)
+			return val, true
+		}
+		var pred *chainNode
+		cur := head
+		for cur != nil && cur.key < key {
+			pred, cur = cur, cur.next.Load()
+		}
+		if cur == nil || cur.key != key {
+			if b.lock.GetVersion().Same(vn) {
+				return 0, false
+			}
+			continue
+		}
+		if !b.lock.TryLockVersion(vn) {
+			bo.Wait()
+			continue
+		}
+		if pred == nil {
+			b.head.Store(cur.next.Load())
+		} else {
+			pred.next.Store(cur.next.Load())
+		}
+		b.lock.Unlock()
+		r.count.Add(key, -1)
+		return cur.val, true
+	}
+}
+
+// Len returns the element count from the striped counter: O(shards),
+// independent of the table size. Exact when quiescent, approximate under
+// concurrent updates (like every Len in the library).
+func (r *Resizable) Len() int { return int(r.count.Sum()) }
+
+// Buckets returns the current root slab's bucket count (racy; for tests
+// and monitoring).
+func (r *Resizable) Buckets() int { return len(r.root.Load().buckets) }
+
+// help migrates up to migrateQuantum buckets of the root slab if a resize
+// is in flight. When no resize is running it costs one pointer load.
+func (r *Resizable) help() {
+	t := r.root.Load()
+	next := t.next.Load()
+	if next == nil {
+		return
+	}
+	n := int64(len(t.buckets))
+	for q := 0; q < migrateQuantum; q++ {
+		idx := t.cursor.Add(1) - 1
+		if idx >= n {
+			return
+		}
+		t.migrateBucket(int(idx), next)
+		if t.migrated.Add(1) == n {
+			// Every bucket is forwarded: retire the old slab. Exactly one
+			// helper observes the final count, so the CAS is unambiguous.
+			r.root.CompareAndSwap(t, next)
+			return
+		}
+	}
+}
+
+// maybeGrow links a doubled slab behind the deepest one when the load
+// factor passes maxLoad. The CAS makes concurrent growers idempotent.
+func (r *Resizable) maybeGrow() {
+	t := r.root.Load()
+	for n := t.next.Load(); n != nil; n = t.next.Load() {
+		t = n
+	}
+	if r.count.Sum() <= int64(len(t.buckets))*maxLoad {
+		return
+	}
+	t.next.CompareAndSwap(nil, newRTable(len(t.buckets)*2))
+}
+
+// migrateBucket moves bucket i into next and forwards it. The copy is an
+// OPTIK critical section on the bucket's lock: concurrent feasible updates
+// fail TryLockVersion and retry until they observe the sentinel, and the
+// version bump on unlock sends optimistic readers back around. The old
+// inline slots and chain nodes are left untouched — readers that entered
+// before forwarding finish against a consistent (if stale) snapshot, and
+// their version validation or the sentinel decides what they may return.
+func (t *rtable) migrateBucket(i int, next *rtable) {
+	b := &t.buckets[i]
+	b.lock.Lock()
+	for s := range b.inline {
+		if k := b.inline[s].key.Load(); k != 0 {
+			insertMoved(next, k, b.inline[s].val.Load())
+		}
+	}
+	for cur := b.head.Load(); cur != nil; cur = cur.next.Load() {
+		insertMoved(next, cur.key, cur.val)
+	}
+	b.head.Store(&forwarded)
+	b.lock.Unlock()
+}
+
+// insertMoved inserts a migrated entry into t, following forwarded buckets
+// into deeper slabs (a cascaded resize may already have forwarded the
+// destination). No duplicate check: the key's source bucket is locked by
+// the caller, so the key cannot exist anywhere ahead. No counting either —
+// migration moves entries, it does not create them.
+func insertMoved(t *rtable, key, val uint64) {
+	var bo backoff.Backoff
+	for {
+		b := &t.buckets[t.index(key)]
+		vn := b.lock.GetVersion()
+		head := b.head.Load()
+		if head == &forwarded {
+			t = t.next.Load()
+			continue
+		}
+		free := -1
+		for i := range b.inline {
+			if b.inline[i].key.Load() == 0 {
+				free = i
+				break
+			}
+		}
+		var pred *chainNode
+		cur := head
+		for cur != nil && cur.key < key {
+			pred, cur = cur, cur.next.Load()
+		}
+		if !b.lock.TryLockVersion(vn) {
+			bo.Wait()
+			continue
+		}
+		b.put(key, val, free, pred, cur)
+		b.lock.Unlock()
+		return
+	}
+}

@@ -1,0 +1,245 @@
+package hashmap
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/backoff"
+	"github.com/optik-go/optik/internal/core"
+)
+
+// This file implements the cache-conscious bucket slab shared by Slab and
+// Resizable. OptikGL stores bucket locks and head pointers in two separate
+// densely-packed arrays: eight core.Locks share a cache line, so every
+// update CAS false-shares with seven neighbor buckets, and even an
+// uncontended operation takes two misses (the lock line plus the head
+// line). A slab bucket instead packs everything an operation touches into
+// exactly one 64-byte line:
+//
+//	lock (8B) | overflow head (8B) | 3 × inline key/value pair (48B)
+//
+// The inline prefix is an arraymap-style fixed array, so at the paper's
+// load factor (about one element per bucket) the common hit, miss, insert
+// and delete all complete inside a single cache line; only buckets holding
+// four or more keys spill into a sorted overflow chain, which reuses the
+// chainNode layout of the other tables.
+
+// inlinePairs is the number of key/value pairs stored inside the bucket
+// line itself. 3 is what fits: 64 = 8 (lock) + 8 (head) + 3×16.
+const inlinePairs = 3
+
+// pairSlot is one inline slot. Key 0 marks the slot free (user keys are in
+// [ds.MinKey, ds.MaxKey], as in arraymap). The fields are atomics so
+// lock-free readers race cleanly with locked writers.
+type pairSlot struct {
+	key atomic.Uint64
+	val atomic.Uint64
+}
+
+// bucket is one slab bucket, exactly one cache line. The OPTIK lock's
+// version doubles as the validation word for the inline prefix: a search
+// that matches an inline key re-checks the version to know it read the
+// key/value pair atomically, and a feasible update's TryLockVersion proves
+// its optimistic scan (free slot, chain position) is still valid.
+type bucket struct {
+	lock   core.Lock
+	head   atomic.Pointer[chainNode] // sorted overflow chain
+	inline [inlinePairs]pairSlot
+}
+
+// Compile-time proof that a bucket fills exactly one cache line: either
+// expression overflows uint64 if the size drifts.
+const (
+	_ = uint64(core.CacheLineSize - unsafe.Sizeof(bucket{}))
+	_ = uint64(unsafe.Sizeof(bucket{}) - core.CacheLineSize)
+)
+
+// search is the one-line fast path (fixed-table flavor: a miss returns
+// without validation, which is linearizable because a key can only change
+// buckets through a delete→insert pair, i.e. through an absence instant).
+// An inline hit validates the version so the key/value pair is atomic.
+func (b *bucket) search(key uint64) (uint64, bool) {
+restart:
+	vn := b.lock.GetVersionWait()
+	for i := range b.inline {
+		if b.inline[i].key.Load() == key {
+			val := b.inline[i].val.Load()
+			if b.lock.GetVersion().Same(vn) {
+				return val, true
+			}
+			goto restart
+		}
+	}
+	for cur := b.head.Load(); cur != nil && cur.key <= key; cur = cur.next.Load() {
+		if cur.key == key {
+			return cur.val, true
+		}
+	}
+	return 0, false
+}
+
+// insert adds key→val if absent. The optimistic scan finds a duplicate
+// (return false, no locking), a free inline slot, or the sorted chain
+// position; TryLockVersion validates all of it in one CAS.
+func (b *bucket) insert(key, val uint64) bool {
+	var bo backoff.Backoff
+	for {
+		vn := b.lock.GetVersion()
+		free := -1
+		for i := range b.inline {
+			switch b.inline[i].key.Load() {
+			case key:
+				return false // infeasible: no locking at all
+			case 0:
+				if free < 0 {
+					free = i
+				}
+			}
+		}
+		var pred *chainNode
+		cur := b.head.Load()
+		for cur != nil && cur.key < key {
+			pred, cur = cur, cur.next.Load()
+		}
+		if cur != nil && cur.key == key {
+			return false // infeasible: no locking at all
+		}
+		if !b.lock.TryLockVersion(vn) {
+			bo.Wait()
+			continue
+		}
+		b.put(key, val, free, pred, cur)
+		b.lock.Unlock()
+		return true
+	}
+}
+
+// put writes a validated insertion: into inline slot free if one was
+// observed, otherwise linked into the sorted chain between pred and cur.
+// The caller holds the bucket lock with the scan's version validated, so
+// the slot is still free and the chain position still current.
+func (b *bucket) put(key, val uint64, free int, pred, cur *chainNode) {
+	if free >= 0 {
+		b.inline[free].val.Store(val)
+		b.inline[free].key.Store(key)
+		return
+	}
+	n := &chainNode{key: key, val: val}
+	n.next.Store(cur)
+	if pred == nil {
+		b.head.Store(n)
+	} else {
+		pred.next.Store(n)
+	}
+}
+
+// del removes key, returning its value, if present. A miss returns without
+// locking (fixed-table flavor, same argument as search).
+func (b *bucket) del(key uint64) (uint64, bool) {
+	var bo backoff.Backoff
+	for {
+		vn := b.lock.GetVersion()
+		slot := -1
+		for i := range b.inline {
+			if b.inline[i].key.Load() == key {
+				slot = i
+				break
+			}
+		}
+		if slot >= 0 {
+			if !b.lock.TryLockVersion(vn) {
+				bo.Wait()
+				continue
+			}
+			// Validated: the slot still holds key, so the value is its.
+			val := b.inline[slot].val.Load()
+			b.inline[slot].key.Store(0)
+			b.lock.Unlock()
+			return val, true
+		}
+		var pred *chainNode
+		cur := b.head.Load()
+		for cur != nil && cur.key < key {
+			pred, cur = cur, cur.next.Load()
+		}
+		if cur == nil || cur.key != key {
+			return 0, false // infeasible: no locking at all
+		}
+		if !b.lock.TryLockVersion(vn) {
+			bo.Wait()
+			continue
+		}
+		if pred == nil {
+			b.head.Store(cur.next.Load())
+		} else {
+			pred.next.Store(cur.next.Load())
+		}
+		b.lock.Unlock()
+		return cur.val, true
+	}
+}
+
+// size counts the bucket's elements (racy, for Len).
+func (b *bucket) size() int {
+	n := 0
+	for i := range b.inline {
+		if b.inline[i].key.Load() != 0 {
+			n++
+		}
+	}
+	for cur := b.head.Load(); cur != nil && cur != &forwarded; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}
+
+// Slab is OptikGL rebuilt on the contiguous bucket slab: the same
+// per-bucket OPTIK locking discipline (searches and infeasible updates
+// never lock; feasible updates validate-and-lock in one CAS) with the
+// cache-line bucket layout, so the common path costs one cache miss
+// instead of OptikGL's two and bucket locks never false-share.
+type Slab struct {
+	buckets []bucket
+}
+
+var _ ds.Set = (*Slab)(nil)
+
+// NewSlab returns a fixed-capacity slab table with nbuckets buckets.
+func NewSlab(nbuckets int) *Slab {
+	if nbuckets <= 0 {
+		panic("hashmap: nbuckets must be positive")
+	}
+	return &Slab{buckets: make([]bucket, nbuckets)}
+}
+
+func (t *Slab) bucket(key uint64) *bucket {
+	return &t.buckets[bucketIndex(key, len(t.buckets))]
+}
+
+// Search returns the value stored under key, if present, without locking.
+func (t *Slab) Search(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	return t.bucket(key).search(key)
+}
+
+// Insert adds key→val if absent.
+func (t *Slab) Insert(key, val uint64) bool {
+	ds.CheckKey(key)
+	return t.bucket(key).insert(key, val)
+}
+
+// Delete removes key, returning its value, if present.
+func (t *Slab) Delete(key uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	return t.bucket(key).del(key)
+}
+
+// Len sums the bucket sizes (not linearizable).
+func (t *Slab) Len() int {
+	n := 0
+	for i := range t.buckets {
+		n += t.buckets[i].size()
+	}
+	return n
+}

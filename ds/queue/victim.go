@@ -24,7 +24,10 @@ const DefaultVictimThreshold = 2
 // makes their elements visible and linearizable).
 type OptikVictim struct {
 	optikBase
-	tailLock  core.TicketLock
+	// The ticket-based tail lock is the hottest word in the structure
+	// (every enqueue at least polls NumQueued on it); padding keeps its
+	// line clear of the victim-queue fields below.
+	tailLock  core.PaddedTicketLock
 	threshold uint32
 
 	victim struct {

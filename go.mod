@@ -1,0 +1,3 @@
+module github.com/optik-go/optik
+
+go 1.24

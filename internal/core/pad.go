@@ -1,0 +1,34 @@
+package core
+
+import "unsafe"
+
+// CacheLineSize is the coherence granularity the padded types below target.
+// 64 bytes is correct for every x86-64 and most arm64 parts; on the few
+// 128-byte-line arm64 designs (Apple M-series) two padded values may still
+// share a line, which costs performance, never correctness.
+const CacheLineSize = 64
+
+// CacheLinePad occupies exactly one cache line. Embed it between hot fields
+// (or append it to a struct stored in a dense slice) to keep unrelated
+// writers off each other's lines. It is a plain byte array so it adds no
+// pointers for the garbage collector to scan.
+type CacheLinePad [CacheLineSize]byte
+
+// PaddedLock is an OPTIK Lock padded to a full cache line. Slices of
+// PaddedLock give every lock a private line: eight unpadded Locks share one
+// line, so under contention every acquisition CAS invalidates seven
+// innocent neighbors (false sharing). Use it wherever locks are stored
+// densely and contended independently — per-bucket lock arrays, striped
+// lock tables. The zero value is an unlocked lock.
+type PaddedLock struct {
+	Lock
+	_ [CacheLineSize - unsafe.Sizeof(Lock{})]byte
+}
+
+// PaddedTicketLock is a TicketLock padded to a full cache line, for dense
+// arrays of fair per-slot locks (the victim-queue designs of §5.4 index
+// ticket locks by slot).
+type PaddedTicketLock struct {
+	TicketLock
+	_ [CacheLineSize - unsafe.Sizeof(TicketLock{})]byte
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestPaddedSizes(t *testing.T) {
+	if got := unsafe.Sizeof(PaddedLock{}); got != CacheLineSize {
+		t.Fatalf("PaddedLock size = %d, want %d", got, CacheLineSize)
+	}
+	if got := unsafe.Sizeof(PaddedTicketLock{}); got != CacheLineSize {
+		t.Fatalf("PaddedTicketLock size = %d, want %d", got, CacheLineSize)
+	}
+	if got := unsafe.Sizeof(stripedCell{}); got < CacheLineSize {
+		t.Fatalf("stripedCell size = %d, want >= %d", got, CacheLineSize)
+	}
+}
+
+func TestPaddedLockBehaves(t *testing.T) {
+	// The embedded lock must work exactly like a bare one.
+	var locksArr [4]PaddedLock
+	l := &locksArr[2]
+	v := l.GetVersion()
+	if !l.TryLockVersion(v) {
+		t.Fatal("TryLockVersion on fresh padded lock failed")
+	}
+	l.Unlock()
+	if l.GetVersion().Same(v) {
+		t.Fatal("version did not advance across a critical section")
+	}
+}
+
+func TestStripedSumQuiescentExact(t *testing.T) {
+	s := NewStriped(8)
+	if s.Shards() != 8 {
+		t.Fatalf("Shards = %d, want 8", s.Shards())
+	}
+	const workers, iters = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Add(id*7919+uint64(i), 1)
+				if i%2 == 0 {
+					s.Add(uint64(i), -1)
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	want := int64(workers * (iters - iters/2))
+	if got := s.Sum(); got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+}
+
+func TestStripedShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 1}, {3, 4}, {8, 8}, {9, 16}} {
+		if got := NewStriped(tc.in).Shards(); got != tc.want {
+			t.Fatalf("NewStriped(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if NewStriped(0).Shards() < 1 {
+		t.Fatal("machine-sized counter has no shards")
+	}
+}
+
+func TestStripedAddReturnsCellValue(t *testing.T) {
+	s := NewStriped(1) // single cell: Add returns the running total
+	for i := int64(1); i <= 5; i++ {
+		if got := s.Add(uint64(i*13), 1); got != i {
+			t.Fatalf("Add #%d returned %d", i, got)
+		}
+	}
+}

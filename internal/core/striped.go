@@ -1,0 +1,65 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Striped is a sharded counter for hot add paths: increments go to one of
+// several cache-line-padded cells selected by a caller-supplied hint, and
+// reading the total sums the cells. A single shared counter word would make
+// every successful update of a large concurrent structure serialize on one
+// cache line; striping spreads that traffic, and Sum stays O(shards) —
+// constant in the element count — which is what makes a cheap Len() on a
+// million-element table possible.
+//
+// Sum is not linearizable with respect to concurrent Adds (it reads the
+// cells one by one); on a quiescent counter it is exact, matching the
+// contract of the Len methods it backs.
+type Striped struct {
+	cells []stripedCell
+	mask  uint64
+}
+
+// stripedCell pads each counter word to a private cache line so concurrent
+// Adds to different shards never false-share.
+type stripedCell struct {
+	n atomic.Int64
+	_ CacheLinePad
+}
+
+// NewStriped returns a striped counter with at least the given number of
+// cells, rounded up to a power of two. shards <= 0 sizes the counter to the
+// machine (next power of two >= GOMAXPROCS).
+func NewStriped(shards int) *Striped {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &Striped{cells: make([]stripedCell, n), mask: uint64(n - 1)}
+}
+
+// Add applies delta to the cell selected by hint and returns that cell's
+// new value (useful for amortized threshold checks: act when the cell value
+// crosses a boundary, not on every call). The hint is typically a key hash;
+// any well-spread value works.
+func (s *Striped) Add(hint uint64, delta int64) int64 {
+	// Fibonacci-mix the hint so dense hint sequences still spread.
+	return s.cells[(hint*0x9E3779B97F4A7C15)>>32&s.mask].n.Add(delta)
+}
+
+// Sum returns the total across all cells: O(shards), independent of how
+// many Adds ever happened.
+func (s *Striped) Sum() int64 {
+	var total int64
+	for i := range s.cells {
+		total += s.cells[i].n.Load()
+	}
+	return total
+}
+
+// Shards returns the number of cells.
+func (s *Striped) Shards() int { return len(s.cells) }

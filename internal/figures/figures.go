@@ -5,8 +5,10 @@
 package figures
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"github.com/optik-go/optik/ds"
@@ -26,6 +28,54 @@ type RunOpts struct {
 	Duration time.Duration
 	Reps     int
 	Out      io.Writer
+	// Record, when non-nil, additionally collects every measured data
+	// point for machine-readable output (cmd/optik-bench -json).
+	Record *Recorder
+}
+
+// Row is one measured data point in the shape the -json output emits, so
+// the perf trajectory can be tracked across changes.
+type Row struct {
+	Figure   string  `json:"figure"`
+	Workload string  `json:"workload,omitempty"`
+	Impl     string  `json:"impl"`
+	Threads  int     `json:"threads"`
+	Mops     float64 `json:"mops"`
+	// CASPerValidation is only set by the lock figure (Figure 5).
+	CASPerValidation float64 `json:"cas_per_validation,omitempty"`
+}
+
+// Recorder accumulates rows for machine-readable output. The figure
+// runners drive it from a single goroutine; it needs no locking.
+type Recorder struct {
+	Rows []Row
+}
+
+// add appends a row; a nil recorder records nothing, so call sites don't
+// need guards.
+func (r *Recorder) add(row Row) {
+	if r != nil {
+		r.Rows = append(r.Rows, row)
+	}
+}
+
+// WriteJSON writes the recorded rows plus run metadata as an indented JSON
+// document.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	doc := struct {
+		GeneratedAt string `json:"generated_at"`
+		GoVersion   string `json:"go_version"`
+		MaxProcs    int    `json:"maxprocs"`
+		Rows        []Row  `json:"rows"`
+	}{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		Rows:        r.Rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // DefaultThreads is the default sweep.
@@ -122,6 +172,19 @@ func HashAlgos(buckets int) []NamedSet {
 	}
 }
 
+// ResizeAlgos returns the resize-under-load series: the fixed-capacity
+// tables built at the ramp's start size versus the resizable slab table.
+// (OptikMap is excluded: its fixed-capacity buckets reject insertions once
+// full, so it cannot absorb the ramp at all.)
+func ResizeAlgos(startBuckets int) []NamedSet {
+	return []NamedSet{
+		{"lazy-gl-fixed", func() ds.Set { return hashmap.NewLazyGL(startBuckets) }},
+		{"optik-gl-fixed", func() ds.Set { return hashmap.NewOptikGL(startBuckets) }},
+		{"slab-fixed", func() ds.Set { return hashmap.NewSlab(startBuckets) }},
+		{"resizable", func() ds.Set { return hashmap.NewResizable(startBuckets) }},
+	}
+}
+
 // SkiplistAlgos returns the Figure-11 series in graph order.
 func SkiplistAlgos() []NamedSet {
 	return []NamedSet{
@@ -191,6 +254,7 @@ func runSetSeries(o RunOpts, title string, wl SetWorkload, algos []NamedSet) {
 				return workload.RunSet(cfg, a.New)
 			})
 			fmt.Fprintf(o.Out, "%12.3f", res.Mops)
+			o.Record.add(Row{Figure: title, Workload: wl.Label, Impl: a.Name, Threads: th, Mops: res.Mops})
 		}
 		fmt.Fprintln(o.Out)
 	}
@@ -222,6 +286,10 @@ func Fig5(o RunOpts) {
 		results := make([]workload.LockResult, len(workload.LockImpls))
 		for i, impl := range workload.LockImpls {
 			results[i] = workload.RunLock(workload.LockConfig{Threads: th, Duration: o.Duration}, impl)
+			o.Record.add(Row{
+				Figure: "Figure 5", Workload: "locks", Impl: string(impl), Threads: th,
+				Mops: results[i].Mops, CASPerValidation: results[i].CASPerValidation,
+			})
 		}
 		for _, r := range results {
 			fmt.Fprintf(o.Out, "%24.3f", r.Mops)
@@ -335,6 +403,7 @@ func Fig12(o RunOpts) {
 					return workload.RunQueue(cfg, a.New)
 				})
 				fmt.Fprintf(o.Out, "%12.3f", res.Mops)
+				o.Record.add(Row{Figure: "Figure 12", Workload: mix.Label, Impl: a.Name, Threads: th, Mops: res.Mops})
 			}
 			fmt.Fprintln(o.Out)
 		}
@@ -349,6 +418,37 @@ func Fig12(o RunOpts) {
 		res := workload.RunQueue(cfg, a.New)
 		fmt.Fprintf(o.Out, "%-8s enqueue  %s\n", a.Name, res.EnqLatency)
 		fmt.Fprintf(o.Out, "%-8s dequeue  %s\n", a.Name, res.DeqLatency)
+	}
+	fmt.Fprintln(o.Out)
+}
+
+// FigResize runs the resize-under-load scenario (beyond the paper, which
+// only sizes tables statically): structures start with 1k elements and 1k
+// buckets, then absorb an insert-heavy ramp to 1M elements with 10%
+// searches mixed in. Fixed-bucket tables degrade to thousand-node chains;
+// the resizable slab migrates buckets concurrently with the traffic.
+func FigResize(o RunOpts) { figResize(o, 1000, 1_000_000) }
+
+// figResize is FigResize with the scale exposed for fast smoke tests.
+func figResize(o RunOpts, start, target int) {
+	o = o.Normalize()
+	wlLabel := fmt.Sprintf("ramp %d to %d", start, target)
+	fmt.Fprintf(o.Out, "# Resize — insert-heavy %s, 10%% searches (Mops/s over the whole ramp)\n", wlLabel)
+	fmt.Fprintf(o.Out, "%-8s", "threads")
+	for _, a := range ResizeAlgos(start) {
+		fmt.Fprintf(o.Out, "%16s", a.Name)
+	}
+	fmt.Fprintln(o.Out)
+	for _, th := range o.Threads {
+		fmt.Fprintf(o.Out, "%-8d", th)
+		for _, a := range ResizeAlgos(start) {
+			res := workload.RunRamp(workload.RampConfig{
+				Threads: th, StartSize: start, TargetSize: target, SearchPct: 10,
+			}, a.New)
+			fmt.Fprintf(o.Out, "%16.3f", res.Mops)
+			o.Record.add(Row{Figure: "Resize", Workload: wlLabel, Impl: a.Name, Threads: th, Mops: res.Mops})
+		}
+		fmt.Fprintln(o.Out)
 	}
 	fmt.Fprintln(o.Out)
 }
@@ -368,13 +468,14 @@ func Stacks(o RunOpts) {
 		for _, a := range StackAlgos() {
 			res := workload.RunStack(th, o.Duration, a.New)
 			fmt.Fprintf(o.Out, "%12.3f", res)
+			o.Record.add(Row{Figure: "Stacks", Workload: "50/50", Impl: a.Name, Threads: th, Mops: res})
 		}
 		fmt.Fprintln(o.Out)
 	}
 	fmt.Fprintln(o.Out)
 }
 
-// All regenerates every figure.
+// All regenerates every figure, plus the resize-under-load scenario.
 func All(o RunOpts) {
 	Fig5(o)
 	Fig7(o)
@@ -383,4 +484,5 @@ func All(o RunOpts) {
 	Fig11(o)
 	Fig12(o)
 	Stacks(o)
+	FigResize(o)
 }

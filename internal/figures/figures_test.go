@@ -2,6 +2,7 @@ package figures
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -55,6 +56,52 @@ func TestEveryFigureEmitsItsSeries(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+func TestFigResizeEmitsSeriesAndRecords(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOpts(&buf)
+	rec := &Recorder{}
+	o.Record = rec
+	figResize(o, 64, 2000) // tiny ramp: still several doublings for resizable
+	out := buf.String()
+	for _, want := range []string{"Resize", "lazy-gl-fixed", "optik-gl-fixed", "slab-fixed", "resizable"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got, want := len(rec.Rows), len(ResizeAlgos(64)); got != want {
+		t.Fatalf("recorded %d rows, want %d", got, want)
+	}
+	for _, row := range rec.Rows {
+		if row.Figure != "Resize" || row.Threads != 2 || row.Mops <= 0 {
+			t.Fatalf("bad row: %+v", row)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := rec.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		GoVersion string `json:"go_version"`
+		Rows      []Row  `json:"rows"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON output does not parse: %v\n%s", err, js.String())
+	}
+	if doc.GoVersion == "" || len(doc.Rows) != len(rec.Rows) {
+		t.Fatalf("JSON document incomplete: %s", js.String())
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOpts(&buf) // Record left nil
+	Fig5(o)
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Fatal("Fig5 with nil recorder produced no output")
 	}
 }
 

@@ -1,0 +1,25 @@
+package locks
+
+import (
+	"unsafe"
+
+	"github.com/optik-go/optik/internal/core"
+)
+
+// Padded lock variants for dense lock arrays. A bare TAS is 4 bytes and a
+// Ticket 8, so slices pack 8–16 locks per cache line and every acquisition
+// CAS invalidates the neighbors' lines (false sharing). The padded forms
+// trade memory for a private line per lock; use them for striped/segment
+// lock tables, keep the bare forms for locks that live alone in a struct.
+
+// PaddedTAS is a test-and-set lock padded to a full cache line.
+type PaddedTAS struct {
+	TAS
+	_ [core.CacheLineSize - unsafe.Sizeof(TAS{})]byte
+}
+
+// PaddedTicket is a fair ticket lock padded to a full cache line.
+type PaddedTicket struct {
+	Ticket
+	_ [core.CacheLineSize - unsafe.Sizeof(Ticket{})]byte
+}

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/ds/hashmap"
+)
+
+func TestRunRampReachesTarget(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() ds.Set
+	}{
+		{"resizable", func() ds.Set { return hashmap.NewResizable(64) }},
+		{"slab-fixed", func() ds.Set { return hashmap.NewSlab(64) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := RunRamp(RampConfig{
+				Threads: 4, StartSize: 64, TargetSize: 5000, SearchPct: 10,
+			}, tc.mk)
+			if res.FinalLen < 5000 {
+				t.Fatalf("FinalLen = %d, want >= 5000", res.FinalLen)
+			}
+			// Workers overshoot by at most one batch each.
+			if max := 5000 + 4*rampBatch; res.FinalLen > max {
+				t.Fatalf("FinalLen = %d, want <= %d", res.FinalLen, max)
+			}
+			if res.Mops <= 0 || res.Ops == 0 || res.Elapsed <= 0 {
+				t.Fatalf("degenerate result: %+v", res)
+			}
+		})
+	}
+}
+
+func TestRunRampValidatesConfig(t *testing.T) {
+	for _, cfg := range []RampConfig{
+		{Threads: 0, StartSize: 10, TargetSize: 100},
+		{Threads: 1, StartSize: 0, TargetSize: 100},
+		{Threads: 1, StartSize: 100, TargetSize: 100},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v did not panic", cfg)
+				}
+			}()
+			RunRamp(cfg, func() ds.Set { return hashmap.NewResizable(8) })
+		}()
+	}
+}
