@@ -237,6 +237,45 @@ func BenchmarkResizeRamp(b *testing.B) {
 	}
 }
 
+// BenchmarkChurn drives the delete-heavy churn scenario: two grow/drain
+// cycles between 100k elements and 100k/16, with searches mixed in. The
+// resizable table must shrink back between cycles (final-buckets metric);
+// the fixed slab is the no-migration foil. The read-heavy variant (90%
+// searches) checks that readers stay lock-free through the shrink: its
+// search p50/p99 against the fixed slab is the regression guard for the
+// migration protocol's read path.
+func BenchmarkChurn(b *testing.B) {
+	const peak = 100_000
+	impls := []figures.NamedSet{
+		{Name: "resizable", New: func() ds.Set { return hashmap.NewResizable(peak / 8) }},
+		{Name: "slab-fixed", New: func() ds.Set { return hashmap.NewSlab(peak / 8) }},
+	}
+	for _, mix := range []struct {
+		label     string
+		searchPct int
+	}{{"update-heavy", 30}, {"read-heavy", 90}} {
+		for _, impl := range impls {
+			for _, th := range benchThreads {
+				b.Run(fmt.Sprintf("%s/%s/threads=%d", mix.label, impl.Name, th), func(b *testing.B) {
+					var res workload.ChurnResult
+					for i := 0; i < b.N; i++ {
+						res = workload.RunChurn(workload.ChurnConfig{
+							Threads: th, PeakSize: peak, Cycles: 2,
+							SearchPct: mix.searchPct, SampleLatency: true,
+						}, impl.New)
+					}
+					b.ReportMetric(res.Mops, "Mops/s")
+					b.ReportMetric(res.SearchLatency.P50, "search-p50-ns")
+					b.ReportMetric(res.SearchLatency.P99, "search-p99-ns")
+					b.ReportMetric(res.Latency.Max, "max-ns")
+					b.ReportMetric(float64(res.FinalBuckets), "final-buckets")
+					b.ReportMetric(0, "ns/op")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkAblationNodeCache isolates the node-caching technique (§5.1):
 // the same fine-grained OPTIK list with and without per-goroutine caches,
 // on the large list where the paper reports ~50% gains.

@@ -6,7 +6,7 @@
 //	optik-bench [flags] <figure>
 //
 // where <figure> is one of: fig5, fig7, fig9, fig10, fig11, fig12, stacks,
-// resize, all.
+// resize, churn, all.
 //
 // Flags:
 //
@@ -15,8 +15,10 @@
 //	          uses 5s — pass -duration 5s -reps 11 for paper-scale runs)
 //	-reps     repetitions per point, median reported (default 3)
 //	-json     also write every measured point (impl, threads, Mops/s,
-//	          CAS/validation) as a JSON document to the given file, so the
-//	          perf trajectory can be tracked across changes
+//	          CAS/validation, latency tail) as a JSON document to the given
+//	          file, so the perf trajectory can be tracked across changes
+//	-churn-peak  peak element count of the churn figure (default 100000;
+//	          CI passes a small peak to keep the sweep short)
 //
 // Example:
 //
@@ -39,8 +41,9 @@ func main() {
 	durationFlag := flag.Duration("duration", 100*time.Millisecond, "duration per measured run")
 	repsFlag := flag.Int("reps", 3, "repetitions per data point (median reported)")
 	jsonFlag := flag.String("json", "", "write machine-readable results (JSON) to this file")
+	churnPeakFlag := flag.Int("churn-peak", 0, "peak element count for the churn figure (0 = default 100000)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|churn|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,10 +58,11 @@ func main() {
 		os.Exit(2)
 	}
 	opts := figures.RunOpts{
-		Threads:  threads,
-		Duration: *durationFlag,
-		Reps:     *repsFlag,
-		Out:      os.Stdout,
+		Threads:   threads,
+		Duration:  *durationFlag,
+		Reps:      *repsFlag,
+		Out:       os.Stdout,
+		ChurnPeak: *churnPeakFlag,
 	}
 	var rec *figures.Recorder
 	if *jsonFlag != "" {
@@ -76,6 +80,7 @@ func main() {
 		"fig12":  figures.Fig12,
 		"stacks": figures.Stacks,
 		"resize": figures.FigResize,
+		"churn":  figures.FigChurn,
 		"all":    figures.All,
 	}
 	run, ok := runners[figure]

@@ -27,6 +27,7 @@ import (
 	"github.com/optik-go/optik/ds/skiplist"
 	"github.com/optik-go/optik/internal/linearize"
 	"github.com/optik-go/optik/internal/rng"
+	"github.com/optik-go/optik/internal/workload"
 )
 
 func main() {
@@ -93,7 +94,11 @@ func main() {
 		}
 	}
 
+	churn := all || want["hashmaps"]
 	total := len(sets) + len(queues)
+	if churn {
+		total++
+	}
 	if total == 0 {
 		fmt.Fprintln(os.Stderr, "optik-stress: nothing selected")
 		os.Exit(2)
@@ -110,6 +115,11 @@ func main() {
 			failures++
 		}
 	}
+	if churn {
+		if !stressResizableChurn(*threads) {
+			failures++
+		}
+	}
 	for name, mk := range queues {
 		ok := stressQueue("queues/"+name, mk, *threads, per)
 		if !ok {
@@ -121,6 +131,43 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("OK: %d structures stressed for %v total\n", total, *duration)
+}
+
+// stressResizableChurn hammers the resizable hash map through two full
+// grow/drain cycles (work-bound, so it ignores the per-structure time
+// budget) and verifies the shrink path end to end: exact conservation
+// between the net of successful updates and the final count, no migration
+// left in flight, and the bucket count back within 2× of the initial one
+// instead of stranded at the peak.
+func stressResizableChurn(threads int) bool {
+	const (
+		peak  = 30000
+		start = peak / 8
+	)
+	floor := 1 // NewResizable rounds start up to a power of two
+	for floor < start {
+		floor <<= 1
+	}
+	name := "hashmaps/resizable-churn"
+	res := workload.RunChurn(workload.ChurnConfig{
+		Threads: threads, PeakSize: peak, Cycles: 2, SearchPct: 20,
+	}, func() ds.Set { return hashmap.NewResizable(start) })
+	if res.FinalLen != res.Net {
+		fmt.Printf("%-24s CONSERVATION VIOLATION: len=%d net=%d\n", name, res.FinalLen, res.Net)
+		return false
+	}
+	if res.FinalBuckets > 2*floor {
+		fmt.Printf("%-24s SHRINK FAILURE: %d buckets left for %d elements (floor %d)\n",
+			name, res.FinalBuckets, res.FinalLen, floor)
+		return false
+	}
+	if res.Resizes < 3 {
+		fmt.Printf("%-24s SHRINK FAILURE: only %d resizes across two churn cycles\n", name, res.Resizes)
+		return false
+	}
+	fmt.Printf("%-24s ok (conservation + shrink: %d ops, %d resizes, %d final buckets)\n",
+		name, res.Ops, res.Resizes, res.FinalBuckets)
+	return true
 }
 
 // stressSet runs (a) a conservation stress and (b) a linearizability check

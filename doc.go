@@ -30,8 +30,12 @@
 // slab of 64-byte buckets that co-locate each bucket's OPTIK lock, chain
 // head and a small inline key/value prefix, so the common operation touches
 // exactly one cache line: hashmap.Slab (fixed capacity) and
-// hashmap.Resizable, which grows under load with lock-free reads across an
-// old/new slab pair and per-bucket OPTIK-validated incremental migration.
+// hashmap.Resizable, which resizes in both directions under load — growing
+// past its load threshold and shrinking (never below its initial floor)
+// when deletes drain it — with lock-free reads across the old/new slab
+// pair and per-bucket OPTIK-validated incremental migration either way: a
+// grow migrates one bucket at a time, a shrink merges each old bucket pair
+// into its single half-table target under both buckets' OPTIK locks.
 // The padding and striped-counter primitives behind them are reusable:
 // Lock is complemented by cache-line-padded forms for dense lock arrays
 // (internal/core's PaddedLock and PaddedTicketLock, internal/locks'

@@ -28,11 +28,14 @@
 //     across two lines, so even an uncontended operation takes two misses.
 //     The slab bucket makes the common hit/miss/insert/delete path touch
 //     exactly one line and gives every bucket lock a private line.
-//   - Resizable ("resizable"): the slab plus optimistic growth — lock-free
-//     reads across an old/new slab pair, per-bucket OPTIK-validated
-//     incremental migration, and a striped size counter that triggers
-//     doubling and makes Len O(shards) instead of O(n). See resizable.go
-//     for the design.
+//   - Resizable ("resizable"): the slab plus optimistic resizing in both
+//     directions — lock-free reads across an old/new slab pair, per-bucket
+//     OPTIK-validated incremental migration (bucket-at-a-time growing,
+//     bucket-pair merges under both OPTIK locks shrinking), and a striped
+//     size counter whose hysteresis band (double past load 2, halve below
+//     load 1/4, never below the initial floor) triggers the resizes and
+//     makes Len O(shards) instead of O(n). See resizable.go for the
+//     design.
 package hashmap
 
 import (

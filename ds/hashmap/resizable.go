@@ -8,11 +8,12 @@ import (
 	"github.com/optik-go/optik/internal/core"
 )
 
-// Resizable is the first growing structure in the library: a hash table on
-// the cache-line bucket slab that doubles its bucket count under load,
-// following the paper's discipline end to end — reads stay lock-free and
-// optimistic across the resize, and every write (including the migration
-// of a bucket) is a per-bucket OPTIK critical section.
+// Resizable is a hash table on the cache-line bucket slab that resizes in
+// both directions under load — doubling past maxLoad, halving below the
+// shrink threshold — following the paper's discipline end to end: reads
+// stay lock-free and optimistic across any resize, and every write
+// (including the migration of a bucket) is a per-bucket OPTIK critical
+// section.
 //
 // The design:
 //
@@ -21,17 +22,36 @@ import (
 //     pointer load.
 //   - A striped, cache-line-padded size counter (core.Striped) tracks the
 //     element count. When the load factor passes maxLoad, the deepest
-//     slab links an empty slab of twice the size as its next.
-//   - Migration is incremental and cooperative: each update claims up to
-//     migrateQuantum buckets of the old slab (an atomic cursor), moves
-//     their entries into the new slab, and forwards them. A migrated
-//     bucket's head points at the forwarding sentinel and stays that way
-//     forever; operations that encounter it simply hop to the next slab.
-//   - Moving a bucket is itself an OPTIK critical section on that bucket's
-//     lock: concurrent feasible updates fail TryLockVersion and retry
-//     until they see the sentinel, and optimistic readers that raced the
-//     copy fail version validation and re-run. When the last bucket is
-//     forwarded, the root pointer advances and the old slab is garbage.
+//     slab links an empty slab of twice the size as its next; when the
+//     count falls below len(buckets)/shrinkLoad (and the slab is above
+//     the floor, the table's initial bucket count), it links one of half
+//     the size instead.
+//   - Migration is incremental and cooperative: each update claims work
+//     from the old slab via an atomic cursor (up to migrateQuantum claims
+//     per update), moves the claimed entries into the new slab, and
+//     forwards the source buckets. A migrated bucket's head points at the
+//     forwarding sentinel and stays that way forever; operations that
+//     encounter it simply hop to the next slab.
+//   - Growing, a claim is one bucket, whose entries split across two new
+//     buckets. Shrinking, a claim is a bucket *pair*: old buckets i and
+//     i+n/2 are exactly the two whose contents hash to new bucket i, so
+//     the claimant locks both (a critical section under both OPTIK
+//     locks), merges the pair's inline slots and chains into that single
+//     target bucket, and forwards both. Concurrent feasible updates fail
+//     TryLockVersion against either held lock and retry until they see
+//     the sentinel; optimistic readers that raced the merge fail version
+//     validation and re-run — reads cross a shrink exactly as they cross
+//     a grow, without acquiring anything.
+//   - When the last claim completes, the root pointer advances and the
+//     old slab is garbage.
+//
+// Grow and shrink thresholds are deliberately far apart (load > 2 grows,
+// load < 1/4 shrinks, and the post-resize load lands at 1 and just under
+// 1/2 respectively), so churn at either boundary cannot flap the table
+// between sizes; the floor keeps a delete storm from shrinking a table
+// below its provisioned size. Migration advances only on the backs of
+// updates; Quiesce drives it (and any threshold-pending resize) home when
+// traffic stops.
 //
 // Unlike the fixed tables, the miss paths of Search and Delete must
 // re-validate the bucket version: migration moves a key from the old slab
@@ -45,6 +65,11 @@ import (
 type Resizable struct {
 	root  atomic.Pointer[rtable]
 	count *core.Striped
+	// floor is the initial bucket count; shrinking never goes below it.
+	floor int
+	// resizes counts linked resize slabs, grows and shrinks alike (racy
+	// reads via Resizes; for monitoring and the flapping tests).
+	resizes atomic.Int64
 }
 
 var _ ds.Set = (*Resizable)(nil)
@@ -71,6 +96,14 @@ var forwarded chainNode
 // prefix, so the one-cache-line fast path survives growth.
 const maxLoad = 2
 
+// shrinkLoad is the hysteresis divisor of the halving path: the table
+// shrinks only when fewer than len(buckets)/shrinkLoad elements remain.
+// With maxLoad = 2 the thresholds sit a factor of 8 apart, and a resize
+// lands the load mid-band (1 after a grow, just under 1/2 after a
+// shrink), so no workload oscillating around either boundary can flap
+// the table back and forth.
+const shrinkLoad = 4
+
 // migrateQuantum bounds the helping work one update performs while a
 // resize is in flight: claim and move up to this many old buckets.
 const migrateQuantum = 2
@@ -90,13 +123,13 @@ func NewResizable(nbuckets int) *Resizable {
 	for n < nbuckets {
 		n <<= 1
 	}
-	r := &Resizable{count: core.NewStriped(0)}
+	r := &Resizable{count: core.NewStriped(0), floor: n}
 	r.root.Store(newRTable(n))
 	return r
 }
 
 func newRTable(nbuckets int) *rtable {
-	return &rtable{buckets: make([]bucket, nbuckets), mask: uint64(nbuckets - 1)}
+	return &rtable{buckets: newBucketSlab(nbuckets), mask: uint64(nbuckets - 1)}
 }
 
 // index spreads keys with a Fibonacci multiplicative hash. The fixed
@@ -231,7 +264,7 @@ func (r *Resizable) Delete(key uint64) (uint64, bool) {
 			val := b.inline[slot].val.Load()
 			b.inline[slot].key.Store(0)
 			b.lock.Unlock()
-			r.count.Add(key, -1)
+			r.noteDelete(key)
 			return val, true
 		}
 		var pred *chainNode
@@ -255,42 +288,80 @@ func (r *Resizable) Delete(key uint64) (uint64, bool) {
 			pred.next.Store(cur.next.Load())
 		}
 		b.lock.Unlock()
-		r.count.Add(key, -1)
+		r.noteDelete(key)
 		return cur.val, true
+	}
+}
+
+// noteDelete records a successful removal on the striped counter and, on
+// the same amortization schedule as the growth check, considers shrinking.
+func (r *Resizable) noteDelete(key uint64) {
+	if c := r.count.Add(key, -1); c&growthCheckMask == 0 {
+		r.maybeShrink()
 	}
 }
 
 // Len returns the element count from the striped counter: O(shards),
 // independent of the table size. Exact when quiescent, approximate under
-// concurrent updates (like every Len in the library).
-func (r *Resizable) Len() int { return int(r.count.Sum()) }
+// concurrent updates (like every Len in the library). The sum is clamped
+// at zero: a reader can catch a delete's decrement before the matching
+// insert's increment and see a transiently negative total, which must not
+// leak out as a negative (or, through int truncation, enormous) length.
+func (r *Resizable) Len() int {
+	if n := r.count.Sum(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
 
 // Buckets returns the current root slab's bucket count (racy; for tests
 // and monitoring).
 func (r *Resizable) Buckets() int { return len(r.root.Load().buckets) }
 
-// help migrates up to migrateQuantum buckets of the root slab if a resize
+// Resizes returns how many resizes (grows and shrinks alike) the table has
+// started over its lifetime (racy; for tests and monitoring — the flapping
+// tests assert this stays bounded under threshold oscillation).
+func (r *Resizable) Resizes() int { return int(r.resizes.Load()) }
+
+// help migrates up to migrateQuantum claims of the root slab if a resize
 // is in flight. When no resize is running it costs one pointer load.
+// A claim is one bucket when growing and a bucket pair when shrinking
+// (claims(t, next) counts them).
 func (r *Resizable) help() {
 	t := r.root.Load()
 	next := t.next.Load()
 	if next == nil {
 		return
 	}
-	n := int64(len(t.buckets))
+	total := claims(t, next)
+	shrink := len(next.buckets) < len(t.buckets)
 	for q := 0; q < migrateQuantum; q++ {
 		idx := t.cursor.Add(1) - 1
-		if idx >= n {
+		if idx >= total {
 			return
 		}
-		t.migrateBucket(int(idx), next)
-		if t.migrated.Add(1) == n {
+		if shrink {
+			t.migratePair(int(idx), next)
+		} else {
+			t.migrateBucket(int(idx), next)
+		}
+		if t.migrated.Add(1) == total {
 			// Every bucket is forwarded: retire the old slab. Exactly one
 			// helper observes the final count, so the CAS is unambiguous.
 			r.root.CompareAndSwap(t, next)
 			return
 		}
 	}
+}
+
+// claims returns how many cursor claims migrating t into next takes: one
+// per bucket growing, one per bucket pair shrinking.
+func claims(t, next *rtable) int64 {
+	n := int64(len(t.buckets))
+	if len(next.buckets) < len(t.buckets) {
+		return n / 2
+	}
+	return n
 }
 
 // maybeGrow links a doubled slab behind the deepest one when the load
@@ -303,19 +374,98 @@ func (r *Resizable) maybeGrow() {
 	if r.count.Sum() <= int64(len(t.buckets))*maxLoad {
 		return
 	}
-	t.next.CompareAndSwap(nil, newRTable(len(t.buckets)*2))
+	if t.next.CompareAndSwap(nil, newRTable(len(t.buckets)*2)) {
+		r.resizes.Add(1)
+	}
+}
+
+// maybeShrink links a halved slab behind the deepest one when the element
+// count drops below len(buckets)/shrinkLoad, never below the floor. The
+// CAS makes concurrent shrinkers (and a racing grower) link exactly one
+// successor.
+func (r *Resizable) maybeShrink() {
+	t := r.root.Load()
+	for n := t.next.Load(); n != nil; n = t.next.Load() {
+		t = n
+	}
+	n := len(t.buckets)
+	if n <= r.floor || r.count.Sum()*shrinkLoad >= int64(n) {
+		return
+	}
+	if t.next.CompareAndSwap(nil, newRTable(n/2)) {
+		r.resizes.Add(1)
+	}
+}
+
+// Quiesce drives any in-flight migration to completion, then starts (and
+// completes) whatever resize the current load calls for, until the table
+// is a single slab sized within the hysteresis band. Migration otherwise
+// advances only on the backs of updates, so a table left oversized by a
+// delete storm keeps its memory until the next write burst; operators and
+// the churn workload call Quiesce between traffic phases instead. Safe
+// to call concurrently with operations, which proceed exactly as they do
+// against update-driven migration.
+func (r *Resizable) Quiesce() {
+	for {
+		t := r.root.Load()
+		if t.next.Load() != nil {
+			r.help()
+			continue
+		}
+		// Single slab: let the triggers decide — each owns its threshold
+		// and declines inside the band.
+		r.maybeGrow()
+		r.maybeShrink()
+		if r.root.Load() == t && t.next.Load() == nil {
+			// Both triggers declined: the table is in band. Done.
+			return
+		}
+	}
 }
 
 // migrateBucket moves bucket i into next and forwards it. The copy is an
 // OPTIK critical section on the bucket's lock: concurrent feasible updates
 // fail TryLockVersion and retry until they observe the sentinel, and the
-// version bump on unlock sends optimistic readers back around. The old
-// inline slots and chain nodes are left untouched — readers that entered
-// before forwarding finish against a consistent (if stale) snapshot, and
-// their version validation or the sentinel decides what they may return.
+// version bump on unlock sends optimistic readers back around.
 func (t *rtable) migrateBucket(i int, next *rtable) {
 	b := &t.buckets[i]
 	b.lock.Lock()
+	b.moveAll(next)
+	b.head.Store(&forwarded)
+	b.lock.Unlock()
+}
+
+// migratePair is migrateBucket's shrinking counterpart: old buckets i and
+// i+n/2 are exactly the two whose keys hash to new bucket i in the
+// half-size successor, so the merge of their chains is one critical
+// section under both OPTIK locks. Holding both while copying gives the
+// same guarantee the single-bucket copy gives growing — no instant at
+// which part of the pair's contents is absent from every slab — and the
+// two forwarding stores then retire the pair together. Lock order is safe
+// without a global discipline: the cursor hands each pair to exactly one
+// claimant, ordinary updates hold one bucket lock at a time and never
+// block acquiring another while holding it, and migrations only acquire
+// down the slab chain (sources before destinations), so no cycle can
+// form. Readers, as ever, acquire nothing: a racing scan either fails
+// version validation against the bumped source versions or meets the
+// sentinel and hops.
+func (t *rtable) migratePair(i int, next *rtable) {
+	lo, hi := &t.buckets[i], &t.buckets[i+len(t.buckets)/2]
+	lo.lock.Lock()
+	hi.lock.Lock()
+	lo.moveAll(next)
+	hi.moveAll(next)
+	lo.head.Store(&forwarded)
+	hi.head.Store(&forwarded)
+	hi.lock.Unlock()
+	lo.lock.Unlock()
+}
+
+// moveAll copies every live entry of b (inline prefix and overflow chain)
+// into next. The caller holds b's lock; the old slots and nodes are left
+// untouched, so readers that entered before forwarding finish against a
+// consistent (if stale) snapshot.
+func (b *bucket) moveAll(next *rtable) {
 	for s := range b.inline {
 		if k := b.inline[s].key.Load(); k != 0 {
 			insertMoved(next, k, b.inline[s].val.Load())
@@ -324,8 +474,6 @@ func (t *rtable) migrateBucket(i int, next *rtable) {
 	for cur := b.head.Load(); cur != nil; cur = cur.next.Load() {
 		insertMoved(next, cur.key, cur.val)
 	}
-	b.head.Store(&forwarded)
-	b.lock.Unlock()
 }
 
 // insertMoved inserts a migrated entry into t, following forwarded buckets

@@ -12,8 +12,10 @@ import (
 )
 
 // TestBucketIsOneCacheLine pins the slab layout: a bucket must be exactly
-// one cache line, and consecutive buckets in a slab must not overlap lines
-// (the whole point of the layout).
+// one cache line, consecutive buckets in a slab must not overlap lines,
+// and — now that newBucketSlab verifies placement instead of hoping for
+// it — every slab base must be 64-byte aligned, across size classes and
+// in both the fixed and the resizable table.
 func TestBucketIsOneCacheLine(t *testing.T) {
 	if got := unsafe.Sizeof(bucket{}); got != core.CacheLineSize {
 		t.Fatalf("bucket size = %d, want %d", got, core.CacheLineSize)
@@ -23,11 +25,16 @@ func TestBucketIsOneCacheLine(t *testing.T) {
 	if stride != core.CacheLineSize {
 		t.Fatalf("bucket stride = %d, want %d", stride, core.CacheLineSize)
 	}
-	if got := uintptr(unsafe.Pointer(&s.buckets[0])) % core.CacheLineSize; got != 0 {
-		// Go does not guarantee 64-byte slice alignment; every current
-		// runtime delivers it for 64-byte elements. Log, don't fail: a
-		// misaligned slab costs a straddled line, not correctness.
-		t.Logf("slab base not 64-byte aligned (offset %d)", got)
+	// Exercise small, odd, and large-object size classes.
+	for _, n := range []int{1, 5, 8, 13, 100, 1024, 1000, 100_000} {
+		slab := newBucketSlab(n)
+		if got := uintptr(unsafe.Pointer(&slab[0])) % core.CacheLineSize; got != 0 {
+			t.Fatalf("newBucketSlab(%d) base not 64-byte aligned (offset %d)", n, got)
+		}
+	}
+	r := NewResizable(64)
+	if got := uintptr(unsafe.Pointer(&r.root.Load().buckets[0])) % core.CacheLineSize; got != 0 {
+		t.Fatalf("resizable slab base not 64-byte aligned (offset %d)", got)
 	}
 }
 
@@ -150,9 +157,9 @@ func (r *Resizable) entries(t *testing.T) map[uint64]uint64 {
 }
 
 // checkMigrationState verifies the quiescent migration invariants: the
-// forwarded-bucket count of every slab matches its migrated counter, never
-// exceeding the slab size, and only slabs with a successor have forwarded
-// buckets.
+// forwarded-bucket count of every slab matches its migrated counter (each
+// claim forwards one bucket growing, a pair shrinking), never exceeding
+// the slab size, and only slabs with a successor have forwarded buckets.
 func (r *Resizable) checkMigrationState(t *testing.T) {
 	t.Helper()
 	for _, rt := range r.tables() {
@@ -163,13 +170,19 @@ func (r *Resizable) checkMigrationState(t *testing.T) {
 			}
 		}
 		mig := rt.migrated.Load()
-		if fwd != mig {
-			t.Fatalf("slab(%d buckets): %d forwarded buckets, migrated counter %d", len(rt.buckets), fwd, mig)
+		next := rt.next.Load()
+		perClaim := int64(1)
+		if next != nil && len(next.buckets) < len(rt.buckets) {
+			perClaim = 2
 		}
-		if mig > int64(len(rt.buckets)) {
-			t.Fatalf("slab(%d buckets): migrated counter %d exceeds size", len(rt.buckets), mig)
+		if fwd != mig*perClaim {
+			t.Fatalf("slab(%d buckets): %d forwarded buckets, migrated counter %d (×%d per claim)",
+				len(rt.buckets), fwd, mig, perClaim)
 		}
-		if fwd > 0 && rt.next.Load() == nil {
+		if next != nil && mig > claims(rt, next) {
+			t.Fatalf("slab(%d buckets): migrated counter %d exceeds %d claims", len(rt.buckets), mig, claims(rt, next))
+		}
+		if fwd > 0 && next == nil {
 			t.Fatalf("slab(%d buckets): forwarded buckets but no next slab", len(rt.buckets))
 		}
 	}

@@ -1,6 +1,7 @@
 package hashmap
 
 import (
+	"reflect"
 	"sync/atomic"
 	"unsafe"
 
@@ -54,6 +55,51 @@ const (
 	_ = uint64(core.CacheLineSize - unsafe.Sizeof(bucket{}))
 	_ = uint64(unsafe.Sizeof(bucket{}) - core.CacheLineSize)
 )
+
+// newBucketSlab allocates an n-bucket slab whose base is 64-byte aligned,
+// turning the one-line-per-bucket layout into a checked guarantee instead
+// of an allocator accident. It is not one today: since the allocation
+// headers of Go 1.22, a pointer-bearing object between 512 bytes and 32
+// KiB carries an 8-byte type header inside its allocation slot, so a
+// plain make([]bucket, n) for 9–511 buckets comes back 8 bytes off a
+// cache line and *every* bucket in the slab straddles two lines — the
+// exact failure mode the slab layout exists to prevent.
+//
+// The classic fixes don't survive contact with the GC. A bucket is
+// exactly one cache line, so all elements of a []bucket share the same
+// address modulo 64 — over-allocating whole buckets can never produce an
+// aligned sub-slice. A byte-granularity shift through unsafe would move
+// bucket.head (a GC-visible pointer) out of the words the collector scans
+// as pointers, silently hiding live overflow chains from the GC. The one
+// shift the collector does respect is a type-level one: when the plain
+// allocation comes back misaligned, the constructor builds (via reflect)
+// a struct type whose leading byte-array pad places its [n]bucket field
+// at an aligned address, and returns a slice into that field. The
+// pointer map is exact — the pad is genuinely part of the type — so
+// chain nodes stay visible, and the slice keeps the whole allocation
+// alive. The pad sweep covers every possible 8-byte-granular offset; if
+// some future allocator defeats it entirely, the plain slab is returned
+// as a last resort and TestBucketIsOneCacheLine fails loudly rather than
+// letting every operation quietly pay two misses.
+func newBucketSlab(n int) []bucket {
+	s := make([]bucket, n)
+	if uintptr(unsafe.Pointer(&s[0]))%uintptr(core.CacheLineSize) == 0 {
+		return s
+	}
+	arr := reflect.ArrayOf(n, reflect.TypeOf(bucket{}))
+	for pad := 8; pad < int(core.CacheLineSize); pad += 8 {
+		st := reflect.StructOf([]reflect.StructField{
+			{Name: "Pad", Type: reflect.ArrayOf(pad, reflect.TypeOf(byte(0)))},
+			{Name: "Buckets", Type: arr},
+		})
+		v := reflect.New(st)
+		p := unsafe.Add(v.UnsafePointer(), st.Field(1).Offset)
+		if uintptr(p)%uintptr(core.CacheLineSize) == 0 {
+			return unsafe.Slice((*bucket)(p), n)
+		}
+	}
+	return s
+}
 
 // search is the one-line fast path (fixed-table flavor: a miss returns
 // without validation, which is linearizable because a key can only change
@@ -210,7 +256,7 @@ func NewSlab(nbuckets int) *Slab {
 	if nbuckets <= 0 {
 		panic("hashmap: nbuckets must be positive")
 	}
-	return &Slab{buckets: make([]bucket, nbuckets)}
+	return &Slab{buckets: newBucketSlab(nbuckets)}
 }
 
 func (t *Slab) bucket(key uint64) *bucket {

@@ -31,6 +31,9 @@ type RunOpts struct {
 	// Record, when non-nil, additionally collects every measured data
 	// point for machine-readable output (cmd/optik-bench -json).
 	Record *Recorder
+	// ChurnPeak overrides the churn figure's peak element count (0 keeps
+	// the default); CI uses a small peak to keep the sweep short.
+	ChurnPeak int
 }
 
 // Row is one measured data point in the shape the -json output emits, so
@@ -43,6 +46,14 @@ type Row struct {
 	Mops     float64 `json:"mops"`
 	// CASPerValidation is only set by the lock figure (Figure 5).
 	CASPerValidation float64 `json:"cas_per_validation,omitempty"`
+	// Per-op latency tail (ns), set by the churn and resize-latency rows:
+	// migration stalls live here, not in the throughput average.
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
+	MaxNs float64 `json:"max_ns,omitempty"`
+	// FinalBuckets is set by the churn figure for resizable structures:
+	// proof the table handed its memory back.
+	FinalBuckets int `json:"final_buckets,omitempty"`
 }
 
 // Recorder accumulates rows for machine-readable output. The figure
@@ -451,6 +462,88 @@ func figResize(o RunOpts, start, target int) {
 		fmt.Fprintln(o.Out)
 	}
 	fmt.Fprintln(o.Out)
+	// A separate sampled pass at the highest thread count keeps the
+	// throughput table above comparable across commits while making
+	// migration stalls visible: the resizable table's p50 should match
+	// the fixed slab's, with the migration cost confined to the tail.
+	th := o.Threads[len(o.Threads)-1]
+	fmt.Fprintf(o.Out, "# Resize latency — per-op ns, %s, %d threads\n", wlLabel, th)
+	for _, a := range ResizeAlgos(start) {
+		res := workload.RunRamp(workload.RampConfig{
+			Threads: th, StartSize: start, TargetSize: target, SearchPct: 10,
+			SampleLatency: true,
+		}, a.New)
+		fmt.Fprintf(o.Out, "%-16s %s\n", a.Name, res.Latency)
+		o.Record.add(Row{
+			Figure: "Resize latency", Workload: wlLabel, Impl: a.Name, Threads: th,
+			Mops: res.Mops, P50Ns: res.Latency.P50, P99Ns: res.Latency.P99, MaxNs: res.Latency.Max,
+		})
+	}
+	fmt.Fprintln(o.Out)
+}
+
+// FigChurn runs the delete-heavy churn scenario the resize figure cannot
+// see: each cycle grows the table to a peak and drains it to a trough
+// (peak/16), with 30% searches mixed in throughout. Fixed tables merely
+// survive it; the resizable table must grow and then hand its buckets
+// back, with the migration cost visible in the per-op latency tail
+// (p50/p99/max) rather than hidden in the throughput average.
+func FigChurn(o RunOpts) {
+	peak := o.ChurnPeak
+	if peak <= 0 {
+		peak = 100_000
+	}
+	figChurn(o, peak)
+}
+
+// figChurn is FigChurn with the scale exposed for fast smoke tests.
+func figChurn(o RunOpts, peak int) {
+	o = o.Normalize()
+	start := peak / 8
+	if start < 1 {
+		start = 1
+	}
+	trough := peak / 16
+	wlLabel := fmt.Sprintf("churn %d/%d", peak, trough)
+	fmt.Fprintf(o.Out, "# Churn — grow to %d, drain to %d, ×2 cycles, 30%% searches (Mops/s; per-op ns tail)\n", peak, trough)
+	fmt.Fprintf(o.Out, "%-8s", "threads")
+	for _, a := range ResizeAlgos(start) {
+		fmt.Fprintf(o.Out, "%16s", a.Name)
+	}
+	fmt.Fprintln(o.Out)
+	last := map[string]workload.ChurnResult{}
+	for _, th := range o.Threads {
+		fmt.Fprintf(o.Out, "%-8d", th)
+		for _, a := range ResizeAlgos(start) {
+			res := workload.RunChurn(workload.ChurnConfig{
+				Threads: th, PeakSize: peak, TroughSize: trough, Cycles: 2,
+				SearchPct: 30, SampleLatency: true,
+			}, a.New)
+			fmt.Fprintf(o.Out, "%16.3f", res.Mops)
+			o.Record.add(Row{
+				Figure: "Churn", Workload: wlLabel, Impl: a.Name, Threads: th, Mops: res.Mops,
+				P50Ns: res.Latency.P50, P99Ns: res.Latency.P99, MaxNs: res.Latency.Max,
+				FinalBuckets: res.FinalBuckets,
+			})
+			last[a.Name] = res
+		}
+		fmt.Fprintln(o.Out)
+	}
+	fmt.Fprintln(o.Out)
+	th := o.Threads[len(o.Threads)-1]
+	fmt.Fprintf(o.Out, "# Churn latency — per-op ns by phase, %d threads\n", th)
+	for _, a := range ResizeAlgos(start) {
+		res := last[a.Name]
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", a.Name, "all", res.Latency)
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", a.Name, "grow", res.GrowLatency)
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", a.Name, "drain", res.DrainLatency)
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", a.Name, "search", res.SearchLatency)
+		if res.FinalBuckets > 0 {
+			fmt.Fprintf(o.Out, "%-16s final buckets %d after %d resizes, quiesce %s\n",
+				a.Name, res.FinalBuckets, res.Resizes, res.Quiesces)
+		}
+	}
+	fmt.Fprintln(o.Out)
 }
 
 // Stacks regenerates the §5.5 stack comparison (not a numbered figure in
@@ -475,7 +568,8 @@ func Stacks(o RunOpts) {
 	fmt.Fprintln(o.Out)
 }
 
-// All regenerates every figure, plus the resize-under-load scenario.
+// All regenerates every figure, plus the resize-under-load and churn
+// scenarios.
 func All(o RunOpts) {
 	Fig5(o)
 	Fig7(o)
@@ -485,4 +579,5 @@ func All(o RunOpts) {
 	Fig12(o)
 	Stacks(o)
 	FigResize(o)
+	FigChurn(o)
 }

@@ -66,17 +66,27 @@ func TestFigResizeEmitsSeriesAndRecords(t *testing.T) {
 	o.Record = rec
 	figResize(o, 64, 2000) // tiny ramp: still several doublings for resizable
 	out := buf.String()
-	for _, want := range []string{"Resize", "lazy-gl-fixed", "optik-gl-fixed", "slab-fixed", "resizable"} {
+	for _, want := range []string{"Resize", "Resize latency", "lazy-gl-fixed", "optik-gl-fixed", "slab-fixed", "resizable", "p99="} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
 	}
-	if got, want := len(rec.Rows), len(ResizeAlgos(64)); got != want {
+	// One throughput row per algo plus one latency row per algo.
+	if got, want := len(rec.Rows), 2*len(ResizeAlgos(64)); got != want {
 		t.Fatalf("recorded %d rows, want %d", got, want)
 	}
 	for _, row := range rec.Rows {
-		if row.Figure != "Resize" || row.Threads != 2 || row.Mops <= 0 {
+		if row.Threads != 2 || row.Mops <= 0 {
 			t.Fatalf("bad row: %+v", row)
+		}
+		switch row.Figure {
+		case "Resize":
+		case "Resize latency":
+			if row.P50Ns <= 0 || row.P99Ns < row.P50Ns || row.MaxNs < row.P99Ns {
+				t.Fatalf("latency row tail not ordered: %+v", row)
+			}
+		default:
+			t.Fatalf("unexpected figure %q", row.Figure)
 		}
 	}
 
@@ -93,6 +103,45 @@ func TestFigResizeEmitsSeriesAndRecords(t *testing.T) {
 	}
 	if doc.GoVersion == "" || len(doc.Rows) != len(rec.Rows) {
 		t.Fatalf("JSON document incomplete: %s", js.String())
+	}
+}
+
+func TestFigChurnEmitsSeriesAndRecords(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOpts(&buf)
+	rec := &Recorder{}
+	o.Record = rec
+	figChurn(o, 4000) // tiny churn: still grows and shrinks the resizable table
+	out := buf.String()
+	for _, want := range []string{"Churn", "Churn latency", "resizable", "slab-fixed", "grow", "drain", "search", "final buckets"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got, want := len(rec.Rows), len(ResizeAlgos(500)); got != want {
+		t.Fatalf("recorded %d rows, want %d", got, want)
+	}
+	sawResizable := false
+	for _, row := range rec.Rows {
+		if row.Figure != "Churn" || row.Threads != 2 || row.Mops <= 0 {
+			t.Fatalf("bad row: %+v", row)
+		}
+		if row.P50Ns <= 0 || row.P99Ns < row.P50Ns || row.MaxNs < row.P99Ns {
+			t.Fatalf("latency tail not ordered: %+v", row)
+		}
+		if row.Impl == "resizable" {
+			sawResizable = true
+			// Peak 4000 needs ≥ 1024 buckets; the drained, quiesced table
+			// must be back near its 512-bucket floor. The upper bound
+			// allows for a stale grow batch landing after the last flip
+			// (trough 250 + up to a batch per thread, ×4 for the band).
+			if row.FinalBuckets < 512 || row.FinalBuckets > 4096 {
+				t.Fatalf("resizable final buckets = %d, want within [512, 4096]", row.FinalBuckets)
+			}
+		}
+	}
+	if !sawResizable {
+		t.Fatal("no resizable row recorded")
 	}
 }
 

@@ -15,11 +15,14 @@ var BoxplotPercentiles = []float64{5, 25, 50, 75, 95}
 
 // Summary is a five-number latency summary in nanoseconds plus the sample
 // count, matching the paper's boxplots (which use cycles; see DESIGN.md for
-// the substitution).
+// the substitution). Beyond the paper's five percentiles it carries the
+// tail the boxplots hide: P99 and Max, which is where migration stalls of
+// the resizable structures show up.
 type Summary struct {
-	Count                  int
-	P5, P25, P50, P75, P95 float64
-	Mean                   float64
+	Count                       int
+	P5, P25, P50, P75, P95, P99 float64
+	Max                         float64
+	Mean                        float64
 }
 
 // Summarize computes a Summary over samples. It sorts a copy; the input is
@@ -42,14 +45,16 @@ func Summarize(samples []float64) Summary {
 		P50:   Percentile(s, 50),
 		P75:   Percentile(s, 75),
 		P95:   Percentile(s, 95),
+		P99:   Percentile(s, 99),
+		Max:   s[len(s)-1],
 		Mean:  sum / float64(len(s)),
 	}
 }
 
 // String renders the summary as a compact boxplot row.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d p5=%.0f p25=%.0f p50=%.0f p75=%.0f p95=%.0f mean=%.0f",
-		s.Count, s.P5, s.P25, s.P50, s.P75, s.P95, s.Mean)
+	return fmt.Sprintf("n=%d p5=%.0f p25=%.0f p50=%.0f p75=%.0f p95=%.0f p99=%.0f max=%.0f mean=%.0f",
+		s.Count, s.P5, s.P25, s.P50, s.P75, s.P95, s.P99, s.Max, s.Mean)
 }
 
 // Percentile returns the p-th percentile (0..100) of sorted (ascending)

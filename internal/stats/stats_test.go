@@ -119,8 +119,11 @@ func TestSummarize(t *testing.T) {
 	if s.P50 < 50 || s.P50 > 51 {
 		t.Fatalf("p50 = %v", s.P50)
 	}
-	if s.P5 >= s.P25 || s.P25 >= s.P50 || s.P50 >= s.P75 || s.P75 >= s.P95 {
+	if s.P5 >= s.P25 || s.P25 >= s.P50 || s.P50 >= s.P75 || s.P75 >= s.P95 || s.P95 >= s.P99 {
 		t.Fatalf("percentiles not ordered: %+v", s)
+	}
+	if s.P99 > s.Max || s.Max != 100 {
+		t.Fatalf("tail wrong: p99=%v max=%v", s.P99, s.Max)
 	}
 	if math.Abs(s.Mean-50.5) > 1e-9 {
 		t.Fatalf("mean = %v", s.Mean)

@@ -1,0 +1,248 @@
+// The churn scenario: the inverse-and-back of the ramp. Long-lived
+// traffic-serving systems do not only grow — a table sized for peak load
+// must hand memory back when a delete storm drains it, or every scan
+// afterwards walks mostly-empty slabs forever. Each churn cycle drives the
+// structure up to a peak with insert-heavy traffic, then down to a trough
+// with delete-heavy traffic, with searches mixed into both phases; like
+// the ramp it is work-bound, not time-bound. Per-op latency is sampled on
+// request so the cost of in-flight migrations — invisible in throughput
+// averages — shows up in the p99/max tail, and the phase transitions
+// drive structures that support it (hashmap.Resizable) to quiescence, so
+// a table that can shrink must actually have shrunk by the time the run
+// reports its final bucket count.
+
+package workload
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/internal/rng"
+	"github.com/optik-go/optik/internal/stats"
+)
+
+// Quiescer is implemented by structures with cooperative background work
+// (incremental resize migration) that can be driven to completion on
+// demand. The churn driver calls it at phase transitions and after the
+// run, mirroring how an operator would drain maintenance between traffic
+// bursts.
+type Quiescer interface {
+	Quiesce()
+}
+
+// bucketed and resizeCounted expose the monitoring hooks of the resizable
+// tables without widening ds.Set.
+type bucketed interface{ Buckets() int }
+type resizeCounted interface{ Resizes() int }
+
+// ChurnConfig describes one churn run.
+type ChurnConfig struct {
+	Threads int
+	// PeakSize is the element count at which a grow phase flips to a
+	// drain phase.
+	PeakSize int
+	// TroughSize is the element count at which a drain phase flips back;
+	// 0 defaults to PeakSize/16.
+	TroughSize int
+	// Cycles is the number of grow+drain round trips; 0 defaults to 1.
+	Cycles int
+	// SearchPct is the percentage of searches mixed into both phases.
+	SearchPct int
+	// Seed makes runs reproducible; 0 picks a fixed default.
+	Seed uint64
+	// SampleLatency enables the per-thread, per-phase latency rings.
+	SampleLatency bool
+}
+
+// ChurnResult aggregates one churn run.
+type ChurnResult struct {
+	// Ops is the total number of operations across all phases.
+	Ops uint64
+	// Mops is throughput in million operations per second over the run.
+	Mops float64
+	// Elapsed is the wall-clock time from first to last operation.
+	Elapsed time.Duration
+	// Net is the net number of successful inserts minus deletes; once
+	// quiescent it must equal FinalLen exactly (a conservation check the
+	// stress driver relies on).
+	Net int
+	// FinalLen is the structure's Len() after the final quiesce.
+	FinalLen int
+	// FinalBuckets is the bucket count after the final quiesce, for
+	// structures that expose one (0 otherwise). A resizable table must
+	// end near its floor, not at its peak.
+	FinalBuckets int
+	// Resizes is the lifetime resize count, for structures that expose
+	// one (0 otherwise).
+	Resizes int
+	// Latency summarizes every sampled operation (ns); zero without
+	// SampleLatency. Migration stalls live in P99/Max.
+	Latency stats.Summary
+	// GrowLatency and DrainLatency split Latency by phase.
+	GrowLatency, DrainLatency stats.Summary
+	// SearchLatency summarizes search operations only (both phases): the
+	// measure of whether readers stayed lock-free through migrations.
+	SearchLatency stats.Summary
+	// Quiesces summarizes the phase-transition quiesce calls (ns per
+	// call) — the cost of driving a resize migration home all at once.
+	Quiesces stats.Summary
+}
+
+// churnBatch is how many operations a worker runs between checks of the
+// shared phase and element counters, keeping them off the measured path.
+const churnBatch = 256
+
+// RunChurn drives cfg.Cycles grow/drain round trips against a fresh
+// structure from factory and returns the aggregate result.
+func RunChurn(cfg ChurnConfig, factory func() ds.Set) ChurnResult {
+	if cfg.Threads <= 0 || cfg.PeakSize <= 0 {
+		panic("workload: Threads and PeakSize must be positive")
+	}
+	if cfg.TroughSize == 0 {
+		cfg.TroughSize = cfg.PeakSize / 16
+	}
+	if cfg.TroughSize < 0 || cfg.TroughSize >= cfg.PeakSize {
+		panic("workload: TroughSize must be in [0, PeakSize)")
+	}
+	if cfg.Cycles == 0 {
+		cfg.Cycles = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x4348524E // "CHRN"
+	}
+	s := factory()
+	keyRange := uint64(2 * cfg.PeakSize)
+	runtime.GC()
+
+	var (
+		wg       sync.WaitGroup
+		phase    atomic.Int64 // even: grow, odd: drain
+		live     atomic.Int64 // net successful inserts - deletes
+		totalOps atomic.Uint64
+		mu       sync.Mutex
+		all      []float64
+		grow     []float64
+		drain    []float64
+		searches []float64
+		quiesces []float64
+		started  = make(chan struct{})
+	)
+	phases := int64(2 * cfg.Cycles)
+	peak, trough := int64(cfg.PeakSize), int64(cfg.TroughSize)
+
+	// quiesce drives cooperative maintenance home; its duration is the
+	// stall an operator would see draining a resize in one go.
+	quiesce := func() {
+		q, ok := s.(Quiescer)
+		if !ok {
+			return
+		}
+		begin := time.Now()
+		q.Quiesce()
+		ns := float64(time.Since(begin).Nanoseconds())
+		mu.Lock()
+		quiesces = append(quiesces, ns)
+		mu.Unlock()
+	}
+
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			view := ds.HandleFor(s)
+			keys := rng.NewXorshift(seed + id*0x9E3779B9)
+			opr := rng.NewXorshift(seed ^ (id+1)*0xBF58476D1CE4E5B9)
+			var ops uint64
+			var allR, growR, drainR, searchR ring
+			<-started
+			for {
+				p := phase.Load()
+				if p >= phases {
+					break
+				}
+				growing := p&1 == 0
+				delta := int64(0)
+				for i := 0; i < churnBatch; i++ {
+					key := keys.Intn(keyRange) + 1
+					isSearch := int(opr.Next()%100) < cfg.SearchPct
+					var begin time.Time
+					if cfg.SampleLatency {
+						begin = time.Now()
+					}
+					switch {
+					case isSearch:
+						view.Search(key)
+					case growing:
+						if view.Insert(key, key) {
+							delta++
+						}
+					default:
+						if _, ok := view.Delete(key); ok {
+							delta--
+						}
+					}
+					if cfg.SampleLatency {
+						ns := float64(time.Since(begin).Nanoseconds())
+						allR.add(ns)
+						if isSearch {
+							searchR.add(ns)
+						}
+						if growing {
+							growR.add(ns)
+						} else {
+							drainR.add(ns)
+						}
+					}
+				}
+				ops += churnBatch
+				l := live.Add(delta)
+				if growing && l >= peak || !growing && l <= trough {
+					// Exactly one worker flips each phase; it pays the
+					// quiesce while the others churn on.
+					if phase.CompareAndSwap(p, p+1) {
+						quiesce()
+					}
+				}
+			}
+			totalOps.Add(ops)
+			mu.Lock()
+			all = append(all, allR.buf...)
+			grow = append(grow, growR.buf...)
+			drain = append(drain, drainR.buf...)
+			searches = append(searches, searchR.buf...)
+			mu.Unlock()
+		}(uint64(t))
+	}
+	begin := time.Now()
+	close(started)
+	wg.Wait()
+	elapsed := time.Since(begin)
+	// Stale batches may have raced the last flip; settle once more.
+	quiesce()
+
+	res := ChurnResult{
+		Ops:      totalOps.Load(),
+		Elapsed:  elapsed,
+		Net:      int(live.Load()),
+		FinalLen: s.Len(),
+	}
+	res.Mops = float64(res.Ops) / elapsed.Seconds() / 1e6
+	if b, ok := s.(bucketed); ok {
+		res.FinalBuckets = b.Buckets()
+	}
+	if rc, ok := s.(resizeCounted); ok {
+		res.Resizes = rc.Resizes()
+	}
+	if cfg.SampleLatency {
+		res.Latency = stats.Summarize(all)
+		res.GrowLatency = stats.Summarize(grow)
+		res.DrainLatency = stats.Summarize(drain)
+		res.SearchLatency = stats.Summarize(searches)
+	}
+	res.Quiesces = stats.Summarize(quiesces)
+	return res
+}

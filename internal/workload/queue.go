@@ -115,8 +115,8 @@ func RunQueue(cfg QueueConfig, factory func() ds.Queue) QueueResult {
 			res.Dequeues += localDeq
 			res.EmptyDequeues += localEmpty
 			if cfg.SampleLatency {
-				enqLat = append(enqLat, enqS.rings[0]...)
-				deqLat = append(deqLat, deqS.rings[0]...)
+				enqLat = append(enqLat, enqS.rings[0].buf...)
+				deqLat = append(deqLat, deqS.rings[0].buf...)
 			}
 			mu.Unlock()
 		}(uint64(t))

@@ -16,6 +16,7 @@ import (
 
 	"github.com/optik-go/optik/ds"
 	"github.com/optik-go/optik/internal/rng"
+	"github.com/optik-go/optik/internal/stats"
 )
 
 // RampConfig describes one resize-under-load run.
@@ -31,6 +32,9 @@ type RampConfig struct {
 	SearchPct int
 	// Seed makes runs reproducible; 0 picks a fixed default.
 	Seed uint64
+	// SampleLatency enables the per-thread latency rings, so migration
+	// stalls during the ramp show up in the p99/max tail.
+	SampleLatency bool
 }
 
 // RampResult aggregates one ramp run.
@@ -44,6 +48,9 @@ type RampResult struct {
 	// FinalLen is the structure's Len() after the ramp (== TargetSize up
 	// to the overshoot of the last concurrent batch).
 	FinalLen int
+	// Latency summarizes every sampled operation (ns); zero without
+	// SampleLatency.
+	Latency stats.Summary
 }
 
 // rampBatch is how many operations a worker runs between checks of the
@@ -70,6 +77,8 @@ func RunRamp(cfg RampConfig, factory func() ds.Set) RampResult {
 		wg       sync.WaitGroup
 		inserted atomic.Int64
 		totalOps atomic.Uint64
+		mu       sync.Mutex
+		samples  []float64
 		started  = make(chan struct{})
 	)
 	inserted.Store(int64(cfg.StartSize))
@@ -82,15 +91,23 @@ func RunRamp(cfg RampConfig, factory func() ds.Set) RampResult {
 			keys := rng.NewXorshift(seed + id*0x9E3779B9)
 			opr := rng.NewXorshift(seed ^ (id+1)*0xBF58476D1CE4E5B9)
 			var ops uint64
+			var smp ring
 			<-started
 			for inserted.Load() < target {
 				batchInserted := int64(0)
 				for i := 0; i < rampBatch; i++ {
 					key := keys.Intn(keyRange) + 1
+					var begin time.Time
+					if cfg.SampleLatency {
+						begin = time.Now()
+					}
 					if int(opr.Next()%100) < cfg.SearchPct {
 						view.Search(key)
 					} else if view.Insert(key, key) {
 						batchInserted++
+					}
+					if cfg.SampleLatency {
+						smp.add(float64(time.Since(begin).Nanoseconds()))
 					}
 				}
 				ops += rampBatch
@@ -99,6 +116,9 @@ func RunRamp(cfg RampConfig, factory func() ds.Set) RampResult {
 				}
 			}
 			totalOps.Add(ops)
+			mu.Lock()
+			samples = append(samples, smp.buf...)
+			mu.Unlock()
 		}(uint64(t))
 	}
 	begin := time.Now()
@@ -112,5 +132,8 @@ func RunRamp(cfg RampConfig, factory func() ds.Set) RampResult {
 		FinalLen: s.Len(),
 	}
 	res.Mops = float64(res.Ops) / elapsed.Seconds() / 1e6
+	if cfg.SampleLatency {
+		res.Latency = stats.Summarize(samples)
+	}
 	return res
 }

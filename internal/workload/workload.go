@@ -97,29 +97,36 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// worker state: per-kind sample rings.
-type sampler struct {
-	rings [numOpKinds][]float64
-	pos   [numOpKinds]int
+// ring is a fixed-capacity latency sample ring (the paper's per-thread
+// 16K arrays): append until full, then overwrite oldest. Shared by the
+// per-kind sampler below and the ramp/churn drivers.
+type ring struct {
+	buf []float64
+	pos int
 }
 
-func newSampler() *sampler {
-	s := &sampler{}
-	for k := range s.rings {
-		s.rings[k] = make([]float64, 0, SampleRingSize)
+func (r *ring) add(ns float64) {
+	if r.buf == nil {
+		// Pre-size up front: growth reallocations inside the measured
+		// window would pollute the very tail the rings exist to capture.
+		r.buf = make([]float64, 0, SampleRingSize)
 	}
-	return s
-}
-
-func (s *sampler) add(k OpKind, ns float64) {
-	if len(s.rings[k]) < SampleRingSize {
-		s.rings[k] = append(s.rings[k], ns)
+	if len(r.buf) < SampleRingSize {
+		r.buf = append(r.buf, ns)
 		return
 	}
-	// Ring wrap: overwrite oldest, like the paper's fixed arrays.
-	s.rings[k][s.pos[k]] = ns
-	s.pos[k] = (s.pos[k] + 1) % SampleRingSize
+	r.buf[r.pos] = ns
+	r.pos = (r.pos + 1) % SampleRingSize
 }
+
+// worker state: per-kind sample rings.
+type sampler struct {
+	rings [numOpKinds]ring
+}
+
+func newSampler() *sampler { return &sampler{} }
+
+func (s *sampler) add(k OpKind, ns float64) { s.rings[k].add(ns) }
 
 // RunSet drives a search-structure workload and returns its result.
 // factory is invoked once per run to build a fresh structure.
@@ -206,7 +213,7 @@ func RunSet(cfg Config, factory func() ds.Set) Result {
 			for k := range counts {
 				total.Counts[k] += counts[k]
 				if smp != nil {
-					rings[k] = append(rings[k], smp.rings[k]...)
+					rings[k] = append(rings[k], smp.rings[k].buf...)
 				}
 			}
 			mu.Unlock()
