@@ -239,11 +239,13 @@ func BenchmarkResizeRamp(b *testing.B) {
 
 // BenchmarkChurn drives the delete-heavy churn scenario: two grow/drain
 // cycles between 100k elements and 100k/16, with searches mixed in. The
-// resizable table must shrink back between cycles (final-buckets metric);
-// the fixed slab is the no-migration foil. The read-heavy variant (90%
-// searches) checks that readers stay lock-free through the shrink: its
-// search p50/p99 against the fixed slab is the regression guard for the
-// migration protocol's read path.
+// resizable table must shrink back between cycles (final-buckets metric)
+// and recycle its chain nodes through the qsbr free lists instead of
+// re-allocating (allocs/op via ReportAllocs, plus the nodes-reused
+// metric — the fixed slab, which never retires a node, is the foil for
+// both). The read-heavy variant (90% searches) checks that readers stay
+// lock-free through the shrink: its search p50/p99 against the fixed slab
+// is the regression guard for the migration protocol's read path.
 func BenchmarkChurn(b *testing.B) {
 	const peak = 100_000
 	impls := []figures.NamedSet{
@@ -257,6 +259,7 @@ func BenchmarkChurn(b *testing.B) {
 		for _, impl := range impls {
 			for _, th := range benchThreads {
 				b.Run(fmt.Sprintf("%s/%s/threads=%d", mix.label, impl.Name, th), func(b *testing.B) {
+					b.ReportAllocs()
 					var res workload.ChurnResult
 					for i := 0; i < b.N; i++ {
 						res = workload.RunChurn(workload.ChurnConfig{
@@ -269,10 +272,37 @@ func BenchmarkChurn(b *testing.B) {
 					b.ReportMetric(res.SearchLatency.P99, "search-p99-ns")
 					b.ReportMetric(res.Latency.Max, "max-ns")
 					b.ReportMetric(float64(res.FinalBuckets), "final-buckets")
+					b.ReportMetric(float64(res.NodesReused), "nodes-reused")
 					b.ReportMetric(0, "ns/op")
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkChurnSteady isolates the read-only steady phase the churn
+// workload gained: pure searches against a freshly quiesced table still
+// sized for its peak, between the grow and the drain. The steady-p99
+// metric is what shrinking exists to protect — scan cost against slabs
+// the traffic no longer fills.
+func BenchmarkChurnSteady(b *testing.B) {
+	const peak = 50_000
+	for _, th := range benchThreads {
+		b.Run(fmt.Sprintf("resizable/threads=%d", th), func(b *testing.B) {
+			b.ReportAllocs()
+			var res workload.ChurnResult
+			for i := 0; i < b.N; i++ {
+				res = workload.RunChurn(workload.ChurnConfig{
+					Threads: th, PeakSize: peak, Cycles: 2, SearchPct: 30,
+					SteadyOps: peak, SampleLatency: true,
+				}, func() ds.Set { return hashmap.NewResizable(peak / 8) })
+			}
+			b.ReportMetric(res.Mops, "Mops/s")
+			b.ReportMetric(res.SteadyLatency.P50, "steady-p50-ns")
+			b.ReportMetric(res.SteadyLatency.P99, "steady-p99-ns")
+			b.ReportMetric(float64(res.NodesReused), "nodes-reused")
+			b.ReportMetric(0, "ns/op")
+		})
 	}
 }
 

@@ -19,10 +19,16 @@
 //	          file, so the perf trajectory can be tracked across changes
 //	-churn-peak  peak element count of the churn figure (default 100000;
 //	          CI passes a small peak to keep the sweep short)
+//	-janitor  run the resizable series of the resize and churn figures
+//	          with the background janitor enabled (hashmap.WithJanitor):
+//	          the table quiesces and recycles its nodes on its own when
+//	          traffic idles, instead of relying on the workload's
+//	          phase-flip Quiesce calls
 //
 // Example:
 //
 //	optik-bench -threads 1,4,16 -duration 500ms -reps 5 -json BENCH_fig9.json fig9
+//	optik-bench -threads 16 -janitor churn
 package main
 
 import (
@@ -42,6 +48,7 @@ func main() {
 	repsFlag := flag.Int("reps", 3, "repetitions per data point (median reported)")
 	jsonFlag := flag.String("json", "", "write machine-readable results (JSON) to this file")
 	churnPeakFlag := flag.Int("churn-peak", 0, "peak element count for the churn figure (0 = default 100000)")
+	janitorFlag := flag.Bool("janitor", false, "enable the resizable table's background janitor in the resize/churn figures")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|churn|all>\n")
 		flag.PrintDefaults()
@@ -63,6 +70,7 @@ func main() {
 		Reps:      *repsFlag,
 		Out:       os.Stdout,
 		ChurnPeak: *churnPeakFlag,
+		Janitor:   *janitorFlag,
 	}
 	var rec *figures.Recorder
 	if *jsonFlag != "" {

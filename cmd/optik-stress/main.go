@@ -6,6 +6,13 @@
 // Usage:
 //
 //	optik-stress [-duration 10s] [-threads 8] [-structures list,queue,...]
+//	             [-janitor=false]
+//
+// The hashmaps family additionally drives the resizable table through two
+// full grow/drain churn cycles and — unless -janitor=false — runs that
+// churn with the background janitor on (hashmap.WithJanitor) plus a
+// dedicated StartJanitor/Stop hammer under live traffic, verifying the
+// janitor's lifecycle and the table's invariants never interfere.
 //
 // Exit status is non-zero if any check fails.
 package main
@@ -34,6 +41,7 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "total stress budget")
 	threads := flag.Int("threads", 8, "concurrent workers per structure")
 	structures := flag.String("structures", "all", "comma-separated families: lists,hashmaps,skiplists,arraymaps,queues (or all)")
+	janitor := flag.Bool("janitor", true, "run the resizable churn check with the background janitor on, plus a start/stop hammer")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -95,8 +103,12 @@ func main() {
 	}
 
 	churn := all || want["hashmaps"]
+	hammer := churn && *janitor
 	total := len(sets) + len(queues)
 	if churn {
+		total++
+	}
+	if hammer {
 		total++
 	}
 	if total == 0 {
@@ -116,7 +128,12 @@ func main() {
 		}
 	}
 	if churn {
-		if !stressResizableChurn(*threads) {
+		if !stressResizableChurn(*threads, *janitor) {
+			failures++
+		}
+	}
+	if hammer {
+		if !stressJanitorHammer(*threads) {
 			failures++
 		}
 	}
@@ -134,12 +151,13 @@ func main() {
 }
 
 // stressResizableChurn hammers the resizable hash map through two full
-// grow/drain cycles (work-bound, so it ignores the per-structure time
-// budget) and verifies the shrink path end to end: exact conservation
+// grow/steady/drain cycles (work-bound, so it ignores the per-structure
+// time budget) and verifies the shrink path end to end: exact conservation
 // between the net of successful updates and the final count, no migration
-// left in flight, and the bucket count back within 2× of the initial one
-// instead of stranded at the peak.
-func stressResizableChurn(threads int) bool {
+// left in flight, the bucket count back within 2× of the initial one
+// instead of stranded at the peak, and — janitor or not, reclamation is
+// always active — the node lifecycle must have recycled chain nodes.
+func stressResizableChurn(threads int, janitor bool) bool {
 	const (
 		peak  = 30000
 		start = peak / 8
@@ -149,9 +167,14 @@ func stressResizableChurn(threads int) bool {
 		floor <<= 1
 	}
 	name := "hashmaps/resizable-churn"
+	factory := func() ds.Set { return hashmap.NewResizable(start) }
+	if janitor {
+		name = "hashmaps/resizable-churn-jan"
+		factory = func() ds.Set { return hashmap.NewResizable(start, hashmap.WithJanitor()) }
+	}
 	res := workload.RunChurn(workload.ChurnConfig{
-		Threads: threads, PeakSize: peak, Cycles: 2, SearchPct: 20,
-	}, func() ds.Set { return hashmap.NewResizable(start) })
+		Threads: threads, PeakSize: peak, Cycles: 2, SearchPct: 20, SteadyOps: peak / 2,
+	}, factory)
 	if res.FinalLen != res.Net {
 		fmt.Printf("%-24s CONSERVATION VIOLATION: len=%d net=%d\n", name, res.FinalLen, res.Net)
 		return false
@@ -165,8 +188,77 @@ func stressResizableChurn(threads int) bool {
 		fmt.Printf("%-24s SHRINK FAILURE: only %d resizes across two churn cycles\n", name, res.Resizes)
 		return false
 	}
-	fmt.Printf("%-24s ok (conservation + shrink: %d ops, %d resizes, %d final buckets)\n",
-		name, res.Ops, res.Resizes, res.FinalBuckets)
+	if res.NodesRetired == 0 || res.NodesReused == 0 {
+		fmt.Printf("%-24s RECLAMATION FAILURE: retired=%d reused=%d across two churn cycles\n",
+			name, res.NodesRetired, res.NodesReused)
+		return false
+	}
+	fmt.Printf("%-24s ok (conservation + shrink: %d ops, %d resizes, %d final buckets, %d/%d nodes retired/reused)\n",
+		name, res.Ops, res.Resizes, res.FinalBuckets, res.NodesRetired, res.NodesReused)
+	return true
+}
+
+// stressJanitorHammer starts and stops the background janitor in a tight
+// loop while workers churn the table, then leaves the janitor running,
+// stops the traffic, and requires the table to reach its floor with no
+// one calling Quiesce — the lifecycle is safe under fire AND the janitor
+// actually does its job afterwards.
+func stressJanitorHammer(threads int) bool {
+	const name = "hashmaps/janitor-hammer"
+	m := hashmap.NewResizable(64)
+	var stop atomic.Bool
+	var net atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.NewXorshift(seed)
+			for !stop.Load() {
+				key := r.Intn(20000) + 1
+				if r.Intn(3) == 0 {
+					if _, ok := m.Delete(key); ok {
+						net.Add(-1)
+					}
+				} else if m.Insert(key, key) {
+					net.Add(1)
+				}
+			}
+		}(uint64(g + 1))
+	}
+	for i := 0; i < 200; i++ {
+		m.StartJanitor(time.Millisecond)
+		if i%2 == 0 {
+			time.Sleep(500 * time.Microsecond)
+		}
+		m.Stop()
+	}
+	// Drain: delete-heavy traffic empties the table, then stops entirely.
+	stop.Store(true)
+	wg.Wait()
+	for k := uint64(1); k <= 20000; k++ {
+		if _, ok := m.Delete(k); ok {
+			net.Add(-1)
+		}
+	}
+	if int64(m.Len()) != net.Load() || net.Load() != 0 {
+		fmt.Printf("%-24s CONSERVATION VIOLATION: len=%d net=%d\n", name, m.Len(), net.Load())
+		return false
+	}
+	// The janitor, not the caller, must return the empty table to its
+	// floor. DefaultJanitorInterval is 10ms; two idle ticks suffice, but
+	// give the scheduler slack.
+	m.StartJanitor(0)
+	defer m.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Buckets() != 64 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := m.Buckets(); got != 64 {
+		fmt.Printf("%-24s JANITOR FAILURE: %d buckets after idle drain, want 64\n", name, got)
+		return false
+	}
+	fmt.Printf("%-24s ok (200 start/stop cycles under load; janitor returned table to floor)\n", name)
 	return true
 }
 

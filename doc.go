@@ -36,6 +36,14 @@
 // pair and per-bucket OPTIK-validated incremental migration either way: a
 // grow migrates one bucket at a time, a shrink merges each old bucket pair
 // into its single half-table target under both buckets' OPTIK locks.
+// Resizable also carries a full node-lifecycle subsystem in the spirit of
+// the paper's ssmem: overflow-chain nodes are retired to a quiescent-state
+// domain (internal/qsbr) on delete and migration and recycled by later
+// inserts, with the OPTIK version validation — not reader announcements —
+// keeping the lock-free readers safe against reuse; an optional background
+// janitor (StartJanitor/Stop, or the WithJanitor construction option)
+// quiesces the table when traffic idles, so an abandoned oversized table
+// returns to its floor and recycles its nodes with no caller involvement.
 // The padding and striped-counter primitives behind them are reusable:
 // Lock is complemented by cache-line-padded forms for dense lock arrays
 // (internal/core's PaddedLock and PaddedTicketLock, internal/locks'

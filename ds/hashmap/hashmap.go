@@ -34,8 +34,12 @@
 //     bucket-pair merges under both OPTIK locks shrinking), and a striped
 //     size counter whose hysteresis band (double past load 2, halve below
 //     load 1/4, never below the initial floor) triggers the resizes and
-//     makes Len O(shards) instead of O(n). See resizable.go for the
-//     design.
+//     makes Len O(shards) instead of O(n). Chain nodes live on a
+//     quiescent-state reclamation domain (internal/qsbr) and are recycled
+//     across deletes and migrations, and an optional background janitor
+//     quiesces the table when traffic idles. See resizable.go for the
+//     design, reclaim.go for the reuse-safety argument, and janitor.go
+//     for the lifecycle.
 package hashmap
 
 import (

@@ -1,0 +1,118 @@
+package hashmap
+
+import (
+	"sync"
+	"time"
+)
+
+// The background janitor closes the last gap between Resizable and a
+// production deployment: migration advances on the backs of updates and
+// Quiesce drives it home on demand, but a table whose traffic simply
+// stops — a cache drained by a delete storm and then abandoned — would
+// otherwise sit oversized forever, its retired chain nodes never swept.
+// The janitor is a per-table goroutine that watches for that idleness and
+// runs the maintenance itself: it drives in-flight migrations, starts
+// whatever resize the thresholds call for, and announces quiescent states
+// on the table's qsbr pool so retired nodes reach the free lists. With it
+// running, a table grown to millions of entries and drained to a few
+// thousand returns to its floor bucket count with zero caller calls to
+// Quiesce.
+
+// DefaultJanitorInterval is the poll period StartJanitor uses when given
+// a non-positive interval: short enough that an abandoned table shrinks
+// promptly, long enough that an idle janitor is invisible in a profile.
+const DefaultJanitorInterval = 10 * time.Millisecond
+
+// janitorState tracks the lifecycle of a table's janitor goroutine.
+type janitorState struct {
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartJanitor starts the table's background janitor, polling every
+// interval (DefaultJanitorInterval when interval <= 0). Starting an
+// already-running janitor is a no-op; Stop halts it. Each tick the
+// janitor samples the table's activity (root slab, migration cursor,
+// element count); when two consecutive samples match, traffic is idle and
+// it quiesces the table and sweeps the reclamation pool. While traffic is
+// moving it only lends a bounded hand to any in-flight migration, leaving
+// the updates to drive their own resizes.
+func (r *Resizable) StartJanitor(interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultJanitorInterval
+	}
+	r.jan.mu.Lock()
+	defer r.jan.mu.Unlock()
+	if r.jan.stop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.jan.stop, r.jan.done = stop, done
+	go r.janitor(interval, stop, done)
+}
+
+// Stop halts the background janitor and waits for its goroutine to exit
+// (promptly even mid-quiesce: the janitor's maintenance loop is
+// cancellable). A table whose janitor is not running is a no-op. Safe to
+// call concurrently with operations, StartJanitor and other Stops.
+func (r *Resizable) Stop() {
+	r.jan.mu.Lock()
+	stop, done := r.jan.stop, r.jan.done
+	r.jan.stop, r.jan.done = nil, nil
+	r.jan.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// janitorSnapshot is one activity sample; two equal consecutive samples
+// mean no update touched the table in between (searches leave no trace,
+// by design — reads alone never need maintenance).
+type janitorSnapshot struct {
+	root   *rtable
+	cursor int64
+	sum    int64
+	seen   bool
+}
+
+func (r *Resizable) janitor(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var snap janitorSnapshot
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		r.janitorTick(&snap, stop)
+	}
+}
+
+// janitorTick runs one maintenance round; see StartJanitor for the
+// policy. A spurious idle verdict (balanced traffic can leave the element
+// count unchanged across ticks) is safe — quiescing is always correct,
+// merely unnecessary — and the cancel channel keeps even a wrong verdict
+// from outliving a Stop.
+func (r *Resizable) janitorTick(s *janitorSnapshot, cancel <-chan struct{}) {
+	t := r.root.Load()
+	idle := s.seen && s.root == t && s.cursor == t.cursor.Load() && s.sum == r.count.Sum()
+	if idle {
+		r.quiesce(cancel)
+		r.pool.Sweep()
+	} else if t.next.Load() != nil {
+		rc := reclaimer{pool: r.pool}
+		r.help(&rc)
+		rc.release()
+	}
+	// Snapshot the post-maintenance state: the janitor's own helping moves
+	// the cursor, and sampling before it would make the janitor read its
+	// own work as traffic and never conclude idle.
+	t = r.root.Load()
+	s.root, s.cursor, s.sum, s.seen = t, t.cursor.Load(), r.count.Sum(), true
+}

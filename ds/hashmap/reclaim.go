@@ -1,0 +1,90 @@
+package hashmap
+
+import "github.com/optik-go/optik/internal/qsbr"
+
+// This file is the glue between Resizable and the quiescent-state
+// reclamation of internal/qsbr (the Go port of ssmem, the allocator under
+// the paper's C structures, §3.3). Overflow-chain nodes come from a
+// per-table qsbr pool and go back to it when an unlink or a migration
+// makes them unreachable, so steady-state churn recycles nodes instead of
+// re-allocating them.
+//
+// The protection story is deliberately NOT the classic "readers announce
+// quiescent states" one — Resizable's readers are arbitrary goroutines
+// that never register anywhere, and keeping reads lock-free and
+// announcement-free is the point of the OPTIK design. Instead:
+//
+//   - Correctness is carried by version validation. A node can only leave
+//     a bucket through a critical section on that bucket's OPTIK lock (a
+//     chain delete or a migration), which bumps the bucket version. Any
+//     optimistic scan that overlapped the retirement therefore fails its
+//     validation — the chain-hit, miss, and update paths all re-check the
+//     version before trusting anything they read — and restarts. A
+//     recycled node's fields are atomics, so the doomed reads are
+//     well-defined; they are discarded, never returned.
+//   - The qsbr epochs are the recycling machinery: per-handle retire
+//     lists, amortized sweeps, free-list-first allocation — ssmem's shape,
+//     with writers (the only parties that retire or allocate) borrowing
+//     handles from a qsbr.Pool for the node-touching part of an operation.
+//
+// The split mirrors the paper's decoupling claim: the concurrency control
+// (OPTIK validation) does not care which reclamation scheme runs under it.
+
+// reclaimer borrows a qsbr handle lazily — only operations that actually
+// touch chain nodes pay for it; the inline-slot fast paths never do. The
+// zero value with a nil pool (the fixed Slab table) allocates from the
+// heap and retires to the garbage collector.
+type reclaimer struct {
+	pool  *qsbr.Pool
+	th    *qsbr.Thread
+	tried bool
+}
+
+// handle returns the borrowed qsbr handle, acquiring one on first use.
+// Returns nil for heap-backed reclaimers and when the pool is exhausted
+// (every slot borrowed by a descheduled goroutine) — the caller then falls
+// back to plain allocation for this operation.
+func (rc *reclaimer) handle() *qsbr.Thread {
+	if rc == nil || rc.pool == nil {
+		return nil
+	}
+	if !rc.tried {
+		rc.tried = true
+		rc.th = rc.pool.Acquire()
+	}
+	return rc.th
+}
+
+// alloc returns a chain node: recycled from the qsbr free list when one is
+// available, freshly allocated otherwise. The caller owns the node until
+// it links it; stale readers from the node's previous life may still scan
+// it, which is why the caller must store key/val/next through the atomics
+// before linking.
+func (rc *reclaimer) alloc() *node {
+	if th := rc.handle(); th != nil {
+		if v := th.Alloc(); v != nil {
+			return v.(*node)
+		}
+	}
+	return new(node)
+}
+
+// retire hands an unlinked node to the reclamation scheme. Without a
+// handle the node simply drops to the garbage collector — it is never
+// reused, so validated readers stay safe either way.
+func (rc *reclaimer) retire(n *node) {
+	if th := rc.handle(); th != nil {
+		th.Retire(n)
+	}
+}
+
+// release returns the borrowed handle to the pool (running the amortized
+// reclamation sweep when enough retirements accumulated). Safe to call on
+// a reclaimer that never acquired; a released reclaimer can be used again.
+func (rc *reclaimer) release() {
+	if rc != nil && rc.th != nil {
+		rc.pool.Release(rc.th)
+		rc.th = nil
+		rc.tried = false
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/optik-go/optik/ds"
 	"github.com/optik-go/optik/internal/backoff"
 	"github.com/optik-go/optik/internal/core"
+	"github.com/optik-go/optik/internal/qsbr"
 )
 
 // Resizable is a hash table on the cache-line bucket slab that resizes in
@@ -43,7 +44,11 @@ import (
 //     validation and re-run — reads cross a shrink exactly as they cross
 //     a grow, without acquiring anything.
 //   - When the last claim completes, the root pointer advances and the
-//     old slab is garbage.
+//     old slab is garbage — but its overflow-chain nodes are not: the
+//     migration retires them to a qsbr free list (reclaim.go) and the
+//     copies in the new slab are built from recycled nodes, so churn
+//     reuses memory instead of re-allocating it, as the paper's
+//     structures do on ssmem.
 //
 // Grow and shrink thresholds are deliberately far apart (load > 2 grows,
 // load < 1/4 shrinks, and the post-resize load lands at 1 and just under
@@ -51,25 +56,35 @@ import (
 // between sizes; the floor keeps a delete storm from shrinking a table
 // below its provisioned size. Migration advances only on the backs of
 // updates; Quiesce drives it (and any threshold-pending resize) home when
-// traffic stops.
+// traffic stops, and the optional background janitor (janitor.go) calls
+// Quiesce itself when it sees traffic idle, so an abandoned oversized
+// table hands its memory back with no caller involvement.
 //
-// Unlike the fixed tables, the miss paths of Search and Delete must
-// re-validate the bucket version: migration moves a key from the old slab
-// to the new one without an instant of absence, so an unvalidated scan
-// that straddles the copy could miss a continuously-present key. On a
-// quiescent bucket the validation is one extra load of the line the scan
-// already owns.
+// Unlike the fixed tables, every path of Search and Delete must
+// re-validate the bucket version — the miss paths because migration moves
+// a key from the old slab to the new one without an instant of absence,
+// and (with node reuse) the chain-hit path too: a node observed with the
+// right key may have been retired and recycled under the scan, its value
+// already rewritten by its next owner. Any retirement is a critical
+// section on the bucket the node came from, so the validation catches it;
+// on a quiescent bucket it is one extra load of the line the scan already
+// owns.
 //
 // The size counter also changes Len from an O(n) traversal to an O(shards)
 // sum, independent of the element count.
 type Resizable struct {
 	root  atomic.Pointer[rtable]
 	count *core.Striped
+	// pool hands out qsbr reclamation handles to whatever goroutines the
+	// writes arrive on; see reclaim.go.
+	pool *qsbr.Pool
 	// floor is the initial bucket count; shrinking never goes below it.
 	floor int
 	// resizes counts linked resize slabs, grows and shrinks alike (racy
 	// reads via Resizes; for monitoring and the flapping tests).
 	resizes atomic.Int64
+	// jan is the optional background janitor; see janitor.go.
+	jan janitorState
 }
 
 var _ ds.Set = (*Resizable)(nil)
@@ -89,7 +104,7 @@ type rtable struct {
 // Like the deleted-node locks of the OPTIK lists, the permanence is the
 // point: any operation that meets it knows the bucket's contents live in
 // the next slab, with no instant at which the bucket looks merely empty.
-var forwarded chainNode
+var forwarded node
 
 // maxLoad is the load factor (elements per bucket) beyond which the table
 // doubles; 2 keeps the expected bucket population within the inline
@@ -113,9 +128,40 @@ const migrateQuantum = 2
 // spills to an overflow chain — the bucket is visibly overfull).
 const growthCheckMask = 64 - 1
 
+// chainGuardMask paces the version re-validation of an optimistic chain
+// walk: one check every 16 hops (counter & mask == 0). Without reuse a
+// stale walk is merely wasted work over a frozen, finite chain; with
+// recycled nodes the pointers under a walk can keep changing, so the walk
+// must periodically prove the bucket untouched (in which case the
+// remaining chain is the live, sorted, finite one) or restart. Chains are
+// short — at maxLoad almost every bucket fits its inline prefix — so the
+// guard is off the common path.
+const chainGuardMask = 16 - 1
+
+// testHookChainHit, when non-nil, runs after Search's chain scan matches
+// its key and before it reads the value — exactly the window in which a
+// concurrent retire-and-recycle can rewrite the node. The white-box
+// validation test uses it to stage that interleaving deterministically.
+var testHookChainHit func()
+
+// ResizableOption configures NewResizable beyond its bucket count.
+type ResizableOption func(*resizableOptions)
+
+type resizableOptions struct {
+	janitor bool
+}
+
+// WithJanitor makes NewResizable start the background janitor (see
+// StartJanitor) before returning. Equivalent to calling StartJanitor on
+// the new table; callers that stop using a janitored table should call
+// Stop to release its goroutine.
+func WithJanitor() ResizableOption {
+	return func(o *resizableOptions) { o.janitor = true }
+}
+
 // NewResizable returns a growing table with at least nbuckets buckets
 // (rounded up to a power of two).
-func NewResizable(nbuckets int) *Resizable {
+func NewResizable(nbuckets int, opts ...ResizableOption) *Resizable {
 	if nbuckets <= 0 {
 		panic("hashmap: nbuckets must be positive")
 	}
@@ -123,8 +169,19 @@ func NewResizable(nbuckets int) *Resizable {
 	for n < nbuckets {
 		n <<= 1
 	}
-	r := &Resizable{count: core.NewStriped(0), floor: n}
+	r := &Resizable{
+		count: core.NewStriped(0),
+		pool:  qsbr.NewPool(qsbr.NewDomain(), 0),
+		floor: n,
+	}
 	r.root.Store(newRTable(n))
+	var o resizableOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.janitor {
+		r.StartJanitor(0)
+	}
 	return r
 }
 
@@ -140,9 +197,14 @@ func (t *rtable) index(key uint64) int {
 }
 
 // Search returns the value stored under key, if present. It never locks:
-// forwarded buckets are followed into the next slab, inline hits validate
-// the version for pair atomicity, and misses validate that no critical
-// section (update or migration) moved the bucket under the scan.
+// forwarded buckets are followed into the next slab, and every outcome is
+// version-validated — inline hits for pair atomicity, misses against a
+// migration moving the key under the scan, and chain hits against node
+// reuse: the matched node may have been retired and recycled between the
+// key load and the value load, and only an unchanged bucket version
+// proves it was not (any retirement is a critical section on this
+// bucket). The chain walk itself re-validates every chainGuard hops so a
+// scan over recycled nodes cannot chase mutating pointers forever.
 func (r *Resizable) Search(key uint64) (uint64, bool) {
 	ds.CheckKey(key)
 	t := r.root.Load()
@@ -164,9 +226,24 @@ func (r *Resizable) Search(key uint64) (uint64, bool) {
 				goto restart
 			}
 		}
-		for cur := head; cur != nil && cur.key <= key; cur = cur.next.Load() {
-			if cur.key == key {
-				return cur.val, true
+		hops := 0
+		for cur := head; cur != nil; cur = cur.next.Load() {
+			k := cur.key.Load()
+			if k > key {
+				break
+			}
+			if k == key {
+				if h := testHookChainHit; h != nil {
+					h()
+				}
+				val := cur.val.Load()
+				if b.lock.GetVersion().Same(vn) {
+					return val, true
+				}
+				goto restart
+			}
+			if hops++; hops&chainGuardMask == 0 && !b.lock.GetVersion().Same(vn) {
+				goto restart
 			}
 		}
 		if b.lock.GetVersion().Same(vn) {
@@ -179,13 +256,17 @@ func (r *Resizable) Search(key uint64) (uint64, bool) {
 // Insert adds key→val if absent. A duplicate returns false without any
 // synchronization; a feasible insert validates its scan with one
 // TryLockVersion CAS, then bumps the size counter and, when thresholds
-// say so, starts or helps a resize.
+// say so, starts or helps a resize. Chain nodes come from the table's
+// qsbr free list when a retired one is available.
 func (r *Resizable) Insert(key, val uint64) bool {
 	ds.CheckKey(key)
-	r.help()
+	rc := reclaimer{pool: r.pool}
+	defer rc.release()
+	r.help(&rc)
 	t := r.root.Load()
 	var bo backoff.Backoff
 	spilled := false
+retry:
 	for {
 		b := &t.buckets[t.index(key)]
 		vn := b.lock.GetVersion()
@@ -209,19 +290,22 @@ func (r *Resizable) Insert(key, val uint64) bool {
 		if dup {
 			return false // infeasible: no locking at all
 		}
-		var pred *chainNode
+		var pred *node
 		cur := head
-		for cur != nil && cur.key < key {
+		for hops := 0; cur != nil && cur.key.Load() < key; {
 			pred, cur = cur, cur.next.Load()
+			if hops++; hops&chainGuardMask == 0 && !b.lock.GetVersion().Same(vn) {
+				continue retry
+			}
 		}
-		if cur != nil && cur.key == key {
+		if cur != nil && cur.key.Load() == key {
 			return false // infeasible: no locking at all
 		}
 		if !b.lock.TryLockVersion(vn) {
 			bo.Wait()
 			continue
 		}
-		b.put(key, val, free, pred, cur)
+		b.put(key, val, free, pred, cur, &rc)
 		b.lock.Unlock()
 		spilled = free < 0
 		break
@@ -234,12 +318,18 @@ func (r *Resizable) Insert(key, val uint64) bool {
 }
 
 // Delete removes key, returning its value, if present. A validated miss
-// returns without locking; a hit validates-and-locks in one CAS.
+// returns without locking; a hit validates-and-locks in one CAS. An
+// unlinked chain node is retired to the qsbr free list — its value is
+// read inside the critical section, never after, because retirement makes
+// the node eligible for recycling the moment the version bump publishes.
 func (r *Resizable) Delete(key uint64) (uint64, bool) {
 	ds.CheckKey(key)
-	r.help()
+	rc := reclaimer{pool: r.pool}
+	defer rc.release()
+	r.help(&rc)
 	t := r.root.Load()
 	var bo backoff.Backoff
+retry:
 	for {
 		b := &t.buckets[t.index(key)]
 		vn := b.lock.GetVersionWait()
@@ -267,12 +357,15 @@ func (r *Resizable) Delete(key uint64) (uint64, bool) {
 			r.noteDelete(key)
 			return val, true
 		}
-		var pred *chainNode
+		var pred *node
 		cur := head
-		for cur != nil && cur.key < key {
+		for hops := 0; cur != nil && cur.key.Load() < key; {
 			pred, cur = cur, cur.next.Load()
+			if hops++; hops&chainGuardMask == 0 && !b.lock.GetVersion().Same(vn) {
+				continue retry
+			}
 		}
-		if cur == nil || cur.key != key {
+		if cur == nil || cur.key.Load() != key {
 			if b.lock.GetVersion().Same(vn) {
 				return 0, false
 			}
@@ -282,14 +375,16 @@ func (r *Resizable) Delete(key uint64) (uint64, bool) {
 			bo.Wait()
 			continue
 		}
+		val := cur.val.Load()
 		if pred == nil {
 			b.head.Store(cur.next.Load())
 		} else {
 			pred.next.Store(cur.next.Load())
 		}
 		b.lock.Unlock()
+		rc.retire(cur)
 		r.noteDelete(key)
-		return cur.val, true
+		return val, true
 	}
 }
 
@@ -323,11 +418,20 @@ func (r *Resizable) Buckets() int { return len(r.root.Load().buckets) }
 // tests assert this stays bounded under threshold oscillation).
 func (r *Resizable) Resizes() int { return int(r.resizes.Load()) }
 
+// ReclaimStats reports the table's lifetime chain-node reclamation
+// counters — retired (unlinked and handed to qsbr), reclaimed (moved to a
+// free list once no announcement blocked them) and reused (handed back
+// out by an allocation). Racy snapshot; for monitoring and the
+// allocation-regression tests.
+func (r *Resizable) ReclaimStats() (retired, reclaimed, reused uint64) {
+	return r.pool.Domain().Stats()
+}
+
 // help migrates up to migrateQuantum claims of the root slab if a resize
 // is in flight. When no resize is running it costs one pointer load.
 // A claim is one bucket when growing and a bucket pair when shrinking
 // (claims(t, next) counts them).
-func (r *Resizable) help() {
+func (r *Resizable) help(rc *reclaimer) {
 	t := r.root.Load()
 	next := t.next.Load()
 	if next == nil {
@@ -341,9 +445,9 @@ func (r *Resizable) help() {
 			return
 		}
 		if shrink {
-			t.migratePair(int(idx), next)
+			t.migratePair(int(idx), next, rc)
 		} else {
-			t.migrateBucket(int(idx), next)
+			t.migrateBucket(int(idx), next, rc)
 		}
 		if t.migrated.Add(1) == total {
 			// Every bucket is forwarded: retire the old slab. Exactly one
@@ -402,14 +506,55 @@ func (r *Resizable) maybeShrink() {
 // is a single slab sized within the hysteresis band. Migration otherwise
 // advances only on the backs of updates, so a table left oversized by a
 // delete storm keeps its memory until the next write burst; operators and
-// the churn workload call Quiesce between traffic phases instead. Safe
-// to call concurrently with operations, which proceed exactly as they do
-// against update-driven migration.
-func (r *Resizable) Quiesce() {
+// the churn workload call Quiesce between traffic phases (or run the
+// janitor, which calls it for them). Safe to call concurrently with
+// operations, which proceed exactly as they do against update-driven
+// migration.
+//
+// When every remaining claim is already handed out to concurrent updates
+// that have not finished them, there is nothing left to help with; the
+// loop then backs off (exponentially, yielding to the scheduler first)
+// instead of spinning on the root pointer, so a janitor quiescing under
+// sustained write traffic cannot burn a core re-reading state only those
+// writers can change.
+func (r *Resizable) Quiesce() { r.quiesce(nil) }
+
+// quiesce is Quiesce with an optional cancel channel, so the janitor's
+// maintenance never outlives a Stop even when traffic keeps the table out
+// of band indefinitely.
+func (r *Resizable) quiesce(cancel <-chan struct{}) {
+	rc := reclaimer{pool: r.pool}
+	defer rc.release()
+	var bo backoff.Backoff
+	var last *rtable
+	helps := 0
 	for {
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return
+			default:
+			}
+		}
 		t := r.root.Load()
-		if t.next.Load() != nil {
-			r.help()
+		if t != last {
+			last = t
+			bo.Reset()
+		}
+		if next := t.next.Load(); next != nil {
+			if t.cursor.Load() < claims(t, next) {
+				r.help(&rc)
+				bo.Reset()
+				// A long migration retires whole chains per claim; cycling
+				// the handle at op-boundaries lets the amortized sweep run,
+				// so nodes retired early in the drain feed the allocations
+				// later in it instead of piling up unreclaimed.
+				if helps++; helps%64 == 0 {
+					rc.release()
+				}
+			} else {
+				bo.Wait()
+			}
 			continue
 		}
 		// Single slab: let the triggers decide — each owns its threshold
@@ -427,10 +572,10 @@ func (r *Resizable) Quiesce() {
 // OPTIK critical section on the bucket's lock: concurrent feasible updates
 // fail TryLockVersion and retry until they observe the sentinel, and the
 // version bump on unlock sends optimistic readers back around.
-func (t *rtable) migrateBucket(i int, next *rtable) {
+func (t *rtable) migrateBucket(i int, next *rtable, rc *reclaimer) {
 	b := &t.buckets[i]
 	b.lock.Lock()
-	b.moveAll(next)
+	b.moveAll(next, rc)
 	b.head.Store(&forwarded)
 	b.lock.Unlock()
 }
@@ -449,12 +594,12 @@ func (t *rtable) migrateBucket(i int, next *rtable) {
 // form. Readers, as ever, acquire nothing: a racing scan either fails
 // version validation against the bumped source versions or meets the
 // sentinel and hops.
-func (t *rtable) migratePair(i int, next *rtable) {
+func (t *rtable) migratePair(i int, next *rtable, rc *reclaimer) {
 	lo, hi := &t.buckets[i], &t.buckets[i+len(t.buckets)/2]
 	lo.lock.Lock()
 	hi.lock.Lock()
-	lo.moveAll(next)
-	hi.moveAll(next)
+	lo.moveAll(next, rc)
+	hi.moveAll(next, rc)
 	lo.head.Store(&forwarded)
 	hi.head.Store(&forwarded)
 	hi.lock.Unlock()
@@ -462,17 +607,22 @@ func (t *rtable) migratePair(i int, next *rtable) {
 }
 
 // moveAll copies every live entry of b (inline prefix and overflow chain)
-// into next. The caller holds b's lock; the old slots and nodes are left
-// untouched, so readers that entered before forwarding finish against a
-// consistent (if stale) snapshot.
-func (b *bucket) moveAll(next *rtable) {
+// into next, retiring the source chain nodes as it goes. The caller holds
+// b's lock; the old slots and node contents are left untouched, so
+// readers that entered before forwarding finish against a consistent (if
+// stale) snapshot — retirement only makes the nodes *eligible* for
+// recycling, and any reader that could still be bitten by the eventual
+// recycle necessarily fails its version validation against this critical
+// section and restarts.
+func (b *bucket) moveAll(next *rtable, rc *reclaimer) {
 	for s := range b.inline {
 		if k := b.inline[s].key.Load(); k != 0 {
-			insertMoved(next, k, b.inline[s].val.Load())
+			insertMoved(next, k, b.inline[s].val.Load(), rc)
 		}
 	}
 	for cur := b.head.Load(); cur != nil; cur = cur.next.Load() {
-		insertMoved(next, cur.key, cur.val)
+		insertMoved(next, cur.key.Load(), cur.val.Load(), rc)
+		rc.retire(cur)
 	}
 }
 
@@ -480,9 +630,14 @@ func (b *bucket) moveAll(next *rtable) {
 // into deeper slabs (a cascaded resize may already have forwarded the
 // destination). No duplicate check: the key's source bucket is locked by
 // the caller, so the key cannot exist anywhere ahead. No counting either —
-// migration moves entries, it does not create them.
-func insertMoved(t *rtable, key, val uint64) {
+// migration moves entries, it does not create them. Destination chain
+// nodes come from the same reclaimer that is retiring the source chain,
+// though never a node retired within this same operation: retirements
+// only reach the free list at a sweep, and sweeps run strictly between
+// operations.
+func insertMoved(t *rtable, key, val uint64, rc *reclaimer) {
 	var bo backoff.Backoff
+retry:
 	for {
 		b := &t.buckets[t.index(key)]
 		vn := b.lock.GetVersion()
@@ -498,16 +653,19 @@ func insertMoved(t *rtable, key, val uint64) {
 				break
 			}
 		}
-		var pred *chainNode
+		var pred *node
 		cur := head
-		for cur != nil && cur.key < key {
+		for hops := 0; cur != nil && cur.key.Load() < key; {
 			pred, cur = cur, cur.next.Load()
+			if hops++; hops&chainGuardMask == 0 && !b.lock.GetVersion().Same(vn) {
+				continue retry
+			}
 		}
 		if !b.lock.TryLockVersion(vn) {
 			bo.Wait()
 			continue
 		}
-		b.put(key, val, free, pred, cur)
+		b.put(key, val, free, pred, cur, rc)
 		b.lock.Unlock()
 		return
 	}

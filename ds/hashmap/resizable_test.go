@@ -59,10 +59,10 @@ func TestSlabInlineOverflow(t *testing.T) {
 	b := &s.buckets[0]
 	prev := uint64(0)
 	for cur := b.head.Load(); cur != nil; cur = cur.next.Load() {
-		if cur.key <= prev {
-			t.Fatalf("chain not strictly ascending: %d after %d", cur.key, prev)
+		if cur.key.Load() <= prev {
+			t.Fatalf("chain not strictly ascending: %d after %d", cur.key.Load(), prev)
 		}
-		prev = cur.key
+		prev = cur.key.Load()
 	}
 	// Delete everything, inline and chained.
 	for k := uint64(1); k <= 2*inlinePairs; k++ {
@@ -146,10 +146,11 @@ func (r *Resizable) entries(t *testing.T) map[uint64]uint64 {
 				}
 			}
 			for cur := head; cur != nil; cur = cur.next.Load() {
-				if _, dup := got[cur.key]; dup {
-					t.Fatalf("duplicate key %d across slabs", cur.key)
+				k := cur.key.Load()
+				if _, dup := got[k]; dup {
+					t.Fatalf("duplicate key %d across slabs", k)
 				}
-				got[cur.key] = cur.val
+				got[k] = cur.val.Load()
 			}
 		}
 	}

@@ -35,7 +35,7 @@ func TestMigratePairMergesChains(t *testing.T) {
 		}
 	}
 
-	old.migratePair(2, next)
+	old.migratePair(2, next, nil)
 
 	if old.buckets[2].head.Load() != &forwarded || old.buckets[6].head.Load() != &forwarded {
 		t.Fatal("pair not forwarded after migratePair")
@@ -49,14 +49,15 @@ func TestMigratePairMergesChains(t *testing.T) {
 	}
 	prev := uint64(0)
 	for cur := b.head.Load(); cur != nil; cur = cur.next.Load() {
-		if cur.key <= prev {
-			t.Fatalf("merged chain not strictly ascending: %d after %d", cur.key, prev)
+		k := cur.key.Load()
+		if k <= prev {
+			t.Fatalf("merged chain not strictly ascending: %d after %d", k, prev)
 		}
-		prev = cur.key
-		if _, dup := got[cur.key]; dup {
-			t.Fatalf("key %d duplicated across inline and chain", cur.key)
+		prev = k
+		if _, dup := got[k]; dup {
+			t.Fatalf("key %d duplicated across inline and chain", k)
 		}
-		got[cur.key] = cur.val
+		got[k] = cur.val.Load()
 	}
 	if len(got) != len(keys) {
 		t.Fatalf("target bucket holds %d entries, want %d", len(got), len(keys))

@@ -23,12 +23,27 @@ import (
 // The inline prefix is an arraymap-style fixed array, so at the paper's
 // load factor (about one element per bucket) the common hit, miss, insert
 // and delete all complete inside a single cache line; only buckets holding
-// four or more keys spill into a sorted overflow chain, which reuses the
-// chainNode layout of the other tables.
+// four or more keys spill into a sorted overflow chain of slab-private
+// nodes.
 
 // inlinePairs is the number of key/value pairs stored inside the bucket
 // line itself. 3 is what fits: 64 = 8 (lock) + 8 (head) + 3×16.
 const inlinePairs = 3
+
+// node is one overflow-chain node of a slab bucket. It mirrors the
+// chainNode layout of the baseline tables (24 bytes: key, value, next) but
+// every field is atomic: Resizable recycles nodes through the qsbr free
+// lists (reclaim.go), so a reader whose optimistic scan straddled a
+// retirement can race the node's next owner rewriting it. The scan's
+// version validation discards whatever such a reader saw; the atomics make
+// the race well-defined for the memory model instead of undefined
+// behavior. The fixed Slab table never retires nodes and pays nothing for
+// the shared layout.
+type node struct {
+	key  atomic.Uint64
+	val  atomic.Uint64
+	next atomic.Pointer[node]
+}
 
 // pairSlot is one inline slot. Key 0 marks the slot free (user keys are in
 // [ds.MinKey, ds.MaxKey], as in arraymap). The fields are atomics so
@@ -45,7 +60,7 @@ type pairSlot struct {
 // its optimistic scan (free slot, chain position) is still valid.
 type bucket struct {
 	lock   core.Lock
-	head   atomic.Pointer[chainNode] // sorted overflow chain
+	head   atomic.Pointer[node] // sorted overflow chain
 	inline [inlinePairs]pairSlot
 }
 
@@ -117,9 +132,13 @@ restart:
 			goto restart
 		}
 	}
-	for cur := b.head.Load(); cur != nil && cur.key <= key; cur = cur.next.Load() {
-		if cur.key == key {
-			return cur.val, true
+	for cur := b.head.Load(); cur != nil; cur = cur.next.Load() {
+		k := cur.key.Load()
+		if k > key {
+			break
+		}
+		if k == key {
+			return cur.val.Load(), true
 		}
 	}
 	return 0, false
@@ -143,19 +162,19 @@ func (b *bucket) insert(key, val uint64) bool {
 				}
 			}
 		}
-		var pred *chainNode
+		var pred *node
 		cur := b.head.Load()
-		for cur != nil && cur.key < key {
+		for cur != nil && cur.key.Load() < key {
 			pred, cur = cur, cur.next.Load()
 		}
-		if cur != nil && cur.key == key {
+		if cur != nil && cur.key.Load() == key {
 			return false // infeasible: no locking at all
 		}
 		if !b.lock.TryLockVersion(vn) {
 			bo.Wait()
 			continue
 		}
-		b.put(key, val, free, pred, cur)
+		b.put(key, val, free, pred, cur, nil)
 		b.lock.Unlock()
 		return true
 	}
@@ -164,14 +183,19 @@ func (b *bucket) insert(key, val uint64) bool {
 // put writes a validated insertion: into inline slot free if one was
 // observed, otherwise linked into the sorted chain between pred and cur.
 // The caller holds the bucket lock with the scan's version validated, so
-// the slot is still free and the chain position still current.
-func (b *bucket) put(key, val uint64, free int, pred, cur *chainNode) {
+// the slot is still free and the chain position still current. A chain
+// node comes from rc (recycled when possible; nil rc means plain heap),
+// and its fields are stored before the linking store publishes it, so a
+// reader that observes the link observes the fields.
+func (b *bucket) put(key, val uint64, free int, pred, cur *node, rc *reclaimer) {
 	if free >= 0 {
 		b.inline[free].val.Store(val)
 		b.inline[free].key.Store(key)
 		return
 	}
-	n := &chainNode{key: key, val: val}
+	n := rc.alloc()
+	n.key.Store(key)
+	n.val.Store(val)
 	n.next.Store(cur)
 	if pred == nil {
 		b.head.Store(n)
@@ -204,25 +228,26 @@ func (b *bucket) del(key uint64) (uint64, bool) {
 			b.lock.Unlock()
 			return val, true
 		}
-		var pred *chainNode
+		var pred *node
 		cur := b.head.Load()
-		for cur != nil && cur.key < key {
+		for cur != nil && cur.key.Load() < key {
 			pred, cur = cur, cur.next.Load()
 		}
-		if cur == nil || cur.key != key {
+		if cur == nil || cur.key.Load() != key {
 			return 0, false // infeasible: no locking at all
 		}
 		if !b.lock.TryLockVersion(vn) {
 			bo.Wait()
 			continue
 		}
+		val := cur.val.Load()
 		if pred == nil {
 			b.head.Store(cur.next.Load())
 		} else {
 			pred.next.Store(cur.next.Load())
 		}
 		b.lock.Unlock()
-		return cur.val, true
+		return val, true
 	}
 }
 

@@ -34,6 +34,10 @@ type RunOpts struct {
 	// ChurnPeak overrides the churn figure's peak element count (0 keeps
 	// the default); CI uses a small peak to keep the sweep short.
 	ChurnPeak int
+	// Janitor runs the resizable series with the background janitor
+	// enabled (same series name, so trends stay comparable; the header
+	// notes the mode).
+	Janitor bool
 }
 
 // Row is one measured data point in the shape the -json output emits, so
@@ -54,6 +58,11 @@ type Row struct {
 	// FinalBuckets is set by the churn figure for resizable structures:
 	// proof the table handed its memory back.
 	FinalBuckets int `json:"final_buckets,omitempty"`
+	// NodesRetired/NodesReused are the churn figure's chain-node
+	// reclamation counters for structures that recycle through qsbr:
+	// proof steady-state churn reuses nodes instead of re-allocating.
+	NodesRetired uint64 `json:"nodes_retired,omitempty"`
+	NodesReused  uint64 `json:"nodes_reused,omitempty"`
 }
 
 // Recorder accumulates rows for machine-readable output. The figure
@@ -188,11 +197,23 @@ func HashAlgos(buckets int) []NamedSet {
 // (OptikMap is excluded: its fixed-capacity buckets reject insertions once
 // full, so it cannot absorb the ramp at all.)
 func ResizeAlgos(startBuckets int) []NamedSet {
+	return resizeAlgos(startBuckets, false)
+}
+
+// resizeAlgos is ResizeAlgos with the janitor mode of the resizable
+// series exposed. The series keeps its name either way so the bench-trend
+// JSON stays joinable across commits; the workload drivers stop the
+// janitor before reporting.
+func resizeAlgos(startBuckets int, janitor bool) []NamedSet {
+	resizable := func() ds.Set { return hashmap.NewResizable(startBuckets) }
+	if janitor {
+		resizable = func() ds.Set { return hashmap.NewResizable(startBuckets, hashmap.WithJanitor()) }
+	}
 	return []NamedSet{
 		{"lazy-gl-fixed", func() ds.Set { return hashmap.NewLazyGL(startBuckets) }},
 		{"optik-gl-fixed", func() ds.Set { return hashmap.NewOptikGL(startBuckets) }},
 		{"slab-fixed", func() ds.Set { return hashmap.NewSlab(startBuckets) }},
-		{"resizable", func() ds.Set { return hashmap.NewResizable(startBuckets) }},
+		{"resizable", resizable},
 	}
 }
 
@@ -443,16 +464,18 @@ func FigResize(o RunOpts) { figResize(o, 1000, 1_000_000) }
 // figResize is FigResize with the scale exposed for fast smoke tests.
 func figResize(o RunOpts, start, target int) {
 	o = o.Normalize()
+	algos := resizeAlgos(start, o.Janitor)
 	wlLabel := fmt.Sprintf("ramp %d to %d", start, target)
-	fmt.Fprintf(o.Out, "# Resize — insert-heavy %s, 10%% searches (Mops/s over the whole ramp)\n", wlLabel)
+	fmt.Fprintf(o.Out, "# Resize — insert-heavy %s, 10%% searches (Mops/s over the whole ramp)%s\n",
+		wlLabel, janitorTag(o.Janitor))
 	fmt.Fprintf(o.Out, "%-8s", "threads")
-	for _, a := range ResizeAlgos(start) {
+	for _, a := range algos {
 		fmt.Fprintf(o.Out, "%16s", a.Name)
 	}
 	fmt.Fprintln(o.Out)
 	for _, th := range o.Threads {
 		fmt.Fprintf(o.Out, "%-8d", th)
-		for _, a := range ResizeAlgos(start) {
+		for _, a := range algos {
 			res := workload.RunRamp(workload.RampConfig{
 				Threads: th, StartSize: start, TargetSize: target, SearchPct: 10,
 			}, a.New)
@@ -468,7 +491,7 @@ func figResize(o RunOpts, start, target int) {
 	// the fixed slab's, with the migration cost confined to the tail.
 	th := o.Threads[len(o.Threads)-1]
 	fmt.Fprintf(o.Out, "# Resize latency — per-op ns, %s, %d threads\n", wlLabel, th)
-	for _, a := range ResizeAlgos(start) {
+	for _, a := range algos {
 		res := workload.RunRamp(workload.RampConfig{
 			Threads: th, StartSize: start, TargetSize: target, SearchPct: 10,
 			SampleLatency: true,
@@ -504,26 +527,33 @@ func figChurn(o RunOpts, peak int) {
 		start = 1
 	}
 	trough := peak / 16
-	wlLabel := fmt.Sprintf("churn %d/%d", peak, trough)
-	fmt.Fprintf(o.Out, "# Churn — grow to %d, drain to %d, ×2 cycles, 30%% searches (Mops/s; per-op ns tail)\n", peak, trough)
+	algos := resizeAlgos(start, o.Janitor)
+	// The steady-op count is part of the label on purpose: rows measured
+	// under the 3-phase cycle must not join against pre-steady-phase
+	// baselines in bench-diff — the workload definition changed, not the
+	// implementations.
+	wlLabel := fmt.Sprintf("churn %d/%d steady %d", peak, trough, peak)
+	fmt.Fprintf(o.Out, "# Churn — grow to %d, steady read-only ×%d ops, drain to %d, ×2 cycles, 30%% searches (Mops/s; per-op ns tail)%s\n",
+		peak, peak, trough, janitorTag(o.Janitor))
 	fmt.Fprintf(o.Out, "%-8s", "threads")
-	for _, a := range ResizeAlgos(start) {
+	for _, a := range algos {
 		fmt.Fprintf(o.Out, "%16s", a.Name)
 	}
 	fmt.Fprintln(o.Out)
 	last := map[string]workload.ChurnResult{}
 	for _, th := range o.Threads {
 		fmt.Fprintf(o.Out, "%-8d", th)
-		for _, a := range ResizeAlgos(start) {
+		for _, a := range algos {
 			res := workload.RunChurn(workload.ChurnConfig{
 				Threads: th, PeakSize: peak, TroughSize: trough, Cycles: 2,
-				SearchPct: 30, SampleLatency: true,
+				SearchPct: 30, SteadyOps: peak, SampleLatency: true,
 			}, a.New)
 			fmt.Fprintf(o.Out, "%16.3f", res.Mops)
 			o.Record.add(Row{
 				Figure: "Churn", Workload: wlLabel, Impl: a.Name, Threads: th, Mops: res.Mops,
 				P50Ns: res.Latency.P50, P99Ns: res.Latency.P99, MaxNs: res.Latency.Max,
 				FinalBuckets: res.FinalBuckets,
+				NodesRetired: res.NodesRetired, NodesReused: res.NodesReused,
 			})
 			last[a.Name] = res
 		}
@@ -532,18 +562,32 @@ func figChurn(o RunOpts, peak int) {
 	fmt.Fprintln(o.Out)
 	th := o.Threads[len(o.Threads)-1]
 	fmt.Fprintf(o.Out, "# Churn latency — per-op ns by phase, %d threads\n", th)
-	for _, a := range ResizeAlgos(start) {
+	for _, a := range algos {
 		res := last[a.Name]
 		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", a.Name, "all", res.Latency)
 		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", a.Name, "grow", res.GrowLatency)
 		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", a.Name, "drain", res.DrainLatency)
 		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", a.Name, "search", res.SearchLatency)
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", a.Name, "steady", res.SteadyLatency)
 		if res.FinalBuckets > 0 {
 			fmt.Fprintf(o.Out, "%-16s final buckets %d after %d resizes, quiesce %s\n",
 				a.Name, res.FinalBuckets, res.Resizes, res.Quiesces)
 		}
+		if res.NodesRetired > 0 {
+			fmt.Fprintf(o.Out, "%-16s nodes retired %d reclaimed %d reused %d\n",
+				a.Name, res.NodesRetired, res.NodesReclaimed, res.NodesReused)
+		}
 	}
 	fmt.Fprintln(o.Out)
+}
+
+// janitorTag annotates figure headers when the resizable series runs with
+// its background janitor.
+func janitorTag(j bool) string {
+	if j {
+		return " [janitor on]"
+	}
+	return ""
 }
 
 // Stacks regenerates the §5.5 stack comparison (not a numbered figure in

@@ -1,0 +1,140 @@
+// The paper's structures run on ssmem with one allocator per pinned
+// thread; Go structures are driven by arbitrary, short-lived goroutines,
+// so "one Thread handle per goroutine" has no owner to hand the handle to.
+// Pool closes that gap: a fixed ring of pre-registered Thread handles that
+// any goroutine can borrow for the node-touching part of one operation and
+// return when done. Parked (unborrowed) handles hold no references by
+// construction, so they announce a sentinel epoch that can never be the
+// domain minimum — an idle slot never stalls reclamation the way an idle
+// registered thread would.
+
+package qsbr
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// parkedEpoch is the announcement of a slot nobody holds: larger than any
+// real epoch, so a parked slot is never the minimum and never blocks
+// reclamation.
+const parkedEpoch = ^uint64(0)
+
+// poolSlot is one borrowable handle, padded so the busy flags of adjacent
+// slots do not false-share.
+type poolSlot struct {
+	busy atomic.Uint32
+	th   *Thread
+	_    [48]byte
+}
+
+// Pool is a fixed set of Thread handles shared by arbitrary goroutines.
+// Acquire/Release pairs bracket the node-touching part of an operation;
+// both are a handful of atomic operations on an uncontended slot.
+type Pool struct {
+	domain *Domain
+	slots  []poolSlot
+}
+
+// NewPool returns a pool of n handles registered in d; n <= 0 sizes the
+// pool at twice GOMAXPROCS (rounded up to a power of two), enough that a
+// borrower under normal scheduling finds a free slot on the first probe.
+func NewPool(d *Domain, n int) *Pool {
+	if n <= 0 {
+		n = 2
+		for n < 2*runtime.GOMAXPROCS(0) {
+			n <<= 1
+		}
+	}
+	p := &Pool{domain: d, slots: make([]poolSlot, n)}
+	for i := range p.slots {
+		t := d.Register()
+		t.announced.Store(parkedEpoch)
+		t.slot = &p.slots[i]
+		p.slots[i].th = t
+	}
+	return p
+}
+
+// Domain returns the reclamation domain backing the pool.
+func (p *Pool) Domain() *Domain { return p.domain }
+
+// Slots returns the number of handles in the pool.
+func (p *Pool) Slots() int { return len(p.slots) }
+
+// Acquire borrows a free handle, announcing the current epoch on it before
+// returning (the unpark ordering every QSBR scheme needs: the announcement
+// is visible before the borrower loads any shared pointer, so anything it
+// reaches that is later retired gets an epoch its announcement blocks).
+// The announcement is re-checked against the epoch until it lands on the
+// current value: a store of a stale epoch could slip past a concurrent
+// sweep that already advanced the epoch and scanned the slots without
+// seeing the borrower. Returns nil when every slot is busy; the caller
+// then falls back to plain allocation and GC reclamation for this
+// operation.
+func (p *Pool) Acquire() *Thread {
+	// Probe from a goroutine-flavored start: a stack address is stable
+	// within a goroutine and differs across them, spreading borrowers over
+	// the slots without a shared rotation counter (which would put one
+	// contended cache line on every borrow). Same-goroutine borrows also
+	// tend to land on the same slot, keeping its free list warm.
+	var probe byte
+	start := int(uintptr(unsafe.Pointer(&probe)) >> 7)
+	for i := 0; i < len(p.slots); i++ {
+		s := &p.slots[(start+i)%len(p.slots)]
+		if s.busy.Load() == 0 && s.busy.CompareAndSwap(0, 1) {
+			t := s.th
+			e := p.domain.epoch.Load()
+			for {
+				t.announced.Store(e)
+				cur := p.domain.epoch.Load()
+				if cur == e {
+					return t
+				}
+				e = cur
+			}
+		}
+	}
+	return nil
+}
+
+// Release returns a borrowed handle. When enough retirements have piled up
+// it first runs a full quiescent sweep (advance the epoch, reclaim what no
+// announcement blocks) — the amortization ssmem applies to its epoch
+// checks — then parks the handle so it cannot stall other threads'
+// reclamation while idle. A sweep that reclaims nothing (blocked by a
+// concurrent borrower's announcement) pushes the next attempt out by
+// another batch, so a busy pool is not paying the domain scan on every
+// release just to learn it is still blocked.
+func (p *Pool) Release(t *Thread) {
+	if pending := len(t.retired); pending >= sweepBatch && pending >= t.sweepAt {
+		t.Quiescent()
+		t.sweepAt = len(t.retired) + sweepBatch
+	}
+	t.announced.Store(parkedEpoch)
+	t.slot.busy.Store(0)
+}
+
+// sweepBatch is how many pending retirements trigger the reclamation sweep
+// on Release; below it, Release is two atomic stores.
+const sweepBatch = 32
+
+// Sweep force-runs the quiescent sweep on every currently-free slot: borrow
+// it, announce + reclaim, park it again. Retirements below the Release
+// batch threshold would otherwise linger in slots that traffic stopped
+// touching; the background janitors call this on their idle ticks.
+func (p *Pool) Sweep() {
+	for i := range p.slots {
+		s := &p.slots[i]
+		if s.busy.Load() != 0 || !s.busy.CompareAndSwap(0, 1) {
+			continue
+		}
+		if len(s.th.retired) > 0 {
+			s.th.Quiescent()
+			s.th.sweepAt = len(s.th.retired) + sweepBatch
+		}
+		s.th.announced.Store(parkedEpoch)
+		s.busy.Store(0)
+	}
+}

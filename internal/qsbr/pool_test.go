@@ -1,0 +1,157 @@
+package qsbr
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type pooledObj struct{ v uint64 }
+
+// TestPoolAcquireReleaseRecycles drives the single-slot pool through the
+// full lifecycle deterministically: retire past the sweep batch, release
+// (which must sweep: the sole handle's own announcement is the minimum),
+// reacquire, and get a recycled object back from Alloc.
+func TestPoolAcquireReleaseRecycles(t *testing.T) {
+	p := NewPool(NewDomain(), 1)
+	th := p.Acquire()
+	if th == nil {
+		t.Fatal("Acquire returned nil on an idle pool")
+	}
+	for i := 0; i < sweepBatch+4; i++ {
+		th.Retire(&pooledObj{v: uint64(i)})
+	}
+	p.Release(th)
+	retired, reclaimed, _ := p.Domain().Stats()
+	if retired != sweepBatch+4 || reclaimed != sweepBatch+4 {
+		t.Fatalf("retired/reclaimed = %d/%d, want %d/%d", retired, reclaimed, sweepBatch+4, sweepBatch+4)
+	}
+	th = p.Acquire()
+	if th == nil {
+		t.Fatal("reacquire failed")
+	}
+	if obj := th.Alloc(); obj == nil {
+		t.Fatal("Alloc found nothing on the free list after the sweep")
+	}
+	p.Release(th)
+	if _, _, reused := p.Domain().Stats(); reused != 1 {
+		t.Fatalf("reused = %d, want 1", reused)
+	}
+}
+
+// TestPoolParkedSlotsDoNotBlockReclaim is the property that makes a pool
+// usable at all: slots nobody borrowed must read as quiescent. A classic
+// registered-but-silent thread would pin the minimum epoch forever; a
+// parked slot must not.
+func TestPoolParkedSlotsDoNotBlockReclaim(t *testing.T) {
+	p := NewPool(NewDomain(), 8) // 7 slots stay parked throughout
+	th := p.Acquire()
+	for i := 0; i < sweepBatch; i++ {
+		th.Retire(&pooledObj{})
+	}
+	p.Release(th)
+	if _, reclaimed, _ := p.Domain().Stats(); reclaimed != sweepBatch {
+		t.Fatalf("reclaimed = %d with 7 parked slots, want %d", reclaimed, sweepBatch)
+	}
+}
+
+// TestPoolActiveBorrowerBlocksReclaim is the inverse: a retirement that
+// happened after another handle announced must survive until that handle
+// is released, then fall to a sweep.
+func TestPoolActiveBorrowerBlocksReclaim(t *testing.T) {
+	p := NewPool(NewDomain(), 2)
+	a := p.Acquire()
+	b := p.Acquire() // announced before a's retirements
+	if a == nil || b == nil {
+		t.Fatal("could not borrow both slots")
+	}
+	for i := 0; i < sweepBatch; i++ {
+		a.Retire(&pooledObj{})
+	}
+	p.Release(a) // sweeps, but b's announcement blocks everything
+	if _, reclaimed, _ := p.Domain().Stats(); reclaimed != 0 {
+		t.Fatalf("reclaimed = %d while a borrower was active, want 0", reclaimed)
+	}
+	p.Release(b)
+	p.Sweep() // all parked now: nothing blocks
+	if _, reclaimed, _ := p.Domain().Stats(); reclaimed != sweepBatch {
+		t.Fatalf("reclaimed = %d after all handles parked, want %d", reclaimed, sweepBatch)
+	}
+}
+
+// TestPoolExhaustionReturnsNil pins the fallback contract: when every
+// slot is borrowed, Acquire reports nil instead of blocking, and a
+// release makes the slot borrowable again.
+func TestPoolExhaustionReturnsNil(t *testing.T) {
+	p := NewPool(NewDomain(), 2)
+	a, b := p.Acquire(), p.Acquire()
+	if a == nil || b == nil {
+		t.Fatal("could not borrow both slots")
+	}
+	if c := p.Acquire(); c != nil {
+		t.Fatal("Acquire on an exhausted pool returned a handle")
+	}
+	p.Release(b)
+	if c := p.Acquire(); c == nil {
+		t.Fatal("Acquire failed after a release")
+	}
+	p.Release(a)
+}
+
+// TestPoolConcurrentChurn hammers borrow/retire/alloc/release from many
+// goroutines (the -race target for the pool): counters must stay
+// consistent — nothing reused that was not first reclaimed, nothing
+// reclaimed that was not first retired.
+func TestPoolConcurrentChurn(t *testing.T) {
+	p := NewPool(NewDomain(), 0)
+	const goroutines = 8
+	const iters = 20000
+	var fallback atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				th := p.Acquire()
+				if th == nil {
+					fallback.Add(1)
+					continue
+				}
+				var obj *pooledObj
+				if v := th.Alloc(); v != nil {
+					obj = v.(*pooledObj)
+				} else {
+					obj = &pooledObj{}
+				}
+				obj.v = uint64(i)
+				th.Retire(obj)
+				p.Release(th)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Sweep()
+	retired, reclaimed, reused := p.Domain().Stats()
+	if reused > reclaimed || reclaimed > retired {
+		t.Fatalf("counter inversion: retired %d, reclaimed %d, reused %d", retired, reclaimed, reused)
+	}
+	if retired == 0 || reclaimed == 0 || reused == 0 {
+		t.Fatalf("lifecycle never completed: retired %d, reclaimed %d, reused %d", retired, reclaimed, reused)
+	}
+	t.Logf("churn: %d retired, %d reclaimed, %d reused, %d exhausted borrows", retired, reclaimed, reused, fallback.Load())
+}
+
+// TestPoolDefaultSize pins the sizing rule: at least two slots per
+// GOMAXPROCS, rounded up to a power of two.
+func TestPoolDefaultSize(t *testing.T) {
+	p := NewPool(NewDomain(), 0)
+	want := 2
+	for want < 2*runtime.GOMAXPROCS(0) {
+		want <<= 1
+	}
+	if p.Slots() != want {
+		t.Fatalf("Slots = %d, want %d", p.Slots(), want)
+	}
+}

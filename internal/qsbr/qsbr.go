@@ -6,17 +6,29 @@
 // memory reclamation: any scheme (hazard pointers, RCU, quiescent states)
 // works underneath. In Go the garbage collector already guarantees the one
 // property the data structures rely on — an unlinked node stays valid while
-// any thread still references it — so the structures in ds/ allocate
-// GC-managed nodes. This package exists as a faithful, fully tested ssmem
-// substitute: it provides per-thread retire lists, a global epoch advanced by
-// quiescent-state announcements, and free-list reuse of reclaimed objects,
-// so the reclamation experiments and overheads remain reproducible.
+// any thread still references it — so most structures in ds/ allocate
+// GC-managed nodes and simply drop them. This package provides the other
+// half of ssmem's job, the half the GC does not do: free-list *reuse*. It
+// implements per-thread retire lists, a global epoch advanced by
+// quiescent-state announcements, and free-list-first allocation of
+// reclaimed objects.
+//
+// It is no longer a standalone substitute kept only for reproducibility:
+// ds/hashmap.Resizable allocates its overflow-chain nodes from a Domain's
+// free lists and retires them on delete and on migration, borrowing
+// handles through the Pool type below (see ds/hashmap/reclaim.go for how
+// the structure's OPTIK version validation, rather than reader
+// announcements, makes the reuse safe — the paper's decoupling claim,
+// exercised for real).
 //
 // Protocol: each participating thread owns a Thread handle. Between
 // operations the thread calls Quiescent(). Retire(obj) buffers obj on the
 // thread's retire list stamped with the current epoch; once every registered
 // thread has announced a quiescent state after that epoch, the object is
-// moved to the free list and handed out again by Alloc.
+// moved to the free list and handed out again by Alloc. Threads whose
+// goroutines are short-lived or anonymous borrow pre-registered handles
+// from a Pool instead; parked handles count as quiescent, so an idle slot
+// never stalls the epoch.
 package qsbr
 
 import (
@@ -97,6 +109,20 @@ func (d *Domain) OrphansDropped() uint64 {
 	return d.orphansDropped
 }
 
+// Stats aggregates the lifetime retire/reclaim/reuse counts across every
+// thread currently registered in the domain (racy snapshot; for monitoring
+// and the allocation-regression tests).
+func (d *Domain) Stats() (retired, reclaimed, reused uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range d.threads {
+		retired += t.retireCount.Load()
+		reclaimed += t.reclaimCount.Load()
+		reused += t.reuseCount.Load()
+	}
+	return retired, reclaimed, reused
+}
+
 // minAnnounced returns the smallest epoch announced by any registered
 // thread, or the current epoch when no threads are registered, and prunes
 // any orphans that became unreachable.
@@ -151,14 +177,23 @@ type retiredObject struct {
 type Thread struct {
 	domain    *Domain
 	announced atomic.Uint64
+	// slot is non-nil for pool-managed handles (see pool.go); it lets
+	// Release park the handle without searching the pool.
+	slot *poolSlot
+	// sweepAt throttles Release's sweep attempts: when an older
+	// announcement blocks the whole retired list, re-attempting on every
+	// release would pay the domain scan each time for nothing, so the
+	// next attempt waits until the list has grown by another batch.
+	sweepAt int
 
 	retired []retiredObject
 	free    []any
 
-	// Stats (monotonic, owner-read).
-	retireCount  uint64
-	reclaimCount uint64
-	reuseCount   uint64
+	// Stats (monotonic; atomic so Domain.Stats can aggregate them while the
+	// owner keeps mutating).
+	retireCount  atomic.Uint64
+	reclaimCount atomic.Uint64
+	reuseCount   atomic.Uint64
 }
 
 // Alloc returns a reclaimed object from the free list, or nil when the free
@@ -169,7 +204,7 @@ func (t *Thread) Alloc() any {
 		obj := t.free[n-1]
 		t.free[n-1] = nil
 		t.free = t.free[:n-1]
-		t.reuseCount++
+		t.reuseCount.Add(1)
 		return obj
 	}
 	return nil
@@ -180,7 +215,7 @@ func (t *Thread) Alloc() any {
 // quiescent state.
 func (t *Thread) Retire(obj any) {
 	t.retired = append(t.retired, retiredObject{obj: obj, epoch: t.domain.epoch.Load()})
-	t.retireCount++
+	t.retireCount.Add(1)
 }
 
 // Quiescent announces that this thread holds no references into the shared
@@ -198,27 +233,45 @@ func (t *Thread) Quiescent() {
 	}
 	safe := t.domain.minAnnounced()
 	// Objects retired strictly before the minimum announced epoch cannot be
-	// referenced by any thread anymore.
-	kept := t.retired[:0]
-	for _, r := range t.retired {
-		if r.epoch < safe {
-			t.free = append(t.free, r.obj)
-			t.reclaimCount++
-		} else {
-			kept = append(kept, r)
+	// referenced by any thread anymore. Retirements are stamped with a
+	// monotonic epoch, so the retired list is sorted: the reclaimable
+	// entries are exactly a prefix, and a sweep that reclaims nothing
+	// (another thread's older announcement blocks the whole list) costs
+	// O(1) instead of rescanning everything it must keep.
+	n := 0
+	for n < len(t.retired) && t.retired[n].epoch < safe {
+		t.free = append(t.free, t.retired[n].obj)
+		n++
+	}
+	if n > 0 {
+		t.reclaimCount.Add(uint64(n))
+		kept := copy(t.retired, t.retired[n:])
+		// Zero the tail so reclaimed entries do not pin objects.
+		for i := kept; i < len(t.retired); i++ {
+			t.retired[i] = retiredObject{}
 		}
+		t.retired = t.retired[:kept]
 	}
-	// Zero the tail so reclaimed entries do not pin objects.
-	for i := len(kept); i < len(t.retired); i++ {
-		t.retired[i] = retiredObject{}
+	// Bound the free list: reuse wants a working set, not an unbounded pin
+	// of every node the structure ever held. The just-reclaimed tail past
+	// the cap goes back to the garbage collector (safe: reclaimed objects
+	// are unreachable by construction) — trimmed from the end, so a capped
+	// list costs O(excess), never a full-list move.
+	if len(t.free) > maxFreeList {
+		for i := maxFreeList; i < len(t.free); i++ {
+			t.free[i] = nil
+		}
+		t.free = t.free[:maxFreeList]
 	}
-	t.retired = kept
 }
+
+// maxFreeList caps a thread's free list; see Quiescent.
+const maxFreeList = 1 << 14
 
 // Stats reports the lifetime counts of retired, reclaimed and reused
 // objects for this thread.
 func (t *Thread) Stats() (retired, reclaimed, reused uint64) {
-	return t.retireCount, t.reclaimCount, t.reuseCount
+	return t.retireCount.Load(), t.reclaimCount.Load(), t.reuseCount.Load()
 }
 
 // PendingRetired returns the number of objects waiting for reclamation.

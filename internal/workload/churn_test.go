@@ -1,7 +1,9 @@
 package workload
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/optik-go/optik/ds"
 	"github.com/optik-go/optik/ds/hashmap"
@@ -61,6 +63,57 @@ func TestRunChurnDrainsAndShrinks(t *testing.T) {
 	}
 }
 
+func TestRunChurnSteadyPhase(t *testing.T) {
+	const peak = 4000
+	res := RunChurn(ChurnConfig{
+		Threads: 4, PeakSize: peak, Cycles: 2, SearchPct: 30,
+		SteadyOps: 2 * peak, SampleLatency: true,
+	}, func() ds.Set { return hashmap.NewResizable(peak / 8) })
+
+	if res.FinalLen != res.Net {
+		t.Fatalf("FinalLen = %d, Net = %d", res.FinalLen, res.Net)
+	}
+	// The steady phase ran and was sampled separately from the mixed-in
+	// searches of the update phases.
+	if res.SteadyLatency.Count == 0 {
+		t.Fatal("steady latency summary empty with SteadyOps set")
+	}
+	if res.SearchLatency.Count == 0 || res.GrowLatency.Count == 0 || res.DrainLatency.Count == 0 {
+		t.Fatalf("update-phase summaries missing: %+v", res)
+	}
+	// Three flips per cycle now (grow->steady, steady->drain, drain->next)
+	// plus the final settle.
+	if res.Quiesces.Count < 6 {
+		t.Fatalf("Quiesces.Count = %d with steady phases, want >= 6", res.Quiesces.Count)
+	}
+	// The recycling table reports its reclamation counters.
+	if res.NodesRetired == 0 || res.NodesReused == 0 {
+		t.Fatalf("reclamation counters empty: retired %d, reused %d", res.NodesRetired, res.NodesReused)
+	}
+	if res.NodesReused > res.NodesReclaimed || res.NodesReclaimed > res.NodesRetired {
+		t.Fatalf("counter inversion: %d retired, %d reclaimed, %d reused",
+			res.NodesRetired, res.NodesReclaimed, res.NodesReused)
+	}
+}
+
+func TestRunChurnJanitoredStops(t *testing.T) {
+	before := runtime.NumGoroutine()
+	res := RunChurn(ChurnConfig{
+		Threads: 2, PeakSize: 2000, Cycles: 1, SearchPct: 10,
+	}, func() ds.Set { return hashmap.NewResizable(128, hashmap.WithJanitor()) })
+	if res.FinalLen != res.Net {
+		t.Fatalf("FinalLen = %d, Net = %d", res.FinalLen, res.Net)
+	}
+	// The driver must have stopped the janitor goroutine before returning.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked past RunChurn: %d -> %d", before, now)
+	}
+}
+
 func TestRunChurnFixedTable(t *testing.T) {
 	// Structures without Quiesce/Buckets must still churn correctly.
 	res := RunChurn(ChurnConfig{
@@ -83,6 +136,7 @@ func TestRunChurnValidatesConfig(t *testing.T) {
 		{Threads: 1, PeakSize: 0},
 		{Threads: 1, PeakSize: 100, TroughSize: 100},
 		{Threads: 1, PeakSize: 100, TroughSize: -1},
+		{Threads: 1, PeakSize: 100, SteadyOps: -1},
 	} {
 		func() {
 			defer func() {
