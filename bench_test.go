@@ -20,6 +20,7 @@ import (
 	"github.com/optik-go/optik/ds/queue"
 	"github.com/optik-go/optik/internal/figures"
 	"github.com/optik-go/optik/internal/workload"
+	"github.com/optik-go/optik/store"
 )
 
 // benchDuration is the measured duration of one benchmark iteration.
@@ -201,19 +202,67 @@ func BenchmarkStacks(b *testing.B) {
 // the same per-bucket OPTIK locking discipline. Update-heavy so the lock
 // lines stay hot: at 1 thread the layouts should be at parity (one miss vs
 // two on a cold bucket), at 16 the packed arrays additionally pay
-// false-sharing invalidations on every neighbor-bucket CAS.
+// false-sharing invalidations on every neighbor-bucket CAS. The
+// padded-slab-reuse row adds qsbr chain-node recycling to the same layout
+// (ReportAllocs makes the allocation win visible; the nodes-reused metric
+// proves the free lists are live), isolating the reclamation ablation
+// from both the layout and the resize machinery.
 func BenchmarkBucketLayout(b *testing.B) {
 	impls := []figures.NamedSet{
 		{Name: "packed-arrays", New: func() ds.Set { return hashmap.NewOptikGL(4096) }},
 		{Name: "padded-slab", New: func() ds.Set { return hashmap.NewSlab(4096) }},
+		{Name: "padded-slab-reuse", New: func() ds.Set { return hashmap.NewSlabReuse(4096) }},
 	}
 	for _, impl := range impls {
 		for _, th := range []int{1, 16} {
 			b.Run(fmt.Sprintf("%s/threads=%d", impl.Name, th), func(b *testing.B) {
+				b.ReportAllocs()
+				factory := impl.New
+				var last ds.Set
 				reportSet(b, workload.Config{
 					Threads: th, Duration: benchDuration,
 					InitialSize: 4096, UpdatePct: 50,
-				}, impl.New)
+				}, func() ds.Set { last = factory(); return last })
+				reused := float64(0)
+				if rs, ok := last.(interface {
+					ReclaimStats() (retired, reclaimed, reused uint64)
+				}); ok {
+					_, _, r := rs.ReclaimStats()
+					reused = float64(r)
+				}
+				b.ReportMetric(reused, "nodes-reused")
+			})
+		}
+	}
+	// The reuse ablation needs overflow chains to recycle: at the paper's
+	// load factor 1 every element sits inline and no node is ever
+	// allocated, so the recycling rows run at load 8 (16384 elements in
+	// 2048 buckets, 50% updates) where the chain churn is the workload.
+	// slab-fixed drops every unlinked node to the GC; slab-reuse feeds
+	// them back through qsbr — the allocs/op and nodes-reused columns are
+	// the isolated win, the Mops/s delta its validation price.
+	chained := []figures.NamedSet{
+		{Name: "slab-fixed", New: func() ds.Set { return hashmap.NewSlab(2048) }},
+		{Name: "slab-reuse", New: func() ds.Set { return hashmap.NewSlabReuse(2048) }},
+	}
+	for _, impl := range chained {
+		for _, th := range []int{1, 16} {
+			b.Run(fmt.Sprintf("chained/%s/threads=%d", impl.Name, th), func(b *testing.B) {
+				b.ReportAllocs()
+				factory := impl.New
+				var last ds.Set
+				reportSet(b, workload.Config{
+					Threads: th, Duration: benchDuration,
+					InitialSize: 16384, UpdatePct: 50,
+				}, func() ds.Set { last = factory(); return last })
+				reused := float64(0)
+				if rs, ok := last.(interface {
+					ReclaimStats() (retired, reclaimed, reused uint64)
+				}); ok {
+					_, _, r := rs.ReclaimStats()
+					reused = float64(r)
+				}
+				b.ReportMetric(reused, "nodes-reused")
 			})
 		}
 	}
@@ -303,6 +352,45 @@ func BenchmarkChurnSteady(b *testing.B) {
 			b.ReportMetric(float64(res.NodesReused), "nodes-reused")
 			b.ReportMetric(0, "ns/op")
 		})
+	}
+}
+
+// BenchmarkStore drives the sharded store on the mixed zipfian server
+// workload (90% GET / 8% SET / 2% DEL over a churning key population)
+// across shard counts, in a single-key variant and a batched one (every
+// request a 16-key MGet/MSet/MDel). The shards=1 rows are the unsharded
+// table behind the same API — the baseline the scaling axis is read
+// against; the batch rows measure what hoisting the per-op fixed costs
+// (router, reclamation handle, migration help) buys per key. Shard-count
+// scaling is a parallelism win, so its full size shows on multi-core
+// hardware; batching pays on any machine.
+func BenchmarkStore(b *testing.B) {
+	const initial = 65536
+	threads := 16
+	for _, shards := range []int{1, 4, 16} {
+		for _, mode := range []struct {
+			label    string
+			batchPct int
+		}{{"single", 0}, {"batch16", 100}} {
+			name := fmt.Sprintf("shards=%d/%s/threads=%d", shards, mode.label, threads)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				perShard := initial / shards
+				var res workload.ServerResult
+				for i := 0; i < b.N; i++ {
+					res = workload.RunServer(workload.ServerConfig{
+						Threads: threads, Duration: benchDuration, InitialSize: initial,
+						SetPct: 8, DelPct: 2, BatchPct: mode.batchPct, BatchSize: 16,
+					}, func() *store.Store {
+						return store.New(store.WithShards(shards), store.WithShardBuckets(perShard))
+					})
+				}
+				b.ReportMetric(res.Mops, "Mops/s")
+				b.ReportMetric(100*res.HitRate, "hit-%")
+				b.ReportMetric(float64(res.NodesReused), "nodes-reused")
+				b.ReportMetric(0, "ns/op")
+			})
+		}
 	}
 }
 

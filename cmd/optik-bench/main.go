@@ -6,7 +6,7 @@
 //	optik-bench [flags] <figure>
 //
 // where <figure> is one of: fig5, fig7, fig9, fig10, fig11, fig12, stacks,
-// resize, churn, all.
+// resize, churn, server, all.
 //
 // Flags:
 //
@@ -24,11 +24,16 @@
 //	          the table quiesces and recycles its nodes on its own when
 //	          traffic idles, instead of relying on the workload's
 //	          phase-flip Quiesce calls
+//	-shards   comma-separated shard counts the server figure sweeps
+//	          (default 1,4,16; the 1-shard row is the unsharded baseline)
+//	-batch    percentage of the server figure's requests issued as 16-key
+//	          batches through MGet/MSet/MDel (default 20)
 //
 // Example:
 //
 //	optik-bench -threads 1,4,16 -duration 500ms -reps 5 -json BENCH_fig9.json fig9
 //	optik-bench -threads 16 -janitor churn
+//	optik-bench -threads 4,16 -shards 1,8 -batch 50 server
 package main
 
 import (
@@ -49,8 +54,10 @@ func main() {
 	jsonFlag := flag.String("json", "", "write machine-readable results (JSON) to this file")
 	churnPeakFlag := flag.Int("churn-peak", 0, "peak element count for the churn figure (0 = default 100000)")
 	janitorFlag := flag.Bool("janitor", false, "enable the resizable table's background janitor in the resize/churn figures")
+	shardsFlag := flag.String("shards", "1,4,16", "comma-separated shard counts for the server figure")
+	batchFlag := flag.Int("batch", 20, "percentage of server-figure requests issued as 16-key batches")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|churn|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|churn|server|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,6 +71,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "optik-bench:", err)
 		os.Exit(2)
 	}
+	shards, err := parseThreads(*shardsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optik-bench: -shards:", err)
+		os.Exit(2)
+	}
 	opts := figures.RunOpts{
 		Threads:   threads,
 		Duration:  *durationFlag,
@@ -71,6 +83,8 @@ func main() {
 		Out:       os.Stdout,
 		ChurnPeak: *churnPeakFlag,
 		Janitor:   *janitorFlag,
+		Shards:    shards,
+		BatchPct:  *batchFlag,
 	}
 	var rec *figures.Recorder
 	if *jsonFlag != "" {
@@ -89,6 +103,7 @@ func main() {
 		"stacks": figures.Stacks,
 		"resize": figures.FigResize,
 		"churn":  figures.FigChurn,
+		"server": figures.FigServer,
 		"all":    figures.All,
 	}
 	run, ok := runners[figure]

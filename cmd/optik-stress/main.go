@@ -14,6 +14,12 @@
 // dedicated StartJanitor/Stop hammer under live traffic, verifying the
 // janitor's lifecycle and the table's invariants never interfere.
 //
+// The stores family drives the sharded store.Store: a mixed
+// scalar-and-batched GET/SET/DEL stream with exact conservation across
+// every shard (the batched MSet/MDel counts must add up key for key),
+// followed by a full drain with no Quiesce calls, after which the shared
+// maintenance scheduler alone must return every shard to its floor.
+//
 // Exit status is non-zero if any check fails.
 package main
 
@@ -35,12 +41,13 @@ import (
 	"github.com/optik-go/optik/internal/linearize"
 	"github.com/optik-go/optik/internal/rng"
 	"github.com/optik-go/optik/internal/workload"
+	"github.com/optik-go/optik/store"
 )
 
 func main() {
 	duration := flag.Duration("duration", 10*time.Second, "total stress budget")
 	threads := flag.Int("threads", 8, "concurrent workers per structure")
-	structures := flag.String("structures", "all", "comma-separated families: lists,hashmaps,skiplists,arraymaps,queues (or all)")
+	structures := flag.String("structures", "all", "comma-separated families: lists,hashmaps,skiplists,arraymaps,queues,stores (or all)")
 	janitor := flag.Bool("janitor", true, "run the resizable churn check with the background janitor on, plus a start/stop hammer")
 	flag.Parse()
 
@@ -104,11 +111,15 @@ func main() {
 
 	churn := all || want["hashmaps"]
 	hammer := churn && *janitor
+	stores := all || want["stores"]
 	total := len(sets) + len(queues)
 	if churn {
 		total++
 	}
 	if hammer {
+		total++
+	}
+	if stores {
 		total++
 	}
 	if total == 0 {
@@ -134,6 +145,11 @@ func main() {
 	}
 	if hammer {
 		if !stressJanitorHammer(*threads) {
+			failures++
+		}
+	}
+	if stores {
+		if !stressShardedStore(*threads) {
 			failures++
 		}
 	}
@@ -259,6 +275,106 @@ func stressJanitorHammer(threads int) bool {
 		return false
 	}
 	fmt.Printf("%-24s ok (200 start/stop cycles under load; janitor returned table to floor)\n", name)
+	return true
+}
+
+// stressShardedStore verifies the sharded store end to end: a mixed
+// scalar-and-batched stream with exact conservation summed across every
+// shard (run twice: the server workload's own accounting, then a direct
+// net-tracking hammer), and after a full drain the shared scheduler —
+// one goroutine for the whole fleet, zero caller Quiesce calls — must
+// return every shard to its floor bucket count.
+func stressShardedStore(threads int) bool {
+	const name = "stores/sharded-store"
+	const shards = 8
+	const floor = 64
+	factory := func() *store.Store {
+		return store.New(store.WithShards(shards), store.WithShardBuckets(floor),
+			store.WithMaintenanceInterval(time.Millisecond))
+	}
+
+	// Phase 1: the server workload's batched mix, conservation via its own
+	// accounting.
+	res := workload.RunServer(workload.ServerConfig{
+		Threads: threads, Duration: 500 * time.Millisecond, InitialSize: 20000,
+		SetPct: 25, DelPct: 15, BatchPct: 40, BatchSize: 8,
+	}, factory)
+	if int64(res.FinalLen) != 20000+res.Net {
+		fmt.Printf("%-24s CONSERVATION VIOLATION: len=%d net=%d+20000\n", name, res.FinalLen, res.Net)
+		return false
+	}
+
+	// Phase 2: direct hammer with external net tracking, then the drain.
+	st := factory()
+	defer st.Close()
+	var net atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	const keyRange = 60000
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.NewXorshift(seed)
+			keys := make([]uint64, 8)
+			vals := make([]uint64, 8)
+			for !stop.Load() {
+				switch r.Intn(4) {
+				case 0:
+					if _, replaced := st.Set(r.Intn(keyRange)+1, seed); !replaced {
+						net.Add(1)
+					}
+				case 1:
+					if _, ok := st.Del(r.Intn(keyRange) + 1); ok {
+						net.Add(-1)
+					}
+				case 2:
+					for i := range keys {
+						keys[i] = r.Intn(keyRange) + 1
+						vals[i] = seed
+					}
+					net.Add(int64(st.MSet(keys, vals)))
+				default:
+					for i := range keys {
+						keys[i] = r.Intn(keyRange) + 1
+					}
+					net.Add(-int64(st.MDel(keys)))
+				}
+			}
+		}(uint64(g + 1))
+	}
+	time.Sleep(time.Second)
+	stop.Store(true)
+	wg.Wait()
+	st.Quiesce()
+	if int64(st.Len()) != net.Load() {
+		fmt.Printf("%-24s CONSERVATION VIOLATION: len=%d net=%d across %d shards\n",
+			name, st.Len(), net.Load(), shards)
+		return false
+	}
+	// Drain everything; the scheduler alone must shrink the fleet home.
+	keys := make([]uint64, 64)
+	for base := uint64(1); base <= keyRange; base += 64 {
+		for i := range keys {
+			keys[i] = base + uint64(i)
+		}
+		net.Add(-int64(st.MDel(keys)))
+	}
+	if st.Len() != 0 || net.Load() != 0 {
+		fmt.Printf("%-24s DRAIN FAILURE: len=%d net=%d\n", name, st.Len(), net.Load())
+		return false
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Buckets() != shards*floor && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := st.Buckets(); got != shards*floor {
+		fmt.Printf("%-24s SCHEDULER FAILURE: %d buckets after idle drain, want %d\n",
+			name, got, shards*floor)
+		return false
+	}
+	fmt.Printf("%-24s ok (batched+scalar conservation across %d shards; scheduler returned fleet to floor)\n",
+		name, shards)
 	return true
 }
 

@@ -40,10 +40,22 @@
 // the paper's ssmem: overflow-chain nodes are retired to a quiescent-state
 // domain (internal/qsbr) on delete and migration and recycled by later
 // inserts, with the OPTIK version validation — not reader announcements —
-// keeping the lock-free readers safe against reuse; an optional background
-// janitor (StartJanitor/Stop, or the WithJanitor construction option)
-// quiesces the table when traffic idles, so an abandoned oversized table
-// returns to its floor and recycles its nodes with no caller involvement.
+// keeping the lock-free readers safe against reuse (hashmap.SlabReuse
+// isolates that ablation on the fixed table). Background maintenance is a
+// shared subsystem: one hashmap.Scheduler goroutine services any number
+// of registered tables, watching each table's monotone operation counter
+// for idleness (balanced insert/delete traffic still reads as active),
+// quiescing idle tables — migrations driven home, retired nodes swept —
+// and backing its poll interval off exponentially while everything
+// sleeps; StartJanitor/Stop (or the WithJanitor construction option) wrap
+// a private one-table scheduler, so an abandoned oversized table returns
+// to its floor and recycles its nodes with no caller involvement.
+//
+// The store package composes the pieces into a servable system: a
+// power-of-two fleet of Resizable shards behind a 64-bit hash router,
+// with upsert Set semantics, batched MGet/MSet/MDel that visit each
+// touched shard once, aggregated statistics, and the whole fleet
+// janitored by one shared Scheduler.
 // The padding and striped-counter primitives behind them are reusable:
 // Lock is complemented by cache-line-padded forms for dense lock arrays
 // (internal/core's PaddedLock and PaddedTicketLock, internal/locks'

@@ -1,0 +1,57 @@
+package hashmap
+
+import "github.com/optik-go/optik/ds"
+
+// Batch entry points: the same per-key operations as Search/Upsert/Delete,
+// with the per-operation overhead hoisted out of the loop. A scalar update
+// borrows a qsbr handle and offers migration help once per call; a batch
+// pays both once for the whole slice. The sharded store's MGet/MSet/MDel
+// route a request's keys to their shards and drive these per shard, so the
+// fixed cost of touching a shard is amortized over every key that landed
+// on it. Each key remains its own linearizable operation — a batch is a
+// loop, not a transaction.
+
+// SearchBatch looks up every keys[i], storing the value into vals[i] and
+// presence into found[i]. vals and found must be at least len(keys) long.
+func (r *Resizable) SearchBatch(keys, vals []uint64, found []bool) {
+	for i, k := range keys {
+		vals[i], found[i] = r.Search(k)
+	}
+}
+
+// UpsertBatch applies Upsert(keys[i], vals[i]) for every i under one
+// reclamation handle and returns how many keys were newly inserted (the
+// rest replaced existing values).
+func (r *Resizable) UpsertBatch(keys, vals []uint64) int {
+	for _, k := range keys {
+		ds.CheckKey(k)
+	}
+	rc := reclaimer{pool: r.pool}
+	defer rc.release()
+	r.help(&rc)
+	inserted := 0
+	for i, k := range keys {
+		if _, replaced := r.upsert(&rc, k, vals[i]); !replaced {
+			inserted++
+		}
+	}
+	return inserted
+}
+
+// DeleteBatch deletes every key under one reclamation handle and returns
+// how many were present.
+func (r *Resizable) DeleteBatch(keys []uint64) int {
+	for _, k := range keys {
+		ds.CheckKey(k)
+	}
+	rc := reclaimer{pool: r.pool}
+	defer rc.release()
+	r.help(&rc)
+	deleted := 0
+	for _, k := range keys {
+		if _, ok := r.delete(&rc, k); ok {
+			deleted++
+		}
+	}
+	return deleted
+}

@@ -10,109 +10,60 @@ import (
 // Quiesce drives it home on demand, but a table whose traffic simply
 // stops — a cache drained by a delete storm and then abandoned — would
 // otherwise sit oversized forever, its retired chain nodes never swept.
-// The janitor is a per-table goroutine that watches for that idleness and
-// runs the maintenance itself: it drives in-flight migrations, starts
-// whatever resize the thresholds call for, and announces quiescent states
-// on the table's qsbr pool so retired nodes reach the free lists. With it
-// running, a table grown to millions of entries and drained to a few
-// thousand returns to its floor bucket count with zero caller calls to
-// Quiesce.
+// StartJanitor watches for that idleness and runs the maintenance itself:
+// it drives in-flight migrations, starts whatever resize the thresholds
+// call for, and announces quiescent states on the table's qsbr pool so
+// retired nodes reach the free lists. With it running, a table grown to
+// millions of entries and drained to a few thousand returns to its floor
+// bucket count with zero caller calls to Quiesce.
+//
+// The machinery behind it is the shared maintenance Scheduler
+// (scheduler.go): StartJanitor runs a private one-table scheduler, and a
+// sharded deployment registers all its tables with one Scheduler instead,
+// paying a single goroutine for the whole fleet.
 
-// DefaultJanitorInterval is the poll period StartJanitor uses when given
-// a non-positive interval: short enough that an abandoned table shrinks
-// promptly, long enough that an idle janitor is invisible in a profile.
+// DefaultJanitorInterval is the base poll period StartJanitor and
+// NewScheduler use when given a non-positive interval: short enough that
+// an abandoned table shrinks promptly, long enough that an idle janitor
+// is invisible in a profile. While a table stays idle the scheduler backs
+// the interval off exponentially, up to idleBackoffMax times this.
 const DefaultJanitorInterval = 10 * time.Millisecond
 
-// janitorState tracks the lifecycle of a table's janitor goroutine.
+// janitorState tracks the private scheduler behind a table's StartJanitor.
 type janitorState struct {
-	mu   sync.Mutex
-	stop chan struct{}
-	done chan struct{}
+	mu    sync.Mutex
+	sched *Scheduler
 }
 
-// StartJanitor starts the table's background janitor, polling every
-// interval (DefaultJanitorInterval when interval <= 0). Starting an
-// already-running janitor is a no-op; Stop halts it. Each tick the
-// janitor samples the table's activity (root slab, migration cursor,
-// element count); when two consecutive samples match, traffic is idle and
-// it quiesces the table and sweeps the reclamation pool. While traffic is
-// moving it only lends a bounded hand to any in-flight migration, leaving
-// the updates to drive their own resizes.
+// StartJanitor starts the table's background janitor: a private
+// maintenance scheduler polling at interval (DefaultJanitorInterval when
+// interval <= 0, backing off while the table idles). Starting an
+// already-running janitor is a no-op; Stop halts it. Tables sharing a
+// fleet should Register with one Scheduler instead of starting one
+// janitor each.
 func (r *Resizable) StartJanitor(interval time.Duration) {
-	if interval <= 0 {
-		interval = DefaultJanitorInterval
-	}
 	r.jan.mu.Lock()
 	defer r.jan.mu.Unlock()
-	if r.jan.stop != nil {
+	if r.jan.sched != nil {
 		return
 	}
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	r.jan.stop, r.jan.done = stop, done
-	go r.janitor(interval, stop, done)
+	s := NewScheduler(interval)
+	s.Register(r)
+	r.jan.sched = s
 }
 
-// Stop halts the background janitor and waits for its goroutine to exit
-// (promptly even mid-quiesce: the janitor's maintenance loop is
-// cancellable). A table whose janitor is not running is a no-op. Safe to
-// call concurrently with operations, StartJanitor and other Stops.
+// Stop halts the background janitor and waits for its scheduler goroutine
+// to exit (promptly even mid-quiesce: the maintenance loop is
+// cancellable). A table whose janitor is not running is a no-op, and a
+// table registered with a shared Scheduler is not affected — Unregister
+// it there instead. Safe to call concurrently with operations,
+// StartJanitor and other Stops.
 func (r *Resizable) Stop() {
 	r.jan.mu.Lock()
-	stop, done := r.jan.stop, r.jan.done
-	r.jan.stop, r.jan.done = nil, nil
+	s := r.jan.sched
+	r.jan.sched = nil
 	r.jan.mu.Unlock()
-	if stop == nil {
-		return
+	if s != nil {
+		s.Stop()
 	}
-	close(stop)
-	<-done
-}
-
-// janitorSnapshot is one activity sample; two equal consecutive samples
-// mean no update touched the table in between (searches leave no trace,
-// by design — reads alone never need maintenance).
-type janitorSnapshot struct {
-	root   *rtable
-	cursor int64
-	sum    int64
-	seen   bool
-}
-
-func (r *Resizable) janitor(interval time.Duration, stop, done chan struct{}) {
-	defer close(done)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	var snap janitorSnapshot
-	for {
-		select {
-		case <-stop:
-			return
-		case <-ticker.C:
-		}
-		r.janitorTick(&snap, stop)
-	}
-}
-
-// janitorTick runs one maintenance round; see StartJanitor for the
-// policy. A spurious idle verdict (balanced traffic can leave the element
-// count unchanged across ticks) is safe — quiescing is always correct,
-// merely unnecessary — and the cancel channel keeps even a wrong verdict
-// from outliving a Stop.
-func (r *Resizable) janitorTick(s *janitorSnapshot, cancel <-chan struct{}) {
-	t := r.root.Load()
-	idle := s.seen && s.root == t && s.cursor == t.cursor.Load() && s.sum == r.count.Sum()
-	if idle {
-		r.quiesce(cancel)
-		r.pool.Sweep()
-	} else if t.next.Load() != nil {
-		rc := reclaimer{pool: r.pool}
-		r.help(&rc)
-		rc.release()
-	}
-	// Snapshot the post-maintenance state: the janitor's own helping moves
-	// the cursor, and sampling before it would make the janitor read its
-	// own work as traffic and never conclude idle.
-	t = r.root.Load()
-	s.root, s.cursor, s.sum, s.seen = t, t.cursor.Load(), r.count.Sum(), true
 }

@@ -137,7 +137,7 @@ func TestJanitorStartStopHammer(t *testing.T) {
 func TestWithJanitorOption(t *testing.T) {
 	m := NewResizable(8, WithJanitor())
 	m.jan.mu.Lock()
-	running := m.jan.stop != nil
+	running := m.jan.sched != nil
 	m.jan.mu.Unlock()
 	if !running {
 		t.Fatal("WithJanitor did not start the janitor")
@@ -146,7 +146,7 @@ func TestWithJanitorOption(t *testing.T) {
 	m.Stop()
 	m.Stop() // idempotent
 	m.jan.mu.Lock()
-	running = m.jan.stop != nil
+	running = m.jan.sched != nil
 	m.jan.mu.Unlock()
 	if running {
 		t.Fatal("Stop left the janitor registered")

@@ -21,12 +21,16 @@ import (
 //   - The table is a chain of slabs (rtable). Normally the chain is one
 //     slab long and operations are exactly the Slab fast path plus one
 //     pointer load.
-//   - A striped, cache-line-padded size counter (core.Striped) tracks the
+//   - A striped, cache-line-padded size counter (core.Striped, in its
+//     packed AddOp form: net element count in the low half, a monotone
+//     operation count in the high half of the same atomic add) tracks the
 //     element count. When the load factor passes maxLoad, the deepest
 //     slab links an empty slab of twice the size as its next; when the
 //     count falls below len(buckets)/shrinkLoad (and the slab is above
 //     the floor, the table's initial bucket count), it links one of half
-//     the size instead.
+//     the size instead. The op half is the maintenance scheduler's
+//     activity signal (scheduler.go): unlike the net sum, it advances
+//     under perfectly balanced traffic.
 //   - Migration is incremental and cooperative: each update claims work
 //     from the old slab via an atomic cursor (up to migrateQuantum claims
 //     per update), moves the claimed entries into the new slab, and
@@ -123,9 +127,10 @@ const shrinkLoad = 4
 // resize is in flight: claim and move up to this many old buckets.
 const migrateQuantum = 2
 
-// growthCheckMask amortizes load-factor checks: the O(shards) Sum runs
-// when an update's counter cell crosses a multiple of 64 (or an insert
-// spills to an overflow chain — the bucket is visibly overfull).
+// growthCheckMask amortizes load-factor checks: the O(shards) Net scan
+// runs when an update's counter cell crosses a multiple of 64 operations
+// (or an insert spills to an overflow chain — the bucket is visibly
+// overfull).
 const growthCheckMask = 64 - 1
 
 // chainGuardMask paces the version re-validation of an optimistic chain
@@ -263,6 +268,13 @@ func (r *Resizable) Insert(key, val uint64) bool {
 	rc := reclaimer{pool: r.pool}
 	defer rc.release()
 	r.help(&rc)
+	return r.insert(&rc, key, val)
+}
+
+// insert is Insert's body with the reclamation handle supplied by the
+// caller, so batch entry points (batch.go) amortize one handle over many
+// operations.
+func (r *Resizable) insert(rc *reclaimer, key, val uint64) bool {
 	t := r.root.Load()
 	var bo backoff.Backoff
 	spilled := false
@@ -305,16 +317,102 @@ retry:
 			bo.Wait()
 			continue
 		}
-		b.put(key, val, free, pred, cur, &rc)
+		b.put(key, val, free, pred, cur, rc)
 		b.lock.Unlock()
 		spilled = free < 0
 		break
 	}
-	c := r.count.Add(key, 1)
+	c := r.count.AddOp(key, 1)
 	if spilled || c&growthCheckMask == 0 {
 		r.maybeGrow()
 	}
 	return true
+}
+
+// Upsert inserts key→val when key is absent and replaces the stored value
+// when it is present, returning the previous value and whether a
+// replacement happened. The replacement is a per-bucket OPTIK critical
+// section like any other feasible update — the scan finds the slot or
+// chain node optimistically, TryLockVersion validates it, and the store
+// commits under the lock, so concurrent readers either validate against
+// the old value or restart into the new one. An in-place replacement
+// moves no thresholds (the element count is unchanged) but still counts
+// as an operation for the maintenance scheduler's activity signal.
+func (r *Resizable) Upsert(key, val uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	rc := reclaimer{pool: r.pool}
+	defer rc.release()
+	r.help(&rc)
+	return r.upsert(&rc, key, val)
+}
+
+// upsert is Upsert's body with a caller-supplied reclamation handle.
+func (r *Resizable) upsert(rc *reclaimer, key, val uint64) (uint64, bool) {
+	t := r.root.Load()
+	var bo backoff.Backoff
+retry:
+	for {
+		b := &t.buckets[t.index(key)]
+		vn := b.lock.GetVersion()
+		head := b.head.Load()
+		if head == &forwarded {
+			t = t.next.Load()
+			continue
+		}
+		free := -1
+		slot := -1
+		for i := range b.inline {
+			switch b.inline[i].key.Load() {
+			case key:
+				slot = i
+			case 0:
+				if free < 0 {
+					free = i
+				}
+			}
+		}
+		if slot >= 0 {
+			if !b.lock.TryLockVersion(vn) {
+				bo.Wait()
+				continue
+			}
+			// Validated: the slot still holds key, so the value is its.
+			old := b.inline[slot].val.Load()
+			b.inline[slot].val.Store(val)
+			b.lock.Unlock()
+			r.noteUpdate(key)
+			return old, true
+		}
+		var pred *node
+		cur := head
+		for hops := 0; cur != nil && cur.key.Load() < key; {
+			pred, cur = cur, cur.next.Load()
+			if hops++; hops&chainGuardMask == 0 && !b.lock.GetVersion().Same(vn) {
+				continue retry
+			}
+		}
+		if cur != nil && cur.key.Load() == key {
+			if !b.lock.TryLockVersion(vn) {
+				bo.Wait()
+				continue
+			}
+			old := cur.val.Load()
+			cur.val.Store(val)
+			b.lock.Unlock()
+			r.noteUpdate(key)
+			return old, true
+		}
+		if !b.lock.TryLockVersion(vn) {
+			bo.Wait()
+			continue
+		}
+		b.put(key, val, free, pred, cur, rc)
+		b.lock.Unlock()
+		if c := r.count.AddOp(key, 1); free < 0 || c&growthCheckMask == 0 {
+			r.maybeGrow()
+		}
+		return 0, false
+	}
 }
 
 // Delete removes key, returning its value, if present. A validated miss
@@ -327,6 +425,11 @@ func (r *Resizable) Delete(key uint64) (uint64, bool) {
 	rc := reclaimer{pool: r.pool}
 	defer rc.release()
 	r.help(&rc)
+	return r.delete(&rc, key)
+}
+
+// delete is Delete's body with a caller-supplied reclamation handle.
+func (r *Resizable) delete(rc *reclaimer, key uint64) (uint64, bool) {
 	t := r.root.Load()
 	var bo backoff.Backoff
 retry:
@@ -390,20 +493,30 @@ retry:
 
 // noteDelete records a successful removal on the striped counter and, on
 // the same amortization schedule as the growth check, considers shrinking.
+// The check fires when the cell's op count crosses a multiple of 64 —
+// deterministic progress even when inserts and deletes balance and the net
+// cell value stands still.
 func (r *Resizable) noteDelete(key uint64) {
-	if c := r.count.Add(key, -1); c&growthCheckMask == 0 {
+	if c := r.count.AddOp(key, -1); c&growthCheckMask == 0 {
 		r.maybeShrink()
 	}
 }
 
+// noteUpdate records an in-place value replacement: one operation with no
+// net element effect. It exists for the maintenance scheduler's activity
+// signal — no threshold can have moved, so there is nothing to check.
+func (r *Resizable) noteUpdate(key uint64) {
+	r.count.AddOp(key, 0)
+}
+
 // Len returns the element count from the striped counter: O(shards),
 // independent of the table size. Exact when quiescent, approximate under
-// concurrent updates (like every Len in the library). The sum is clamped
+// concurrent updates (like every Len in the library). The net is clamped
 // at zero: a reader can catch a delete's decrement before the matching
 // insert's increment and see a transiently negative total, which must not
 // leak out as a negative (or, through int truncation, enormous) length.
 func (r *Resizable) Len() int {
-	if n := r.count.Sum(); n > 0 {
+	if n := r.count.Net(); n > 0 {
 		return int(n)
 	}
 	return 0
@@ -475,7 +588,7 @@ func (r *Resizable) maybeGrow() {
 	for n := t.next.Load(); n != nil; n = t.next.Load() {
 		t = n
 	}
-	if r.count.Sum() <= int64(len(t.buckets))*maxLoad {
+	if r.count.Net() <= int64(len(t.buckets))*maxLoad {
 		return
 	}
 	if t.next.CompareAndSwap(nil, newRTable(len(t.buckets)*2)) {
@@ -493,7 +606,7 @@ func (r *Resizable) maybeShrink() {
 		t = n
 	}
 	n := len(t.buckets)
-	if n <= r.floor || r.count.Sum()*shrinkLoad >= int64(n) {
+	if n <= r.floor || r.count.Net()*shrinkLoad >= int64(n) {
 		return
 	}
 	if t.next.CompareAndSwap(nil, newRTable(n/2)) {

@@ -1,0 +1,223 @@
+package hashmap
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Scheduler is the shared maintenance goroutine behind the background
+// janitors: one goroutine services any number of registered Resizable
+// tables, so a sharded deployment (store.Store) pays one timer and one
+// goroutine for its whole fleet instead of one per shard. Each poll the
+// scheduler samples every table's activity; a table idle for two
+// consecutive samples gets the full maintenance pass (quiesce its resize
+// chain home, sweep its reclamation pool), a table with a migration in
+// flight gets a bounded hand, and a busy table is left to drive its own
+// resizes on the backs of its updates.
+//
+// Two refinements over the per-table janitor it replaces:
+//
+//   - The activity signal is the table's monotone operation count (the op
+//     half of the packed striped counter), alongside the root slab and
+//     migration cursor. The old signal compared the striped element *sum*,
+//     which perfectly balanced traffic — equal inserts and deletes, the
+//     steady state of any full cache — leaves unchanged, so a hot table
+//     could read as idle. The op count advances on every successful
+//     update, so "unchanged since last sample" now genuinely means
+//     untouched. (A spurious idle verdict was always safe — quiescing is
+//     merely unnecessary work — but a scheduler serving many tables
+//     cannot afford to run full quiesces against busy ones.)
+//   - The poll interval backs off exponentially while every table is
+//     idle, doubling from the base up to idleBackoffMax times it, and
+//     snaps back to the base the moment any table shows activity (or a
+//     table is registered). An abandoned fleet costs a waking timer a few
+//     times a second instead of a hundred times; a busy one is sampled at
+//     the base rate.
+//
+// Register and Unregister may be called at any time, including while the
+// scheduler is mid-pass; Stop halts the goroutine and waits for it. The
+// per-table StartJanitor/WithJanitor API (janitor.go) remains as a thin
+// wrapper that runs a private one-table scheduler.
+type Scheduler struct {
+	mu      sync.Mutex
+	entries map[*Resizable]*schedEntry
+	stop    chan struct{}
+	done    chan struct{}
+	wake    chan struct{}
+	stopped bool
+	base    time.Duration
+	// interval mirrors the goroutine's current poll interval in
+	// nanoseconds (racy reads via Interval; for monitoring and the
+	// backoff tests).
+	interval atomic.Int64
+}
+
+// schedEntry is one registered table plus its last activity sample. Two
+// equal consecutive samples mean no update touched the table in between
+// (searches leave no trace, by design — reads alone never need
+// maintenance).
+type schedEntry struct {
+	r      *Resizable
+	root   *rtable
+	cursor int64
+	ops    int64
+	seen   bool
+}
+
+// idleBackoffMax caps the idle poll interval at this multiple of the base
+// interval: wide enough that an idle fleet's timer is background noise,
+// narrow enough that the first write burst after a lull is picked up
+// within a second at the default base.
+const idleBackoffMax = 64
+
+// NewScheduler returns a running scheduler polling every base
+// (DefaultJanitorInterval when base <= 0). It starts with no tables; the
+// goroutine idles at the backed-off interval until the first Register.
+func NewScheduler(base time.Duration) *Scheduler {
+	if base <= 0 {
+		base = DefaultJanitorInterval
+	}
+	s := &Scheduler{
+		entries: make(map[*Resizable]*schedEntry),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		wake:    make(chan struct{}, 1),
+		base:    base,
+	}
+	s.interval.Store(int64(base))
+	go s.run()
+	return s
+}
+
+// Register adds r to the scheduler's maintenance rounds and resets the
+// poll interval to the base (a fresh table deserves prompt attention).
+// Registering a table twice, or on a stopped scheduler, is a no-op.
+func (s *Scheduler) Register(r *Resizable) {
+	s.mu.Lock()
+	if _, ok := s.entries[r]; !ok && !s.stopped {
+		s.entries[r] = &schedEntry{r: r}
+	}
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Unregister removes r from the maintenance rounds. The table keeps
+// working — migration still advances on its updates and Quiesce remains
+// available — it just gets no background attention.
+func (s *Scheduler) Unregister(r *Resizable) {
+	s.mu.Lock()
+	delete(s.entries, r)
+	s.mu.Unlock()
+}
+
+// Stop halts the scheduler goroutine and waits for it to exit (promptly
+// even mid-quiesce: the per-table maintenance is cancellable). Idempotent;
+// a stopped scheduler stays stopped — start a new one instead.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+}
+
+// Tables returns how many tables are registered (racy; for monitoring).
+func (s *Scheduler) Tables() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Interval returns the scheduler's current poll interval: the base while
+// any table is active, backed off exponentially (up to idleBackoffMax ×
+// base) while all are idle. Racy; for monitoring and tests.
+func (s *Scheduler) Interval() time.Duration {
+	return time.Duration(s.interval.Load())
+}
+
+func (s *Scheduler) run() {
+	defer close(s.done)
+	interval := s.base
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.wake:
+			// A registration: restart the cadence at the base so the new
+			// table's first sample lands promptly.
+			interval = s.base
+			s.interval.Store(int64(interval))
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(interval)
+			continue
+		case <-timer.C:
+		}
+		if s.pass() {
+			interval = s.base
+		} else if interval < s.base*idleBackoffMax {
+			interval *= 2
+		}
+		s.interval.Store(int64(interval))
+		timer.Reset(interval)
+	}
+}
+
+// pass runs one maintenance round over every registered table and reports
+// whether any of them showed activity. The entry list is snapshotted so
+// Register/Unregister never wait behind a quiesce.
+func (s *Scheduler) pass() bool {
+	s.mu.Lock()
+	entries := make([]*schedEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	active := false
+	for _, e := range entries {
+		if s.service(e) {
+			active = true
+		}
+	}
+	return active
+}
+
+// service runs one maintenance round for one table and reports whether the
+// table was active since its last sample. A spurious idle verdict is safe
+// (quiescing is always correct, merely unnecessary) and with the op-count
+// signal requires an exact 2^31-operation wrap between samples; the stop
+// channel keeps even a wrong verdict from outliving the scheduler.
+func (s *Scheduler) service(e *schedEntry) bool {
+	r := e.r
+	t := r.root.Load()
+	idle := e.seen && e.root == t && e.cursor == t.cursor.Load() && e.ops == r.count.Ops()
+	if idle {
+		r.quiesce(s.stop)
+		r.pool.Sweep()
+	} else if t.next.Load() != nil {
+		rc := reclaimer{pool: r.pool}
+		r.help(&rc)
+		rc.release()
+	}
+	// Snapshot the post-maintenance state: the scheduler's own helping
+	// moves the cursor, and sampling before it would make the scheduler
+	// read its own work as traffic and never conclude idle.
+	t = r.root.Load()
+	e.root, e.cursor, e.ops, e.seen = t, t.cursor.Load(), r.count.Ops(), true
+	return !idle
+}

@@ -303,11 +303,11 @@ func TestResizableConcurrentShrinkReaders(t *testing.T) {
 // count.
 func TestResizableLenClamped(t *testing.T) {
 	m := NewResizable(8)
-	m.count.Add(1, -5) // simulate the racing-reader snapshot directly
+	m.count.AddOp(1, -5) // simulate the racing-reader snapshot directly
 	if got := m.Len(); got != 0 {
 		t.Fatalf("Len = %d with negative sum, want 0", got)
 	}
-	m.count.Add(1, 5)
+	m.count.AddOp(1, 5)
 	if got := m.Len(); got != 0 {
 		t.Fatalf("Len = %d after restoring, want 0", got)
 	}

@@ -1,12 +1,36 @@
-// kvstore: a concurrent in-memory key-value store backed by the per-bucket
-// OPTIK hash table (§5.2) — the workload the paper's introduction motivates
-// for hash tables. A mixed fleet of reader and writer goroutines simulates
-// a read-mostly cache in front of a database: GETs dominate, SETs and DELs
-// trickle in, and the store reports throughput and hit rates.
+// kvstore: a concurrent in-memory key-value store on the sharded
+// store.Store — the workload the paper's introduction motivates for hash
+// tables, served the way the ROADMAP's production system would serve it. A
+// mixed fleet of reader and writer goroutines simulates a read-mostly
+// cache in front of a database: GETs dominate, SETs and DELs trickle in,
+// a slice of the readers fetch in batches (MGet), and the store reports
+// throughput, hit rates and the maintenance counters.
+//
+// There is no lock anywhere on the GET/SET/DEL path — no sync.RWMutex, no
+// global anything. Earlier revisions kept string values in a mutex-guarded
+// side map, the exact pessimistic global locking the OPTIK pattern exists
+// to kill; this version stores values through handles instead:
+//
+//   - The index maps the 64-bit key hash to a slot in a chunked value
+//     arena; store.Store routes it to a shard and the shard's per-bucket
+//     OPTIK lock covers the update.
+//   - An arena slot holds one atomic pointer to an immutable {hash,
+//     value} pair. SET writes the pair first and publishes the slot
+//     through the index after, so any slot a reader can reach holds a
+//     fully-built pair.
+//   - Freed slots recycle through a lock-free OPTIK stack. Recycling
+//     creates the classic read-under-reuse race — a GET can hold a slot
+//     number while a concurrent DEL frees it and another SET re-points it
+//     at a different key's pair — and the fix is the OPTIK move lifted to
+//     the value layer: the GET validates optimistically (does the pair's
+//     hash still match the key I looked up?) and restarts through the
+//     index when it does not, exactly how the table's own readers
+//     validate bucket versions instead of locking.
 //
 // Run with:
 //
-//	go run ./examples/kvstore [-readers 8] [-writers 2] [-duration 2s]
+//	go run ./examples/kvstore [-readers 8] [-writers 2] [-shards 0]
+//	                          [-batch 16] [-duration 2s]
 package main
 
 import (
@@ -19,27 +43,96 @@ import (
 
 	"math/rand/v2"
 
-	"github.com/optik-go/optik/ds/hashmap"
+	"github.com/optik-go/optik/ds/stack"
+	"github.com/optik-go/optik/store"
 )
 
-// Store maps string keys to string values on top of the uint64-keyed OPTIK
-// hash table: keys are hashed to 64 bits and values interned in a sharded
-// side table (a real store would keep value pointers; the structure under
-// test is the index).
-type Store struct {
-	index *hashmap.OptikGL
-
-	mu     sync.RWMutex
-	values map[uint64]string
+// entry is one stored value: the key hash it belongs to plus the value.
+// Entries are immutable once published; replacing a value builds a new
+// entry in a new or recycled slot.
+type entry struct {
+	hash uint64
+	val  string
 }
 
-// NewStore returns a store with the given number of index buckets.
-func NewStore(buckets int) *Store {
+// arena is a growable array of value slots addressed by the uint64 the
+// index stores. Slots are chunked so growth never moves published slots
+// (a reader holding a slot number must be able to load its pointer with
+// no coordination), and the chunk directory is fixed so reaching a slot
+// is two indexed loads. Freed slots recycle through a lock-free stack.
+type arena struct {
+	chunks [dirSize]atomic.Pointer[chunk]
+	next   atomic.Uint64
+	free   *stack.Optik
+}
+
+const (
+	chunkBits = 12 // 4096 slots per chunk
+	chunkSize = 1 << chunkBits
+	dirSize   = 4096 // 16.7M live values; plenty for an example store
+)
+
+type chunk [chunkSize]atomic.Pointer[entry]
+
+func newArena() *arena {
+	return &arena{free: stack.NewOptik()}
+}
+
+// put stores a fresh {hash, val} pair and returns its slot, recycling a
+// freed slot when one is available. The pair is visible as soon as the
+// pointer store lands — before the caller publishes the slot through the
+// index — so no reader can reach a half-built entry.
+func (a *arena) put(hash uint64, val string) uint64 {
+	slot, ok := a.free.Pop()
+	if !ok {
+		slot = a.next.Add(1) - 1
+		if slot >= dirSize*chunkSize {
+			panic("kvstore: value arena exhausted")
+		}
+	}
+	ci := slot >> chunkBits
+	c := a.chunks[ci].Load()
+	for c == nil {
+		// First touch of this chunk: one allocation, racing allocators
+		// settle by CAS.
+		a.chunks[ci].CompareAndSwap(nil, new(chunk))
+		c = a.chunks[ci].Load()
+	}
+	c[slot&(chunkSize-1)].Store(&entry{hash: hash, val: val})
+	return slot
+}
+
+// get loads the pair currently in slot. The caller validates its hash.
+func (a *arena) get(slot uint64) *entry {
+	return a.chunks[slot>>chunkBits].Load()[slot&(chunkSize-1)].Load()
+}
+
+// release recycles a slot whose index entry has been removed or replaced.
+// The old pair is left in place for stale readers; they validate its hash
+// and retry, and the pair itself is garbage-collected once the last one
+// moves on.
+func (a *arena) release(slot uint64) {
+	a.free.Push(slot)
+}
+
+// Store maps string keys to string values: a sharded OPTIK index from key
+// hashes to value handles in the arena.
+type Store struct {
+	index  *store.Store
+	values *arena
+}
+
+// NewStore returns a store with the given shard count (0 = one per core)
+// and per-shard floor buckets.
+func NewStore(shards, shardBuckets int) *Store {
 	return &Store{
-		index:  hashmap.NewOptikGL(buckets),
-		values: make(map[uint64]string),
+		index:  store.New(store.WithShards(shards), store.WithShardBuckets(shardBuckets)),
+		values: newArena(),
 	}
 }
+
+// Close stops the index's maintenance scheduler.
+func (s *Store) Close() { s.index.Close() }
 
 func hashKey(key string) uint64 {
 	h := fnv.New64a()
@@ -51,49 +144,88 @@ func hashKey(key string) uint64 {
 	return v
 }
 
-// Set stores key→value, returning false if the key already existed.
+// Set stores key→value, returning false if this was a fresh insert and
+// true if it replaced an existing value.
 func (s *Store) Set(key, value string) bool {
 	k := hashKey(key)
-	s.mu.Lock()
-	s.values[k] = value
-	s.mu.Unlock()
-	return s.index.Insert(k, k)
+	slot := s.values.put(k, value)
+	old, replaced := s.index.Set(k, slot)
+	if replaced {
+		s.values.release(old)
+	}
+	return replaced
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. The loop is the OPTIK shape in
+// miniature: optimistic read (index lookup, then the arena load), validate
+// (does the pair still belong to this key?), retry on conflict. A retry
+// means a concurrent SET or DEL recycled the slot under us, so each lap
+// rides on another operation's progress — the same obstruction-freedom
+// argument as the table's own readers.
 func (s *Store) Get(key string) (string, bool) {
 	k := hashKey(key)
-	if _, ok := s.index.Search(k); !ok {
-		return "", false
+	for {
+		slot, ok := s.index.Get(k)
+		if !ok {
+			return "", false
+		}
+		if e := s.values.get(slot); e != nil && e.hash == k {
+			return e.val, true
+		}
 	}
-	s.mu.RLock()
-	v, ok := s.values[k]
-	s.mu.RUnlock()
-	return v, ok
 }
 
 // Del removes key, reporting whether it was present.
 func (s *Store) Del(key string) bool {
 	k := hashKey(key)
-	if _, ok := s.index.Delete(k); !ok {
+	old, ok := s.index.Del(k)
+	if !ok {
 		return false
 	}
-	s.mu.Lock()
-	delete(s.values, k)
-	s.mu.Unlock()
+	s.values.release(old)
 	return true
+}
+
+// MGet fetches a batch of keys in one index pass, appending the values of
+// the found ones to dst and returning it with the hit count. Slots whose
+// pairs were recycled mid-read fall back to the scalar validated Get.
+func (s *Store) MGet(keys []string, dst []string) ([]string, int) {
+	hashes := make([]uint64, len(keys))
+	slots := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	for i, key := range keys {
+		hashes[i] = hashKey(key)
+	}
+	s.index.MGet(hashes, slots, found)
+	hits := 0
+	for i := range keys {
+		if !found[i] {
+			continue
+		}
+		if e := s.values.get(slots[i]); e != nil && e.hash == hashes[i] {
+			dst = append(dst, e.val)
+			hits++
+		} else if v, ok := s.Get(keys[i]); ok {
+			dst = append(dst, v)
+			hits++
+		}
+	}
+	return dst, hits
 }
 
 func main() {
 	readers := flag.Int("readers", 8, "reader goroutines")
 	writers := flag.Int("writers", 2, "writer goroutines")
+	shards := flag.Int("shards", 0, "index shards (0 = one per core)")
+	batch := flag.Int("batch", 16, "keys per batched GET (half the readers batch)")
 	duration := flag.Duration("duration", 2*time.Second, "run duration")
 	flag.Parse()
 
-	store := NewStore(4096)
+	st := NewStore(*shards, 1024)
+	defer st.Close()
 	// Seed the cache.
 	for i := 0; i < 2048; i++ {
-		store.Set(fmt.Sprintf("user:%04d", i), fmt.Sprintf("profile-%d", i))
+		st.Set(fmt.Sprintf("user:%04d", i), fmt.Sprintf("profile-%d", i))
 	}
 
 	var (
@@ -103,14 +235,27 @@ func main() {
 	)
 	for r := 0; r < *readers; r++ {
 		wg.Add(1)
+		batched := r%2 == 1 && *batch > 1
 		go func() {
 			defer wg.Done()
+			keys := make([]string, *batch)
+			vals := make([]string, 0, *batch)
 			for !stop.Load() {
-				key := fmt.Sprintf("user:%04d", rand.IntN(4096))
-				if _, ok := store.Get(key); ok {
-					hits.Add(1)
+				if batched {
+					for i := range keys {
+						keys[i] = fmt.Sprintf("user:%04d", rand.IntN(4096))
+					}
+					var h int
+					vals, h = st.MGet(keys, vals[:0])
+					hits.Add(uint64(h))
+					gets.Add(uint64(len(keys)))
+				} else {
+					key := fmt.Sprintf("user:%04d", rand.IntN(4096))
+					if _, ok := st.Get(key); ok {
+						hits.Add(1)
+					}
+					gets.Add(1)
 				}
-				gets.Add(1)
 			}
 		}()
 	}
@@ -121,10 +266,10 @@ func main() {
 			for !stop.Load() {
 				key := fmt.Sprintf("user:%04d", rand.IntN(4096))
 				if rand.IntN(2) == 0 {
-					store.Set(key, "updated")
+					st.Set(key, "updated")
 					sets.Add(1)
 				} else {
-					store.Del(key)
+					st.Del(key)
 					dels.Add(1)
 				}
 			}
@@ -136,10 +281,15 @@ func main() {
 	wg.Wait()
 
 	elapsed := duration.Seconds()
-	fmt.Printf("kvstore over %v with %d readers / %d writers\n", *duration, *readers, *writers)
+	fmt.Printf("kvstore over %v with %d readers / %d writers on %d shards\n",
+		*duration, *readers, *writers, st.index.Shards())
 	fmt.Printf("  GET: %8.2f Kops/s (hit rate %.1f%%)\n",
 		float64(gets.Load())/elapsed/1e3, 100*float64(hits.Load())/float64(max(gets.Load(), 1)))
 	fmt.Printf("  SET: %8.2f Kops/s\n", float64(sets.Load())/elapsed/1e3)
 	fmt.Printf("  DEL: %8.2f Kops/s\n", float64(dels.Load())/elapsed/1e3)
-	fmt.Printf("  index size: %d\n", store.index.Len())
+	retired, _, reused := st.index.ReclaimStats()
+	fmt.Printf("  index: %d keys in %d buckets, %d resizes, %d/%d chain nodes retired/reused\n",
+		st.index.Len(), st.index.Buckets(), st.index.Resizes(), retired, reused)
+	fmt.Printf("  arena: %d slots allocated, %d on the free list\n",
+		st.values.next.Load(), st.values.free.Len())
 }

@@ -77,3 +77,81 @@ func TestStripedAddReturnsCellValue(t *testing.T) {
 		}
 	}
 }
+
+func TestStripedOpsPackedCounters(t *testing.T) {
+	s := NewStriped(8)
+	const workers, iters = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.AddOp(id*7919+uint64(i), 1)
+				if i%2 == 0 {
+					s.AddOp(uint64(i), -1)
+				}
+				if i%4 == 0 {
+					s.AddOp(uint64(i)*31, 0) // value update: op, no net change
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	wantNet := int64(workers * (iters - iters/2))
+	wantOps := int64(workers * (iters + iters/2 + iters/4))
+	if got := s.Net(); got != wantNet {
+		t.Fatalf("Net = %d, want %d", got, wantNet)
+	}
+	if got := s.Ops(); got != wantOps {
+		t.Fatalf("Ops = %d, want %d", got, wantOps)
+	}
+}
+
+func TestStripedOpsBalancedTrafficAdvances(t *testing.T) {
+	// The blind spot the packed counter exists to close: perfectly balanced
+	// traffic leaves the net sum unchanged but must advance the op count.
+	s := NewStriped(4)
+	before := s.Ops()
+	for i := 0; i < 1000; i++ {
+		s.AddOp(uint64(i), 1)
+		s.AddOp(uint64(i), -1)
+	}
+	if got := s.Net(); got != 0 {
+		t.Fatalf("Net = %d after balanced traffic, want 0", got)
+	}
+	if got := s.Ops(); got != before+2000 {
+		t.Fatalf("Ops = %d, want %d", got, before+2000)
+	}
+}
+
+func TestStripedOpsNegativeNetTransient(t *testing.T) {
+	// A delete observed before its matching insert drives the net negative;
+	// the borrow into the op half must not corrupt either counter once the
+	// insert lands.
+	s := NewStriped(1)
+	s.AddOp(1, -1)
+	if got := s.Net(); got != -1 {
+		t.Fatalf("Net = %d mid-transient, want -1", got)
+	}
+	if got := s.Ops(); got != 1 {
+		t.Fatalf("Ops = %d mid-transient, want 1", got)
+	}
+	s.AddOp(2, 1)
+	if got := s.Net(); got != 0 {
+		t.Fatalf("Net = %d settled, want 0", got)
+	}
+	if got := s.Ops(); got != 2 {
+		t.Fatalf("Ops = %d settled, want 2", got)
+	}
+}
+
+func TestStripedOpsReturnIsCellOpCount(t *testing.T) {
+	s := NewStriped(1) // single cell: AddOp returns the running op count
+	deltas := []int64{1, -1, 0, 1, -1}
+	for i, d := range deltas {
+		if got := s.AddOp(uint64(i*13), d); got != int64(i+1) {
+			t.Fatalf("AddOp #%d returned %d, want %d", i, got, i+1)
+		}
+	}
+}

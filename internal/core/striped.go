@@ -61,5 +61,66 @@ func (s *Striped) Sum() int64 {
 	return total
 }
 
+// The op-counting view: AddOp/Net/Ops treat each cell as two packed
+// counters updated by a single atomic add — a net element delta in the low
+// 32 bits and a monotone operation count in the high bits. The op count is
+// what a maintenance scheduler needs for its activity signal: the net sum
+// is blind to balanced traffic (an insert and a delete cancel), but every
+// successful update bumps the op half, so "no ops since the last sample"
+// really means the structure was untouched. Packing it into the same add
+// makes the sharper signal free — no second atomic on the update path.
+//
+// A counter must use either Add/Sum or AddOp/Net/Ops exclusively; mixing
+// the flavors on one instance would misattribute the high bits. The packed
+// layout bounds the net count to ±2^31 (about 2.1 billion elements, far
+// beyond any table here). The op half wraps modulo 2^31 without disturbing
+// the low half — two's-complement addition is bitwise modular — so Net
+// stays exact forever and Ops comparisons remain valid across any sampling
+// interval shorter than 2^31 operations.
+
+// opsUnit is one operation in the packed cell encoding.
+const opsUnit = int64(1) << 32
+
+// AddOp records one successful operation whose net element effect is delta
+// (+1 insert, -1 delete, 0 value update) and returns the updated cell's op
+// count — callers amortize threshold checks on it crossing boundaries,
+// which, unlike the raw cell value, advances deterministically under
+// balanced traffic.
+func (s *Striped) AddOp(hint uint64, delta int64) int64 {
+	c := s.cells[(hint*0x9E3779B97F4A7C15)>>32&s.mask].n.Add(opsUnit + delta)
+	return cellOps(c)
+}
+
+// Net returns the total net delta across all cells (the element count when
+// the counter backs a Len). Same non-linearizable contract as Sum.
+func (s *Striped) Net() int64 {
+	return int64(int32(s.packedSum()))
+}
+
+// Ops returns the monotone operation count across all cells, modulo 2^31.
+// Two equal Ops reads with no interleaving wrap mean no AddOp ran between
+// them; its only consumer compares snapshots, so the wrap is harmless.
+func (s *Striped) Ops() int64 {
+	return cellOps(s.packedSum())
+}
+
+// packedSum sums the packed cells; the low 32 bits are the exact net total
+// (assuming |net| < 2^31) and the remaining bits the wrapping op count.
+func (s *Striped) packedSum() int64 {
+	var total int64
+	for i := range s.cells {
+		total += s.cells[i].n.Load()
+	}
+	return total
+}
+
+// cellOps extracts the op half of a packed value: subtract the
+// sign-extended net so a transiently negative low half does not leak its
+// borrow into the count, then shift it out. Masked to 31 bits so the
+// extraction is insensitive to op-half wraparound of the int64.
+func cellOps(c int64) int64 {
+	return (c - int64(int32(c))) >> 32 & (1<<31 - 1)
+}
+
 // Shards returns the number of cells.
 func (s *Striped) Shards() int { return len(s.cells) }

@@ -19,6 +19,7 @@ import (
 	"github.com/optik-go/optik/ds/skiplist"
 	"github.com/optik-go/optik/ds/stack"
 	"github.com/optik-go/optik/internal/workload"
+	"github.com/optik-go/optik/store"
 )
 
 // RunOpts controls scale: thread counts to sweep, per-run duration and
@@ -38,6 +39,13 @@ type RunOpts struct {
 	// enabled (same series name, so trends stay comparable; the header
 	// notes the mode).
 	Janitor bool
+	// Shards are the shard counts the server figure sweeps (default
+	// 1, 4, 16 — the 1-shard row is the unsharded baseline every other
+	// row is read against).
+	Shards []int
+	// BatchPct is the server figure's batched-request percentage
+	// (default 20); its batch size is fixed at 16 keys.
+	BatchPct int
 }
 
 // Row is one measured data point in the shape the -json output emits, so
@@ -590,6 +598,116 @@ func janitorTag(j bool) string {
 	return ""
 }
 
+// FigServer runs the sharded-store scenario (beyond the paper: its tables
+// are the building block, the store is the system the ROADMAP builds
+// toward): a zipfian GET/SET/DEL request stream with a batched fraction,
+// swept across thread counts × shard counts. One row per shard count puts
+// the scaling axis in the table itself — the 1-shard row is the unsharded
+// table behind the same API, so any separation between rows is what
+// sharding buys on this machine. A second pass at the top thread count
+// samples per-op latency split by request kind, where the batch
+// amortization and the per-shard migration containment actually show.
+func FigServer(o RunOpts) {
+	o = o.Normalize()
+	shards := normalizeShards(o.Shards)
+	batchPct := o.BatchPct
+	if batchPct <= 0 {
+		batchPct = 20
+	}
+	const initial = 65536
+	cfg := workload.ServerConfig{
+		Duration:    o.Duration,
+		InitialSize: initial,
+		SetPct:      8,
+		DelPct:      2,
+		BatchPct:    batchPct,
+		BatchSize:   16,
+	}
+	wlLabel := fmt.Sprintf("zipf get90/set8/del2 batch%d%%x16 init %d", batchPct, initial)
+	fmt.Fprintf(o.Out, "# Server — store.Store, %s (Mops/s)\n", wlLabel)
+	fmt.Fprintf(o.Out, "%-8s", "threads")
+	for _, sh := range shards {
+		fmt.Fprintf(o.Out, "%16s", implName(sh))
+	}
+	fmt.Fprintln(o.Out)
+	for _, th := range o.Threads {
+		fmt.Fprintf(o.Out, "%-8d", th)
+		for _, sh := range shards {
+			c := cfg
+			c.Threads = th
+			res := workload.RunServer(c, storeFactory(sh, initial))
+			fmt.Fprintf(o.Out, "%16.3f", res.Mops)
+			o.Record.add(Row{
+				Figure: "Server", Workload: wlLabel, Impl: implName(sh), Threads: th,
+				Mops: res.Mops, FinalBuckets: res.FinalBuckets,
+				NodesRetired: res.NodesRetired, NodesReused: res.NodesReused,
+			})
+		}
+		fmt.Fprintln(o.Out)
+	}
+	fmt.Fprintln(o.Out)
+	th := o.Threads[len(o.Threads)-1]
+	fmt.Fprintf(o.Out, "# Server latency — per-op ns by request kind, %d threads\n", th)
+	for _, sh := range shards {
+		c := cfg
+		c.Threads = th
+		c.SampleLatency = true
+		res := workload.RunServer(c, storeFactory(sh, initial))
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", implName(sh), "all", res.Latency)
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", implName(sh), "get", res.GetLatency)
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", implName(sh), "set", res.SetLatency)
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", implName(sh), "del", res.DelLatency)
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", implName(sh), "batch", res.BatchLatency)
+		fmt.Fprintf(o.Out, "%-16s hit rate %.1f%%, %d buckets across %d shards, %d resizes, %d/%d nodes retired/reused\n",
+			implName(sh), 100*res.HitRate, res.FinalBuckets, sh, res.Resizes, res.NodesRetired, res.NodesReused)
+		o.Record.add(Row{
+			Figure: "Server latency", Workload: wlLabel, Impl: implName(sh), Threads: th,
+			Mops: res.Mops, P50Ns: res.Latency.P50, P99Ns: res.Latency.P99, MaxNs: res.Latency.Max,
+		})
+	}
+	fmt.Fprintln(o.Out)
+}
+
+// implName labels a shard-count series.
+func implName(shards int) string { return fmt.Sprintf("store-%dsh", shards) }
+
+// normalizeShards applies store.New's shard rounding (next power of two,
+// capped at 256) up front and dedupes, so the printed series names, the
+// per-shard floor provisioning and the JSON join keys all describe the
+// configuration that actually runs — `-shards 3` measures and labels a
+// 4-shard store, not a phantom 3-shard one.
+func normalizeShards(in []int) []int {
+	if len(in) == 0 {
+		return []int{1, 4, 16}
+	}
+	out := make([]int, 0, len(in))
+	seen := map[int]bool{}
+	for _, n := range in {
+		p := 1
+		for p < n && p < 256 {
+			p <<= 1
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// storeFactory builds the server figure's store: the initial size split
+// across the shards as each one's floor, so the per-shard provisioning is
+// fair at every shard count.
+func storeFactory(shards, initial int) func() *store.Store {
+	perShard := initial / shards
+	if perShard < 64 {
+		perShard = 64
+	}
+	return func() *store.Store {
+		return store.New(store.WithShards(shards), store.WithShardBuckets(perShard))
+	}
+}
+
 // Stacks regenerates the §5.5 stack comparison (not a numbered figure in
 // the paper; reported as "behave similarly").
 func Stacks(o RunOpts) {
@@ -612,8 +730,8 @@ func Stacks(o RunOpts) {
 	fmt.Fprintln(o.Out)
 }
 
-// All regenerates every figure, plus the resize-under-load and churn
-// scenarios.
+// All regenerates every figure, plus the resize-under-load, churn and
+// server scenarios.
 func All(o RunOpts) {
 	Fig5(o)
 	Fig7(o)
@@ -624,4 +742,5 @@ func All(o RunOpts) {
 	Stacks(o)
 	FigResize(o)
 	FigChurn(o)
+	FigServer(o)
 }

@@ -184,3 +184,57 @@ func TestHideHandlesSuppressesCaching(t *testing.T) {
 		}
 	}
 }
+
+func TestFigServerEmitsSeriesAndRecords(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOpts(&buf)
+	o.Shards = []int{1, 2}
+	o.BatchPct = 25
+	rec := &Recorder{}
+	o.Record = rec
+	FigServer(o)
+	out := buf.String()
+	for _, want := range []string{"Server", "Server latency", "store-1sh", "store-2sh", "batch25%", "get", "set", "del", "batch", "hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One throughput row per shard count plus one latency row per shard
+	// count.
+	if got, want := len(rec.Rows), 2*len(o.Shards); got != want {
+		t.Fatalf("recorded %d rows, want %d", got, want)
+	}
+	for _, row := range rec.Rows {
+		if row.Threads != 2 || row.Mops <= 0 {
+			t.Fatalf("bad row: %+v", row)
+		}
+		switch row.Figure {
+		case "Server":
+			if row.FinalBuckets <= 0 {
+				t.Fatalf("server row without buckets: %+v", row)
+			}
+		case "Server latency":
+			if row.P50Ns <= 0 || row.P99Ns < row.P50Ns || row.MaxNs < row.P99Ns {
+				t.Fatalf("latency row tail not ordered: %+v", row)
+			}
+		default:
+			t.Fatalf("unexpected figure %q", row.Figure)
+		}
+	}
+}
+
+func TestNormalizeShards(t *testing.T) {
+	got := normalizeShards([]int{3, 4, 17, 1000})
+	want := []int{4, 32, 256}
+	if len(got) != len(want) {
+		t.Fatalf("normalizeShards = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("normalizeShards = %v, want %v", got, want)
+		}
+	}
+	if d := normalizeShards(nil); len(d) != 3 || d[0] != 1 {
+		t.Fatalf("default shards = %v", d)
+	}
+}

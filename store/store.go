@@ -1,0 +1,331 @@
+// Package store lifts the library's resizable OPTIK hash table into a
+// servable subsystem: a Store is a power-of-two set of independent
+// hashmap.Resizable shards behind a 64-bit hash router, with batched
+// multi-key operations, store-wide aggregation, and a single shared
+// maintenance scheduler janitoring the whole fleet.
+//
+// Sharding is the classic route from a fast table to a served system
+// (lock striping over optimistic structures — the design behind the
+// paper's ConcurrentHashMap baseline, scaled out): each shard is its own
+// table with its own per-bucket OPTIK locks, its own striped counter, its
+// own qsbr reclamation pool, and its own incremental resize machinery, so
+// shards never contend on anything — no shared counter cell, no shared
+// migration cursor, no shared free list. A resize migrates one shard's
+// buckets while the other shards serve traffic untouched, which bounds
+// the tail a resize can inflict on the store as a whole.
+//
+// The fleet shares exactly one piece of infrastructure: the maintenance
+// scheduler (hashmap.Scheduler). One goroutine samples every shard's
+// activity, quiesces the idle ones, and backs its poll interval off
+// exponentially while the whole fleet sleeps — where per-table janitors
+// would cost a goroutine and a timer per shard, the store costs one of
+// each at any shard count.
+//
+// Batched operations (MGet, MSet, MDel) route each key to its shard and
+// then visit each touched shard once, so the per-operation overheads —
+// borrowing a reclamation handle, offering migration help — are paid per
+// shard visit instead of per key. Each key remains an independent
+// linearizable operation; a batch is a loop with the fixed costs hoisted,
+// not a transaction.
+package store
+
+import (
+	"math/bits"
+	"runtime"
+	"time"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/ds/hashmap"
+)
+
+// Store is a sharded key-value store over uint64 keys and values. All
+// methods are safe for concurrent use. Keys follow the library's range
+// ([ds.MinKey, ds.MaxKey]); values are unrestricted.
+type Store struct {
+	shards []*hashmap.Resizable
+	// shift routes a mixed key to a shard by its top bits: the bucket
+	// index inside a shard uses low-order mix bits, so the two choices
+	// stay independent.
+	shift uint
+	sched *hashmap.Scheduler
+}
+
+var _ ds.Set = (*Store)(nil)
+
+// maxShards bounds the shard count; the batch router tracks touched
+// shards in a fixed bitset of this width.
+const maxShards = 256
+
+// options collects construction knobs; see the Option helpers.
+type options struct {
+	shards       int
+	shardBuckets int
+	interval     time.Duration
+	maintenance  bool
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithShards sets the shard count, rounded up to a power of two and
+// capped at 256. The default is the next power of two >= GOMAXPROCS —
+// one shard per core's worth of traffic.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
+// WithShardBuckets sets each shard's initial (and floor) bucket count;
+// the default is 1024. A shard never shrinks below its floor, so this is
+// the provisioned per-shard size.
+func WithShardBuckets(n int) Option {
+	return func(o *options) { o.shardBuckets = n }
+}
+
+// WithMaintenanceInterval sets the shared scheduler's base poll interval
+// (default hashmap.DefaultJanitorInterval; it backs off exponentially
+// while the fleet idles).
+func WithMaintenanceInterval(d time.Duration) Option {
+	return func(o *options) { o.interval = d }
+}
+
+// WithoutMaintenance builds the store with no background scheduler: the
+// caller owns quiescence (Quiesce, or registering the shards with its own
+// hashmap.Scheduler). Benchmarks isolating the data path use this.
+func WithoutMaintenance() Option {
+	return func(o *options) { o.maintenance = false }
+}
+
+// New returns a Store with every shard registered on one shared
+// maintenance scheduler (unless WithoutMaintenance). Close releases the
+// scheduler goroutine.
+func New(opts ...Option) *Store {
+	o := options{
+		shardBuckets: 1024,
+		maintenance:  true,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.shards <= 0 {
+		o.shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < o.shards && n < maxShards {
+		n <<= 1
+	}
+	// For one shard the shift is 64, which Go defines to route every key
+	// to shard 0.
+	s := &Store{
+		shards: make([]*hashmap.Resizable, n),
+		shift:  uint(64 - bits.TrailingZeros(uint(n))),
+	}
+	for i := range s.shards {
+		s.shards[i] = hashmap.NewResizable(o.shardBuckets)
+	}
+	if o.maintenance {
+		s.sched = hashmap.NewScheduler(o.interval)
+		for _, sh := range s.shards {
+			s.sched.Register(sh)
+		}
+	}
+	return s
+}
+
+// Close stops the shared maintenance scheduler. The shards stay usable —
+// migration still advances on updates and Quiesce still works — they just
+// get no background attention. Idempotent.
+func (s *Store) Close() {
+	if s.sched != nil {
+		s.sched.Stop()
+	}
+}
+
+// mix is the same Fibonacci multiplicative hash the shard tables use for
+// bucket placement; the router consumes its top bits, the tables bits
+// 32 and up, so a route and a bucket index never alias for any sane
+// shard/bucket count (shards × buckets up to 2^32).
+func mix(key uint64) uint64 { return key * 0x9E3779B97F4A7C15 }
+
+// shardFor routes a key to its shard.
+func (s *Store) shardFor(key uint64) *hashmap.Resizable {
+	return s.shards[mix(key)>>s.shift]
+}
+
+// Get returns the value stored under key, if present. Lock-free, like the
+// shard's Search.
+func (s *Store) Get(key uint64) (uint64, bool) {
+	return s.shardFor(key).Search(key)
+}
+
+// Set stores key→val, inserting or replacing, and returns the previous
+// value and whether one was replaced — the upsert a serving store needs
+// (contrast Insert, the paper's set semantics).
+func (s *Store) Set(key, val uint64) (uint64, bool) {
+	return s.shardFor(key).Upsert(key, val)
+}
+
+// Del removes key, returning its value, if present.
+func (s *Store) Del(key uint64) (uint64, bool) {
+	return s.shardFor(key).Delete(key)
+}
+
+// Search implements ds.Set (alias of Get), so the workload drivers and
+// stress harness run against a Store unchanged.
+func (s *Store) Search(key uint64) (uint64, bool) { return s.Get(key) }
+
+// Insert implements ds.Set: strict insert-if-absent.
+func (s *Store) Insert(key, val uint64) bool {
+	return s.shardFor(key).Insert(key, val)
+}
+
+// Delete implements ds.Set (alias of Del).
+func (s *Store) Delete(key uint64) (uint64, bool) { return s.Del(key) }
+
+// Len sums the shard counts: O(shards × counter stripes), independent of
+// the element count. Same non-linearizable contract as every Len in the
+// library.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Buckets sums the shards' current bucket counts (racy; for monitoring).
+func (s *Store) Buckets() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Buckets()
+	}
+	return n
+}
+
+// Resizes sums the shards' lifetime resize counts (racy; for monitoring).
+func (s *Store) Resizes() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Resizes()
+	}
+	return n
+}
+
+// ReclaimStats sums the shards' chain-node reclamation counters (racy
+// snapshot; for monitoring).
+func (s *Store) ReclaimStats() (retired, reclaimed, reused uint64) {
+	for _, sh := range s.shards {
+		a, b, c := sh.ReclaimStats()
+		retired += a
+		reclaimed += b
+		reused += c
+	}
+	return retired, reclaimed, reused
+}
+
+// Quiesce drives every shard's maintenance home: in-flight migrations
+// completed, pending resizes settled. Operators normally never call it —
+// the shared scheduler does — but workload phase transitions and tests
+// want the determinism.
+func (s *Store) Quiesce() {
+	for _, sh := range s.shards {
+		sh.Quiesce()
+	}
+}
+
+// route computes every key's shard once (shard ids fit a byte: maxShards
+// is 256) and the touched-shard bitset, so the per-shard gather passes
+// below compare bytes instead of recomputing the hash route — the rescan
+// is O(touchedShards × len(keys)) byte compares, the routing itself
+// O(len(keys)).
+func (s *Store) route(keys []uint64) ([]uint8, shardSet) {
+	ids := make([]uint8, len(keys))
+	var touched shardSet
+	for i, k := range keys {
+		id := uint8(mix(k) >> s.shift)
+		ids[i] = id
+		touched.add(int(id))
+	}
+	return ids, touched
+}
+
+// shardSet is the touched-shards bitset of a batch route.
+type shardSet [maxShards / 64]uint64
+
+func (b *shardSet) add(i int)      { b[i>>6] |= 1 << (i & 63) }
+func (b *shardSet) has(i int) bool { return b[i>>6]&(1<<(i&63)) != 0 }
+
+// MGet looks up every keys[i], storing the value into vals[i] and
+// presence into found[i]; vals and found must be at least len(keys) long.
+// Keys are served in shard groups so each touched shard is visited once
+// with its buckets hot.
+func (s *Store) MGet(keys, vals []uint64, found []bool) {
+	if len(s.shards) == 1 {
+		s.shards[0].SearchBatch(keys, vals, found)
+		return
+	}
+	ids, touched := s.route(keys)
+	for si := range s.shards {
+		if !touched.has(si) {
+			continue
+		}
+		sh := s.shards[si]
+		for i, k := range keys {
+			if ids[i] == uint8(si) {
+				vals[i], found[i] = sh.Search(k)
+			}
+		}
+	}
+}
+
+// MSet applies Set(keys[i], vals[i]) for every i, returning how many keys
+// were newly inserted. Each touched shard is visited once, amortizing the
+// reclamation handle and migration help over the keys that landed on it.
+func (s *Store) MSet(keys, vals []uint64) int {
+	if len(s.shards) == 1 {
+		return s.shards[0].UpsertBatch(keys, vals)
+	}
+	ids, touched := s.route(keys)
+	inserted := 0
+	var subKeys, subVals []uint64
+	for si := range s.shards {
+		if !touched.has(si) {
+			continue
+		}
+		subKeys, subVals = subKeys[:0], subVals[:0]
+		for i, k := range keys {
+			if ids[i] == uint8(si) {
+				subKeys = append(subKeys, k)
+				subVals = append(subVals, vals[i])
+			}
+		}
+		inserted += s.shards[si].UpsertBatch(subKeys, subVals)
+	}
+	return inserted
+}
+
+// MDel deletes every key, returning how many were present. Each touched
+// shard is visited once.
+func (s *Store) MDel(keys []uint64) int {
+	if len(s.shards) == 1 {
+		return s.shards[0].DeleteBatch(keys)
+	}
+	ids, touched := s.route(keys)
+	deleted := 0
+	var sub []uint64
+	for si := range s.shards {
+		if !touched.has(si) {
+			continue
+		}
+		sub = sub[:0]
+		for i, k := range keys {
+			if ids[i] == uint8(si) {
+				sub = append(sub, k)
+			}
+		}
+		deleted += s.shards[si].DeleteBatch(sub)
+	}
+	return deleted
+}
