@@ -6,7 +6,7 @@
 //	optik-bench [flags] <figure>
 //
 // where <figure> is one of: fig5, fig7, fig9, fig10, fig11, fig12, stacks,
-// resize, churn, server, all.
+// resize, churn, server, net, all.
 //
 // Flags:
 //
@@ -28,12 +28,19 @@
 //	          (default 1,4,16; the 1-shard row is the unsharded baseline)
 //	-batch    percentage of the server figure's requests issued as 16-key
 //	          batches through MGet/MSet/MDel (default 20)
+//	-net      drive the net figure against an already-running optik-server
+//	          at this address; empty (the default) starts a private
+//	          loopback server per cell
+//	-pipelines comma-separated wire pipeline depths the net figure sweeps
+//	          (default 1,16,64,256)
 //
 // Example:
 //
 //	optik-bench -threads 1,4,16 -duration 500ms -reps 5 -json BENCH_fig9.json fig9
 //	optik-bench -threads 16 -janitor churn
 //	optik-bench -threads 4,16 -shards 1,8 -batch 50 server
+//	optik-bench -threads 4 -pipelines 1,16,64 net
+//	optik-bench -threads 4 -net 127.0.0.1:7979 net
 package main
 
 import (
@@ -56,8 +63,10 @@ func main() {
 	janitorFlag := flag.Bool("janitor", false, "enable the resizable table's background janitor in the resize/churn figures")
 	shardsFlag := flag.String("shards", "1,4,16", "comma-separated shard counts for the server figure")
 	batchFlag := flag.Int("batch", 20, "percentage of server-figure requests issued as 16-key batches")
+	netFlag := flag.String("net", "", "drive the net figure against an already-running optik-server at this address (empty = private loopback server per cell)")
+	pipelinesFlag := flag.String("pipelines", "1,16,64,256", "comma-separated wire pipeline depths for the net figure")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|churn|server|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|churn|server|net|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,6 +85,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "optik-bench: -shards:", err)
 		os.Exit(2)
 	}
+	pipelines, err := parseThreads(*pipelinesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optik-bench: -pipelines:", err)
+		os.Exit(2)
+	}
 	opts := figures.RunOpts{
 		Threads:   threads,
 		Duration:  *durationFlag,
@@ -85,6 +99,8 @@ func main() {
 		Janitor:   *janitorFlag,
 		Shards:    shards,
 		BatchPct:  *batchFlag,
+		NetAddr:   *netFlag,
+		Pipelines: pipelines,
 	}
 	var rec *figures.Recorder
 	if *jsonFlag != "" {
@@ -104,6 +120,7 @@ func main() {
 		"resize": figures.FigResize,
 		"churn":  figures.FigChurn,
 		"server": figures.FigServer,
+		"net":    figures.FigNet,
 		"all":    figures.All,
 	}
 	run, ok := runners[figure]

@@ -1,0 +1,80 @@
+// optik-server serves the sharded OPTIK string store over TCP, speaking
+// the RESP-flavored protocol in docs/PROTOCOL.md (GET/SET/DEL,
+// MGET/MSET/MDEL, LEN, STATS, QUIESCE, PING, QUIT; inline or multibulk
+// framing, pipelining-friendly).
+//
+// Usage:
+//
+//	optik-server [-addr :7979] [-shards 0] [-shard-buckets 1024]
+//	             [-batch 512] [-maxconns 0]
+//
+// Flags:
+//
+//	-addr          listen address (default :7979)
+//	-shards        index shards, rounded up to a power of two
+//	               (default 0 = one per core)
+//	-shard-buckets per-shard floor bucket count (default 1024)
+//	-batch         pipelined requests executed per reply flush
+//	               (default 512)
+//	-maxconns      concurrent connection cap (default 0 = unlimited)
+//
+// Try it with netcat:
+//
+//	$ printf 'SET user:1 alice\r\nGET user:1\r\nLEN\r\nQUIT\r\n' | nc localhost 7979
+//	:0
+//	$5
+//	alice
+//	:1
+//	+OK
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/optik-go/optik/server"
+	"github.com/optik-go/optik/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":7979", "listen address")
+	shards := flag.Int("shards", 0, "index shards, power of two (0 = one per core)")
+	shardBuckets := flag.Int("shard-buckets", 1024, "per-shard floor bucket count")
+	batch := flag.Int("batch", 512, "pipelined requests executed per reply flush")
+	maxConns := flag.Int("maxconns", 0, "concurrent connection cap (0 = unlimited)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: optik-server [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	st := store.NewStrings(store.WithShards(*shards), store.WithShardBuckets(*shardBuckets))
+	defer st.Close()
+	srv := server.New(st, server.WithPipeline(*batch), server.WithMaxConns(*maxConns))
+
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optik-server:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("optik-server: serving %d shards on %s (batch %d, maxconns %d)\n",
+		st.Index().Shards(), bound, *batch, *maxConns)
+
+	// SIGINT/SIGTERM drain the server before the store's scheduler stops.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("optik-server: shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "optik-server:", err)
+		os.Exit(1)
+	}
+}

@@ -298,9 +298,10 @@ func stressShardedStore(threads int) bool {
 	res := workload.RunServer(workload.ServerConfig{
 		Threads: threads, Duration: 500 * time.Millisecond, InitialSize: 20000,
 		SetPct: 25, DelPct: 15, BatchPct: 40, BatchSize: 8,
-	}, factory)
-	if int64(res.FinalLen) != 20000+res.Net {
-		fmt.Printf("%-24s CONSERVATION VIOLATION: len=%d net=%d+20000\n", name, res.FinalLen, res.Net)
+	}, func() workload.Target { return factory() })
+	if res.PrefillLen != 20000 || int64(res.FinalLen) != int64(res.PrefillLen)+res.Net {
+		fmt.Printf("%-24s CONSERVATION VIOLATION: len=%d net=%d prefill=%d\n",
+			name, res.FinalLen, res.Net, res.PrefillLen)
 		return false
 	}
 

@@ -54,8 +54,17 @@
 // The store package composes the pieces into a servable system: a
 // power-of-two fleet of Resizable shards behind a 64-bit hash router,
 // with upsert Set semantics, batched MGet/MSet/MDel that visit each
-// touched shard once, aggregated statistics, and the whole fleet
-// janitored by one shared Scheduler.
+// touched shard once (routing through a pooled scratch, so batches
+// allocate nothing), aggregated statistics, and the whole fleet
+// janitored by one shared Scheduler. store.Strings adds string keys and
+// values on top — a chunked atomic-handle arena whose GETs validate a
+// pair's hash against slot recycling, the OPTIK move lifted to the
+// value layer — and the server package puts that store on the network:
+// a RESP-flavored pipelined TCP protocol served by cmd/optik-server and
+// measured by cmd/optik-bench's net figure. docs/ARCHITECTURE.md in the
+// repository walks the full stack and tabulates, layer by layer, what
+// is validated optimistically versus what is locked; docs/PROTOCOL.md
+// specifies the wire format.
 // The padding and striped-counter primitives behind them are reusable:
 // Lock is complemented by cache-line-padded forms for dense lock arrays
 // (internal/core's PaddedLock and PaddedTicketLock, internal/locks'

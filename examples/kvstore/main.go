@@ -1,31 +1,20 @@
-// kvstore: a concurrent in-memory key-value store on the sharded
-// store.Store — the workload the paper's introduction motivates for hash
-// tables, served the way the ROADMAP's production system would serve it. A
-// mixed fleet of reader and writer goroutines simulates a read-mostly
-// cache in front of a database: GETs dominate, SETs and DELs trickle in,
-// a slice of the readers fetch in batches (MGet), and the store reports
-// throughput, hit rates and the maintenance counters.
+// kvstore: a concurrent in-memory key-value store — the workload the
+// paper's introduction motivates for hash tables, served the way the
+// ROADMAP's production system serves it. A mixed fleet of reader and
+// writer goroutines simulates a read-mostly cache in front of a database:
+// GETs dominate, SETs and DELs trickle in, a slice of the readers fetch
+// in batches (MGet), and the store reports throughput, hit rates and the
+// maintenance counters.
 //
-// There is no lock anywhere on the GET/SET/DEL path — no sync.RWMutex, no
-// global anything. Earlier revisions kept string values in a mutex-guarded
-// side map, the exact pessimistic global locking the OPTIK pattern exists
-// to kill; this version stores values through handles instead:
-//
-//   - The index maps the 64-bit key hash to a slot in a chunked value
-//     arena; store.Store routes it to a shard and the shard's per-bucket
-//     OPTIK lock covers the update.
-//   - An arena slot holds one atomic pointer to an immutable {hash,
-//     value} pair. SET writes the pair first and publishes the slot
-//     through the index after, so any slot a reader can reach holds a
-//     fully-built pair.
-//   - Freed slots recycle through a lock-free OPTIK stack. Recycling
-//     creates the classic read-under-reuse race — a GET can hold a slot
-//     number while a concurrent DEL frees it and another SET re-points it
-//     at a different key's pair — and the fix is the OPTIK move lifted to
-//     the value layer: the GET validates optimistically (does the pair's
-//     hash still match the key I looked up?) and restarts through the
-//     index when it does not, exactly how the table's own readers
-//     validate bucket versions instead of locking.
+// The machinery lives in the library now: store.Strings maps string keys
+// to string values through a sharded OPTIK index and a chunked
+// atomic-handle value arena with an OPTIK-stack free list (it started
+// life in this example and was lifted into store/values.go when the
+// network server needed it too — the server package serves the same type
+// over TCP). There is no lock anywhere on the GET/SET/DEL path: index
+// reads validate bucket versions, value loads validate the pair's hash
+// against slot recycling and retry through the index — the OPTIK move at
+// the value layer.
 //
 // Run with:
 //
@@ -36,182 +25,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"math/rand/v2"
 
-	"github.com/optik-go/optik/ds/stack"
 	"github.com/optik-go/optik/store"
 )
-
-// entry is one stored value: the key hash it belongs to plus the value.
-// Entries are immutable once published; replacing a value builds a new
-// entry in a new or recycled slot.
-type entry struct {
-	hash uint64
-	val  string
-}
-
-// arena is a growable array of value slots addressed by the uint64 the
-// index stores. Slots are chunked so growth never moves published slots
-// (a reader holding a slot number must be able to load its pointer with
-// no coordination), and the chunk directory is fixed so reaching a slot
-// is two indexed loads. Freed slots recycle through a lock-free stack.
-type arena struct {
-	chunks [dirSize]atomic.Pointer[chunk]
-	next   atomic.Uint64
-	free   *stack.Optik
-}
-
-const (
-	chunkBits = 12 // 4096 slots per chunk
-	chunkSize = 1 << chunkBits
-	dirSize   = 4096 // 16.7M live values; plenty for an example store
-)
-
-type chunk [chunkSize]atomic.Pointer[entry]
-
-func newArena() *arena {
-	return &arena{free: stack.NewOptik()}
-}
-
-// put stores a fresh {hash, val} pair and returns its slot, recycling a
-// freed slot when one is available. The pair is visible as soon as the
-// pointer store lands — before the caller publishes the slot through the
-// index — so no reader can reach a half-built entry.
-func (a *arena) put(hash uint64, val string) uint64 {
-	slot, ok := a.free.Pop()
-	if !ok {
-		slot = a.next.Add(1) - 1
-		if slot >= dirSize*chunkSize {
-			panic("kvstore: value arena exhausted")
-		}
-	}
-	ci := slot >> chunkBits
-	c := a.chunks[ci].Load()
-	for c == nil {
-		// First touch of this chunk: one allocation, racing allocators
-		// settle by CAS.
-		a.chunks[ci].CompareAndSwap(nil, new(chunk))
-		c = a.chunks[ci].Load()
-	}
-	c[slot&(chunkSize-1)].Store(&entry{hash: hash, val: val})
-	return slot
-}
-
-// get loads the pair currently in slot. The caller validates its hash.
-func (a *arena) get(slot uint64) *entry {
-	return a.chunks[slot>>chunkBits].Load()[slot&(chunkSize-1)].Load()
-}
-
-// release recycles a slot whose index entry has been removed or replaced.
-// The old pair is left in place for stale readers; they validate its hash
-// and retry, and the pair itself is garbage-collected once the last one
-// moves on.
-func (a *arena) release(slot uint64) {
-	a.free.Push(slot)
-}
-
-// Store maps string keys to string values: a sharded OPTIK index from key
-// hashes to value handles in the arena.
-type Store struct {
-	index  *store.Store
-	values *arena
-}
-
-// NewStore returns a store with the given shard count (0 = one per core)
-// and per-shard floor buckets.
-func NewStore(shards, shardBuckets int) *Store {
-	return &Store{
-		index:  store.New(store.WithShards(shards), store.WithShardBuckets(shardBuckets)),
-		values: newArena(),
-	}
-}
-
-// Close stops the index's maintenance scheduler.
-func (s *Store) Close() { s.index.Close() }
-
-func hashKey(key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	v := h.Sum64()
-	if v == 0 || v == ^uint64(0) {
-		v = 1 // keep clear of the sentinel keys
-	}
-	return v
-}
-
-// Set stores key→value, returning false if this was a fresh insert and
-// true if it replaced an existing value.
-func (s *Store) Set(key, value string) bool {
-	k := hashKey(key)
-	slot := s.values.put(k, value)
-	old, replaced := s.index.Set(k, slot)
-	if replaced {
-		s.values.release(old)
-	}
-	return replaced
-}
-
-// Get returns the value stored under key. The loop is the OPTIK shape in
-// miniature: optimistic read (index lookup, then the arena load), validate
-// (does the pair still belong to this key?), retry on conflict. A retry
-// means a concurrent SET or DEL recycled the slot under us, so each lap
-// rides on another operation's progress — the same obstruction-freedom
-// argument as the table's own readers.
-func (s *Store) Get(key string) (string, bool) {
-	k := hashKey(key)
-	for {
-		slot, ok := s.index.Get(k)
-		if !ok {
-			return "", false
-		}
-		if e := s.values.get(slot); e != nil && e.hash == k {
-			return e.val, true
-		}
-	}
-}
-
-// Del removes key, reporting whether it was present.
-func (s *Store) Del(key string) bool {
-	k := hashKey(key)
-	old, ok := s.index.Del(k)
-	if !ok {
-		return false
-	}
-	s.values.release(old)
-	return true
-}
-
-// MGet fetches a batch of keys in one index pass, appending the values of
-// the found ones to dst and returning it with the hit count. Slots whose
-// pairs were recycled mid-read fall back to the scalar validated Get.
-func (s *Store) MGet(keys []string, dst []string) ([]string, int) {
-	hashes := make([]uint64, len(keys))
-	slots := make([]uint64, len(keys))
-	found := make([]bool, len(keys))
-	for i, key := range keys {
-		hashes[i] = hashKey(key)
-	}
-	s.index.MGet(hashes, slots, found)
-	hits := 0
-	for i := range keys {
-		if !found[i] {
-			continue
-		}
-		if e := s.values.get(slots[i]); e != nil && e.hash == hashes[i] {
-			dst = append(dst, e.val)
-			hits++
-		} else if v, ok := s.Get(keys[i]); ok {
-			dst = append(dst, v)
-			hits++
-		}
-	}
-	return dst, hits
-}
 
 func main() {
 	readers := flag.Int("readers", 8, "reader goroutines")
@@ -221,7 +42,7 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "run duration")
 	flag.Parse()
 
-	st := NewStore(*shards, 1024)
+	st := store.NewStrings(store.WithShards(*shards), store.WithShardBuckets(1024))
 	defer st.Close()
 	// Seed the cache.
 	for i := 0; i < 2048; i++ {
@@ -239,14 +60,20 @@ func main() {
 		go func() {
 			defer wg.Done()
 			keys := make([]string, *batch)
-			vals := make([]string, 0, *batch)
+			vals := make([]string, *batch)
+			found := make([]bool, *batch)
 			for !stop.Load() {
 				if batched {
 					for i := range keys {
 						keys[i] = fmt.Sprintf("user:%04d", rand.IntN(4096))
 					}
-					var h int
-					vals, h = st.MGet(keys, vals[:0])
+					st.MGet(keys, vals, found)
+					h := 0
+					for i := range found {
+						if found[i] {
+							h++
+						}
+					}
 					hits.Add(uint64(h))
 					gets.Add(uint64(len(keys)))
 				} else {
@@ -282,14 +109,14 @@ func main() {
 
 	elapsed := duration.Seconds()
 	fmt.Printf("kvstore over %v with %d readers / %d writers on %d shards\n",
-		*duration, *readers, *writers, st.index.Shards())
+		*duration, *readers, *writers, st.Index().Shards())
 	fmt.Printf("  GET: %8.2f Kops/s (hit rate %.1f%%)\n",
 		float64(gets.Load())/elapsed/1e3, 100*float64(hits.Load())/float64(max(gets.Load(), 1)))
 	fmt.Printf("  SET: %8.2f Kops/s\n", float64(sets.Load())/elapsed/1e3)
 	fmt.Printf("  DEL: %8.2f Kops/s\n", float64(dels.Load())/elapsed/1e3)
-	retired, _, reused := st.index.ReclaimStats()
+	retired, _, reused := st.Index().ReclaimStats()
 	fmt.Printf("  index: %d keys in %d buckets, %d resizes, %d/%d chain nodes retired/reused\n",
-		st.index.Len(), st.index.Buckets(), st.index.Resizes(), retired, reused)
+		st.Len(), st.Index().Buckets(), st.Index().Resizes(), retired, reused)
 	fmt.Printf("  arena: %d slots allocated, %d on the free list\n",
-		st.values.next.Load(), st.values.free.Len())
+		st.Values().Allocated(), st.Values().FreeLen())
 }

@@ -19,6 +19,7 @@ import (
 	"github.com/optik-go/optik/ds/skiplist"
 	"github.com/optik-go/optik/ds/stack"
 	"github.com/optik-go/optik/internal/workload"
+	"github.com/optik-go/optik/server"
 	"github.com/optik-go/optik/store"
 )
 
@@ -46,6 +47,13 @@ type RunOpts struct {
 	// BatchPct is the server figure's batched-request percentage
 	// (default 20); its batch size is fixed at 16 keys.
 	BatchPct int
+	// NetAddr points the net figure at an already-running optik-server
+	// ("host:port"); empty starts a private loopback server per cell, so
+	// every row measures a cold store.
+	NetAddr string
+	// Pipelines are the wire pipeline depths the net figure sweeps
+	// (default 1, 16, 64, 256; depth d issues d-command pipelines per flush).
+	Pipelines []int
 }
 
 // Row is one measured data point in the shape the -json output emits, so
@@ -698,14 +706,115 @@ func normalizeShards(in []int) []int {
 // storeFactory builds the server figure's store: the initial size split
 // across the shards as each one's floor, so the per-shard provisioning is
 // fair at every shard count.
-func storeFactory(shards, initial int) func() *store.Store {
+func storeFactory(shards, initial int) func() workload.Target {
 	perShard := initial / shards
 	if perShard < 64 {
 		perShard = 64
 	}
-	return func() *store.Store {
+	return func() workload.Target {
 		return store.New(store.WithShards(shards), store.WithShardBuckets(perShard))
 	}
+}
+
+// FigNet runs the server workload over the wire: the same zipfian
+// GET/SET/DEL mix as FigServer, but reaching the store through
+// optik-server's TCP protocol instead of a function call, swept across
+// thread counts × pipeline depths. Depth 1 is the request/response
+// baseline (every key pays a full round trip); deeper rows pipeline d
+// commands per flush, which is where a networked optimistic store earns
+// its throughput back — the FigServer rows are the zero-wire upper bound
+// the net rows are read against.
+func FigNet(o RunOpts) {
+	o = o.Normalize()
+	depths := o.Pipelines
+	if len(depths) == 0 {
+		depths = []int{1, 16, 64, 256}
+	}
+	const initial = 65536
+	wlLabel := fmt.Sprintf("zipf get90/set8/del2 wire init %d", initial)
+	where := "private loopback server per cell"
+	if o.NetAddr != "" {
+		where = "external server at " + o.NetAddr
+	}
+	fmt.Fprintf(o.Out, "# Net — optik-server over TCP, %s (%s; Mops/s)\n", wlLabel, where)
+	fmt.Fprintf(o.Out, "%-8s", "threads")
+	for _, d := range depths {
+		fmt.Fprintf(o.Out, "%16s", netImplName(d))
+	}
+	fmt.Fprintln(o.Out)
+	for _, th := range o.Threads {
+		fmt.Fprintf(o.Out, "%-8d", th)
+		for _, d := range depths {
+			res := runNetCell(o, netServerCfg(o, th, d, initial, false))
+			fmt.Fprintf(o.Out, "%16.3f", res.Mops)
+			o.Record.add(Row{
+				Figure: "Net", Workload: wlLabel, Impl: netImplName(d), Threads: th,
+				Mops: res.Mops, FinalBuckets: res.FinalBuckets,
+			})
+		}
+		fmt.Fprintln(o.Out)
+	}
+	fmt.Fprintln(o.Out)
+	th := o.Threads[len(o.Threads)-1]
+	fmt.Fprintf(o.Out, "# Net latency — per-key ns by pipeline depth, %d threads\n", th)
+	for _, d := range depths {
+		res := runNetCell(o, netServerCfg(o, th, d, initial, true))
+		lat := res.BatchLatency
+		if d == 1 {
+			lat = res.Latency
+		}
+		fmt.Fprintf(o.Out, "%-16s %s (hit rate %.1f%%)\n", netImplName(d), lat, 100*res.HitRate)
+		o.Record.add(Row{
+			Figure: "Net latency", Workload: wlLabel, Impl: netImplName(d), Threads: th,
+			Mops: res.Mops, P50Ns: lat.P50, P99Ns: lat.P99, MaxNs: lat.Max,
+		})
+	}
+	fmt.Fprintln(o.Out)
+}
+
+// netImplName labels a pipeline-depth series.
+func netImplName(depth int) string { return fmt.Sprintf("net-p%d", depth) }
+
+// netServerCfg is the FigNet cell configuration: depth 1 runs the scalar
+// request/response path, deeper cells run every request as a depth-sized
+// pipeline.
+func netServerCfg(o RunOpts, threads, depth, initial int, latency bool) workload.ServerConfig {
+	cfg := workload.ServerConfig{
+		Threads:       threads,
+		Duration:      o.Duration,
+		InitialSize:   initial,
+		SetPct:        8,
+		DelPct:        2,
+		BatchPct:      100,
+		BatchSize:     depth,
+		SampleLatency: latency,
+	}
+	if depth <= 1 {
+		cfg.BatchPct = 0
+	}
+	return cfg
+}
+
+// runNetCell runs one net figure cell, bringing up (and tearing down) a
+// private loopback server unless RunOpts names an external one.
+func runNetCell(o RunOpts, cfg workload.ServerConfig) workload.ServerResult {
+	addr := o.NetAddr
+	if addr == "" {
+		st := store.NewStrings(store.WithShardBuckets(1024))
+		srv := server.New(st)
+		bound, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			panic("figures: loopback server: " + err.Error())
+		}
+		defer func() {
+			srv.Close()
+			st.Close()
+		}()
+		addr = bound.String()
+	}
+	return workload.RunServer(cfg, func() workload.Target {
+		return workload.NewNetTarget(addr)
+	})
 }
 
 // Stacks regenerates the §5.5 stack comparison (not a numbered figure in
@@ -743,4 +852,5 @@ func All(o RunOpts) {
 	FigResize(o)
 	FigChurn(o)
 	FigServer(o)
+	FigNet(o)
 }

@@ -1,0 +1,147 @@
+// The network face of the server workload: NetTarget adapts a pool of
+// wire-protocol clients to the Target interface, so RunServer's zipfian
+// GET/SET/DEL mix drives a TCP server with the exact driver that drives
+// the in-process store — the FigNet and FigServer rows differ only in the
+// transport. Batched operations map to pipelines (a 16-key MGet is 16 GET
+// commands, one flush, 16 replies), so the workload's batch size IS the
+// wire pipeline depth.
+
+package workload
+
+import (
+	"sync"
+
+	"github.com/optik-go/optik/server"
+)
+
+// NetTarget drives a wire-protocol server as a workload Target. Each
+// borrowing goroutine gets its own connection (a server.Client is
+// single-threaded); connections are pooled, so a run with T threads
+// settles at T connections. Methods panic on connection or protocol
+// errors — the load generator wants a loud failure, not a slow retry
+// path inside the measured window.
+type NetTarget struct {
+	addr string
+	mu   sync.Mutex
+	idle []*server.Client
+	all  []*server.Client
+}
+
+var _ Target = (*NetTarget)(nil)
+
+// NewNetTarget returns a Target speaking to the server at addr.
+// Connections are dialed lazily on first borrow.
+func NewNetTarget(addr string) *NetTarget {
+	return &NetTarget{addr: addr}
+}
+
+// borrow pops an idle connection or dials a fresh one.
+func (t *NetTarget) borrow() *server.Client {
+	t.mu.Lock()
+	if n := len(t.idle); n > 0 {
+		c := t.idle[n-1]
+		t.idle = t.idle[:n-1]
+		t.mu.Unlock()
+		return c
+	}
+	t.mu.Unlock()
+	c, err := server.Dial(t.addr)
+	if err != nil {
+		panic("workload: net target dial: " + err.Error())
+	}
+	t.mu.Lock()
+	t.all = append(t.all, c)
+	t.mu.Unlock()
+	return c
+}
+
+func (t *NetTarget) put(c *server.Client) {
+	t.mu.Lock()
+	t.idle = append(t.idle, c)
+	t.mu.Unlock()
+}
+
+// Close closes every connection the target ever dialed.
+func (t *NetTarget) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range t.all {
+		c.Close()
+	}
+	t.all, t.idle = nil, nil
+}
+
+func (t *NetTarget) Get(key uint64) (uint64, bool) {
+	c := t.borrow()
+	v, ok := c.Get(key)
+	t.put(c)
+	return v, ok
+}
+
+func (t *NetTarget) Set(key, val uint64) (uint64, bool) {
+	c := t.borrow()
+	v, replaced := c.Set(key, val)
+	t.put(c)
+	return v, replaced
+}
+
+func (t *NetTarget) Del(key uint64) (uint64, bool) {
+	c := t.borrow()
+	v, ok := c.Del(key)
+	t.put(c)
+	return v, ok
+}
+
+func (t *NetTarget) MGet(keys, vals []uint64, found []bool) {
+	c := t.borrow()
+	c.MGet(keys, vals, found)
+	t.put(c)
+}
+
+func (t *NetTarget) MSet(keys, vals []uint64) int {
+	c := t.borrow()
+	n := c.MSet(keys, vals)
+	t.put(c)
+	return n
+}
+
+func (t *NetTarget) MDel(keys []uint64) int {
+	c := t.borrow()
+	n := c.MDel(keys)
+	t.put(c)
+	return n
+}
+
+func (t *NetTarget) Len() int {
+	c := t.borrow()
+	n := c.Len()
+	t.put(c)
+	return n
+}
+
+func (t *NetTarget) Buckets() int {
+	c := t.borrow()
+	n := c.Buckets()
+	t.put(c)
+	return n
+}
+
+func (t *NetTarget) Resizes() int {
+	c := t.borrow()
+	n := c.Resizes()
+	t.put(c)
+	return n
+}
+
+func (t *NetTarget) ReclaimStats() (retired, reclaimed, reused uint64) {
+	c := t.borrow()
+	retired, reclaimed, reused = c.ReclaimStats()
+	t.put(c)
+	return
+}
+
+func (t *NetTarget) Quiesce() {
+	c := t.borrow()
+	c.Quiesce()
+	t.put(c)
+}

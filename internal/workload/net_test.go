@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"github.com/optik-go/optik/server"
+	"github.com/optik-go/optik/store"
+)
+
+// TestRunServerOverNet runs the server workload through the wire: same
+// driver, same conservation contract, with a NetTarget in place of the
+// in-process store. This is the end-to-end proof that the net figure's
+// rows measure the same semantics as the in-process ones.
+func TestRunServerOverNet(t *testing.T) {
+	st := store.NewStrings(store.WithShards(2), store.WithShardBuckets(64))
+	defer st.Close()
+	srv := server.New(st)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+
+	cfg := ServerConfig{
+		Threads:       3,
+		Duration:      200 * time.Millisecond,
+		InitialSize:   2048,
+		SetPct:        20,
+		DelPct:        10,
+		BatchPct:      50,
+		BatchSize:     8,
+		SampleLatency: true,
+	}
+	res := RunServer(cfg, func() Target { return NewNetTarget(addr.String()) })
+	if res.Ops == 0 || res.Gets == 0 || res.Sets == 0 || res.Dels == 0 {
+		t.Fatalf("thin run: %+v", res)
+	}
+	if res.PrefillLen != cfg.InitialSize {
+		t.Fatalf("cold-server prefill = %d, want exactly %d", res.PrefillLen, cfg.InitialSize)
+	}
+	if want := int64(res.PrefillLen) + res.Net; int64(res.FinalLen) != want {
+		t.Fatalf("conservation over the wire: FinalLen = %d, want prefill %d + net %d = %d",
+			res.FinalLen, res.PrefillLen, res.Net, want)
+	}
+	if res.HitRate <= 0 || res.HitRate > 1 {
+		t.Fatalf("hit rate = %v", res.HitRate)
+	}
+	if res.Latency.P50 <= 0 || res.BatchLatency.P50 <= 0 {
+		t.Fatalf("latency summaries missing: %v / %v", res.Latency.P50, res.BatchLatency.P50)
+	}
+	if res.FinalBuckets == 0 {
+		t.Fatal("FinalBuckets not plumbed through STATS")
+	}
+	// The store the server fronts saw exactly what the driver accounted.
+	if st.Len() != res.FinalLen {
+		t.Fatalf("server store Len %d != reported FinalLen %d", st.Len(), res.FinalLen)
+	}
+}

@@ -18,8 +18,29 @@ import (
 
 	"github.com/optik-go/optik/internal/rng"
 	"github.com/optik-go/optik/internal/stats"
-	"github.com/optik-go/optik/store"
 )
+
+// Target is the store surface the server workload drives. *store.Store
+// satisfies it directly (the in-process rows); the net client in net.go
+// satisfies it over a TCP connection pool (the loopback rows), so the
+// same zipfian mix measures the store and the network front with one
+// driver and the figures stay directly comparable.
+type Target interface {
+	// The request mix (prefill rides the MSet path).
+	Get(key uint64) (uint64, bool)
+	Set(key, val uint64) (uint64, bool)
+	Del(key uint64) (uint64, bool)
+	MGet(keys, vals []uint64, found []bool)
+	MSet(keys, vals []uint64) int
+	MDel(keys []uint64) int
+	// The final accounting.
+	Len() int
+	Buckets() int
+	Resizes() int
+	ReclaimStats() (retired, reclaimed, reused uint64)
+	Quiesce()
+	Close()
+}
 
 // ServerConfig describes one server run.
 type ServerConfig struct {
@@ -63,9 +84,13 @@ type ServerResult struct {
 	// HitRate is Hits/Gets.
 	HitRate float64
 	// Net is the measured phase's fresh inserts minus successful deletes;
-	// once quiescent, InitialSize + Net must equal FinalLen exactly (the
+	// once quiescent, PrefillLen + Net must equal FinalLen exactly (the
 	// stress driver's conservation check).
 	Net int64
+	// PrefillLen is the target's Len when the measured window opened. On
+	// a fresh target it equals InitialSize exactly; a warm external
+	// server (optik-bench -net) may start above it.
+	PrefillLen int
 	// FinalLen is the store's Len after the final quiesce.
 	FinalLen int
 	// FinalBuckets and Resizes aggregate the shards after the run.
@@ -85,11 +110,14 @@ type ServerResult struct {
 	BatchLatency stats.Summary
 }
 
-// RunServer drives a server workload against a fresh store from factory
-// and returns the aggregate result. The factory builds the store so shard
-// count and maintenance mode stay with the caller; RunServer closes it
-// after the final accounting.
-func RunServer(cfg ServerConfig, factory func() *store.Store) ServerResult {
+// RunServer drives a server workload against a target from factory and
+// returns the aggregate result. The factory builds the target so shard
+// count and maintenance mode (or, for a net target, address and
+// connection policy) stay with the caller; RunServer closes it after the
+// final accounting. The target is normally fresh; a warm one (an
+// external optik-server) is topped up to InitialSize live keys and its
+// actual baseline reported as PrefillLen.
+func RunServer(cfg ServerConfig, factory func() Target) ServerResult {
 	if cfg.Threads <= 0 || cfg.InitialSize <= 0 || cfg.Duration <= 0 {
 		panic("workload: Threads, InitialSize and Duration must be positive")
 	}
@@ -117,12 +145,32 @@ func RunServer(cfg ServerConfig, factory func() *store.Store) ServerResult {
 	}
 	st := factory()
 	defer st.Close()
+	// Prefill tops the target up to InitialSize live keys, in MSet
+	// batches sized to the remaining deficit: a batch can only insert
+	// fewer keys than it carries (duplicates upsert in place), never
+	// more, so a fresh target lands on exactly InitialSize — and over a
+	// net target the batches pipeline instead of paying one round trip
+	// per key. The loop goal is the live count, not a fresh-insert
+	// count: a warm external server (optik-bench -net, second cell
+	// onward) already holds most of the keyspace, and demanding
+	// InitialSize *fresh* inserts from it would never terminate.
 	pre := rng.NewXorshift(seed)
-	inserted := 0
-	for inserted < cfg.InitialSize {
-		if st.Insert(pre.Intn(keyRange)+1, 1) {
-			inserted++
+	preKeys := make([]uint64, 0, 512)
+	preVals := make([]uint64, 512)
+	for i := range preVals {
+		preVals[i] = 1
+	}
+	base := st.Len()
+	for base < cfg.InitialSize {
+		n := cfg.InitialSize - base
+		if n > 512 {
+			n = 512
 		}
+		preKeys = preKeys[:n]
+		for i := range preKeys {
+			preKeys[i] = pre.Intn(keyRange) + 1
+		}
+		base += st.MSet(preKeys, preVals[:n])
 	}
 	runtime.GC()
 
@@ -268,6 +316,7 @@ func RunServer(cfg ServerConfig, factory func() *store.Store) ServerResult {
 	if total.Gets > 0 {
 		total.HitRate = float64(total.Hits) / float64(total.Gets)
 	}
+	total.PrefillLen = base
 	total.FinalLen = st.Len()
 	total.FinalBuckets = st.Buckets()
 	total.Resizes = st.Resizes()

@@ -20,15 +20,18 @@ func TestRunServerConservation(t *testing.T) {
 		BatchSize:     8,
 		SampleLatency: true,
 	}
-	res := RunServer(cfg, func() *store.Store {
+	res := RunServer(cfg, func() Target {
 		return store.New(store.WithShards(4), store.WithShardBuckets(64))
 	})
 	if res.Ops == 0 || res.Gets == 0 || res.Sets == 0 || res.Dels == 0 {
 		t.Fatalf("thin run: %+v", res)
 	}
-	if want := int64(cfg.InitialSize) + res.Net; int64(res.FinalLen) != want {
-		t.Fatalf("conservation: FinalLen = %d, want initial %d + net %d = %d",
-			res.FinalLen, cfg.InitialSize, res.Net, want)
+	if res.PrefillLen != cfg.InitialSize {
+		t.Fatalf("cold-store prefill = %d, want exactly %d", res.PrefillLen, cfg.InitialSize)
+	}
+	if want := int64(res.PrefillLen) + res.Net; int64(res.FinalLen) != want {
+		t.Fatalf("conservation: FinalLen = %d, want prefill %d + net %d = %d",
+			res.FinalLen, res.PrefillLen, res.Net, want)
 	}
 	if res.HitRate <= 0 || res.HitRate > 1 {
 		t.Fatalf("hit rate = %v", res.HitRate)
@@ -48,14 +51,15 @@ func TestRunServerBatchOnly(t *testing.T) {
 	res := RunServer(ServerConfig{
 		Threads: 2, Duration: 100 * time.Millisecond, InitialSize: 1024,
 		SetPct: 20, DelPct: 10, BatchPct: 100, BatchSize: 4,
-	}, func() *store.Store {
+	}, func() Target {
 		return store.New(store.WithShards(2), store.WithShardBuckets(64), store.WithoutMaintenance())
 	})
 	if res.Ops == 0 {
 		t.Fatal("no ops")
 	}
-	if int64(res.FinalLen) != 1024+res.Net {
-		t.Fatalf("conservation: FinalLen = %d, net = %d", res.FinalLen, res.Net)
+	if res.PrefillLen != 1024 || int64(res.FinalLen) != 1024+res.Net {
+		t.Fatalf("conservation: prefill = %d, FinalLen = %d, net = %d",
+			res.PrefillLen, res.FinalLen, res.Net)
 	}
 	if res.Ops%4 != 0 {
 		t.Fatalf("Ops = %d not a multiple of the batch size", res.Ops)

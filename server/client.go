@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Client is a single-connection client for the wire protocol, shaped for
+// the load generator: keys and values are uint64s rendered as decimal
+// strings, multi-key operations are issued as pipelines of scalar
+// commands (k commands written, one flush, k replies read in order), so a
+// batch of size k exercises exactly pipeline depth k on the server. A
+// Client is NOT safe for concurrent use; the net workload target keeps a
+// pool of them.
+//
+// Wire protocol errors are reported by panicking: the client exists for
+// the benchmark and test harnesses, where a malformed reply is a bug to
+// surface loudly, not an error to propagate through a hot measurement
+// loop.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	out  []byte // command build buffer: a whole pipeline, one Write
+	bulk []byte // reusable bulk-reply buffer (slow path)
+}
+
+// Dial connects to a server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 16384),
+		w:    bufio.NewWriterSize(conn, 16384),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() { c.conn.Close() }
+
+// appendCommand appends one inline command to the build buffer; flush
+// hands the whole pipeline to the socket in one write.
+func (c *Client) appendCommand(cmd string, args ...uint64) {
+	c.out = append(c.out, cmd...)
+	for _, a := range args {
+		c.out = append(c.out, ' ')
+		c.out = strconv.AppendUint(c.out, a, 10)
+	}
+	c.out = append(c.out, crlf...)
+}
+
+func (c *Client) flush() {
+	_, err := c.w.Write(c.out)
+	c.out = c.out[:0]
+	if err == nil {
+		err = c.w.Flush()
+	}
+	if err != nil {
+		panic("server client: " + err.Error())
+	}
+}
+
+// readReply reads one reply, returning its type byte and, for ':' the
+// integer, for '$' the bulk payload (a view into c.bulk, valid until the
+// next read), with nil payload and n == -1 for a nil bulk.
+func (c *Client) readReply() (kind byte, n int64, payload []byte) {
+	line, err := readLine(c.r)
+	if err != nil {
+		panic("server client: read: " + err.Error())
+	}
+	if len(line) == 0 {
+		panic("server client: empty reply line")
+	}
+	kind = line[0]
+	switch kind {
+	case '+':
+		c.bulk = append(c.bulk[:0], line[1:]...)
+		return kind, 0, c.bulk
+	case '-':
+		panic("server client: server error: " + string(line[1:]))
+	case ':':
+		v, ok := parseInt(line[1:])
+		if !ok {
+			panic("server client: bad integer reply " + string(line))
+		}
+		return kind, v, nil
+	case '$':
+		blen, ok := parseInt(line[1:])
+		if !ok || blen < -1 || blen > maxBulk {
+			panic("server client: bad bulk length " + string(line))
+		}
+		if blen == -1 {
+			return kind, -1, nil
+		}
+		// Fast path: payload and terminator already buffered — return a
+		// view and skip the copy (the caller consumes it before the next
+		// read, same contract as c.bulk).
+		if n := int(blen) + 2; n <= c.r.Buffered() {
+			b, err := c.r.Peek(n)
+			if err != nil || b[n-2] != '\r' || b[n-1] != '\n' {
+				panic("server client: bulk string not CRLF-terminated")
+			}
+			c.r.Discard(n)
+			return kind, blen, b[:blen]
+		}
+		if cap(c.bulk) < int(blen) {
+			c.bulk = make([]byte, blen)
+		}
+		c.bulk = c.bulk[:blen]
+		if _, err := io.ReadFull(c.r, c.bulk); err != nil {
+			panic("server client: read bulk: " + err.Error())
+		}
+		if _, err := readLine(c.r); err != nil {
+			panic("server client: read bulk terminator: " + err.Error())
+		}
+		return kind, blen, c.bulk
+	case '*':
+		v, ok := parseInt(line[1:])
+		if !ok {
+			panic("server client: bad array header " + string(line))
+		}
+		return kind, v, nil
+	default:
+		panic("server client: unknown reply type " + string(line))
+	}
+}
+
+// readInt reads a reply that must be an integer.
+func (c *Client) readInt() int64 {
+	kind, n, _ := c.readReply()
+	if kind != ':' {
+		panic("server client: expected integer reply, got type " + string(kind))
+	}
+	return n
+}
+
+// readValue reads a bulk reply holding a decimal uint64 (or nil bulk).
+func (c *Client) readValue() (uint64, bool) {
+	kind, n, payload := c.readReply()
+	if kind != '$' {
+		panic("server client: expected bulk reply, got type " + string(kind))
+	}
+	if n == -1 {
+		return 0, false
+	}
+	v, ok := parseUint(payload)
+	if !ok {
+		panic("server client: non-numeric value " + string(payload))
+	}
+	return v, true
+}
+
+// Get fetches one key.
+func (c *Client) Get(key uint64) (uint64, bool) {
+	c.appendCommand("GET", key)
+	c.flush()
+	return c.readValue()
+}
+
+// Set stores key→val, reporting whether an existing value was replaced.
+// The wire protocol does not return the old value; the uint64 result is
+// always 0 and exists to mirror store.Store's Set shape.
+func (c *Client) Set(key, val uint64) (uint64, bool) {
+	c.appendCommand("SET", key, val)
+	c.flush()
+	return 0, c.readInt() == 1
+}
+
+// Del removes key, reporting presence (the removed value itself does not
+// travel back; the uint64 is always 0, as in Set).
+func (c *Client) Del(key uint64) (uint64, bool) {
+	c.appendCommand("DEL", key)
+	c.flush()
+	return 0, c.readInt() == 1
+}
+
+// Insert emulates insert-if-absent over the upsert wire SET: it reports
+// true when the key was fresh. Unlike a true Insert it overwrites an
+// existing value, so it is only suitable for idempotent seeding.
+func (c *Client) Insert(key, val uint64) bool {
+	_, replaced := c.Set(key, val)
+	return !replaced
+}
+
+// MGet pipelines one GET per key — len(keys) commands, one flush, replies
+// in order — filling vals and found like store.Store.MGet.
+func (c *Client) MGet(keys, vals []uint64, found []bool) {
+	for _, k := range keys {
+		c.appendCommand("GET", k)
+	}
+	c.flush()
+	for i := range keys {
+		vals[i], found[i] = c.readValue()
+	}
+}
+
+// MSet pipelines one SET per pair, returning how many were fresh inserts.
+func (c *Client) MSet(keys, vals []uint64) int {
+	for i, k := range keys {
+		c.appendCommand("SET", k, vals[i])
+	}
+	c.flush()
+	inserted := 0
+	for range keys {
+		if c.readInt() == 0 {
+			inserted++
+		}
+	}
+	return inserted
+}
+
+// MDel pipelines one DEL per key, returning how many were present.
+func (c *Client) MDel(keys []uint64) int {
+	for _, k := range keys {
+		c.appendCommand("DEL", k)
+	}
+	c.flush()
+	deleted := 0
+	for range keys {
+		if c.readInt() == 1 {
+			deleted++
+		}
+	}
+	return deleted
+}
+
+// Len returns the server's live key count.
+func (c *Client) Len() int {
+	c.appendCommand("LEN")
+	c.flush()
+	return int(c.readInt())
+}
+
+// Quiesce asks the server to drive every shard's maintenance home.
+func (c *Client) Quiesce() {
+	c.appendCommand("QUIESCE")
+	c.flush()
+	if kind, _, _ := c.readReply(); kind != '+' {
+		panic("server client: QUIESCE failed")
+	}
+}
+
+// Ping round-trips a PING.
+func (c *Client) Ping() bool {
+	c.appendCommand("PING")
+	c.flush()
+	kind, _, payload := c.readReply()
+	return kind == '+' && string(payload) == "PONG"
+}
+
+// Buckets returns the server index's current bucket total (via STATS).
+func (c *Client) Buckets() int { return int(c.Stats()["buckets"]) }
+
+// Resizes returns the server index's lifetime resize count (via STATS).
+func (c *Client) Resizes() int { return int(c.Stats()["resizes"]) }
+
+// ReclaimStats returns the server index's chain-node reclamation
+// counters (via STATS).
+func (c *Client) ReclaimStats() (retired, reclaimed, reused uint64) {
+	s := c.Stats()
+	return uint64(s["nodes_retired"]), uint64(s["nodes_reclaimed"]), uint64(s["nodes_reused"])
+}
+
+// Stats fetches and parses the STATS reply into a name→value map.
+func (c *Client) Stats() map[string]int64 {
+	c.appendCommand("STATS")
+	c.flush()
+	kind, _, payload := c.readReply()
+	if kind != '$' {
+		panic("server client: expected bulk STATS reply")
+	}
+	out := make(map[string]int64)
+	for _, line := range strings.Split(string(payload), "\n") {
+		name, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			panic(fmt.Sprintf("server client: bad STATS line %q", line))
+		}
+		out[name] = n
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Wire framing (see docs/PROTOCOL.md for the full spec). Requests arrive
+// in either of two RESP-flavored forms:
+//
+//	inline:  GET user:1\r\n                 (fields split on spaces)
+//	array:   *3\r\n$3\r\nSET\r\n$6\r\nuser:1\r\n$5\r\nalice\r\n
+//
+// and replies use the RESP scalar types:
+//
+//	+OK\r\n   -ERR msg\r\n   :42\r\n   $5\r\nalice\r\n   $-1\r\n   *2\r\n...
+//
+// The parser is allocation-free in steady state: each connection owns a
+// fixed set of argument buffers that are reused request after request
+// (append into cap, never realloc once warm), because on the pipelined
+// hot path a per-argument allocation would rival the cost of the store
+// operation itself.
+
+const (
+	// maxArgs bounds a single request's argument count (an MGET of
+	// maxArgs-1 keys still fits).
+	maxArgs = 1024
+	// maxBulk bounds one argument's byte length.
+	maxBulk = 8 << 20
+	// maxRequest bounds one request's total argument bytes. Without it
+	// the two per-item limits still admit maxArgs×maxBulk = 8 GiB into
+	// per-connection buffers that live as long as the connection — one
+	// client could pin the whole box.
+	maxRequest = 64 << 20
+)
+
+// errQuit signals a clean client-requested shutdown of one connection.
+var errQuit = errors.New("quit")
+
+// protoError is a framing violation after which the stream cannot be
+// re-synchronized; the server reports it and closes the connection.
+type protoError struct{ msg string }
+
+func (e *protoError) Error() string { return "ERR protocol error: " + e.msg }
+
+func protoErrorf(format string, args ...any) error {
+	return &protoError{msg: fmt.Sprintf(format, args...)}
+}
+
+// skipNewlines discards buffered blank-line bytes (\r, \n) without ever
+// blocking. The pipelined flush decision calls it first: a trailing
+// blank line in the same TCP segment as a request must not count as
+// "more input buffered", or the reply would sit unflushed while the
+// server blocks reading — a permanent stall for the waiting client.
+func skipNewlines(r *bufio.Reader) {
+	for r.Buffered() > 0 {
+		b, _ := r.Peek(1)
+		if b[0] != '\r' && b[0] != '\n' {
+			return
+		}
+		r.Discard(1)
+	}
+}
+
+// readLine reads one \r\n (or bare \n) terminated line, returning a view
+// into the reader's buffer with the terminator stripped. The view is only
+// valid until the next read.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return nil, protoErrorf("line exceeds %d bytes", r.Size())
+		}
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// request holds one parsed request. For inline commands the args are
+// views straight into the reader's buffer (valid until the next read —
+// the command executes before that); for multibulk frames each argument
+// is copied into a persistent per-slot buffer, since parsing the next
+// argument can shift the reader's buffer under an earlier view. Either
+// way the steady state allocates nothing.
+type request struct {
+	args [][]byte // current request's arguments
+	bufs [][]byte // persistent per-slot backing storage (multibulk only)
+}
+
+// grab returns the i-th persistent slot reset to length zero.
+func (q *request) grab(i int) []byte {
+	for len(q.bufs) <= i {
+		q.bufs = append(q.bufs, nil)
+	}
+	return q.bufs[i][:0]
+}
+
+// setArg stores buf back as slot i and appends it to the current args.
+func (q *request) setArg(i int, buf []byte) {
+	q.bufs[i] = buf
+	q.args = append(q.args, buf)
+}
+
+// readFrom parses the next request. Empty inline lines are skipped (so a
+// human on netcat can hit return). An io.EOF before any byte of a request
+// is a clean close; a *protoError is fatal to the connection.
+func (q *request) readFrom(r *bufio.Reader) error {
+	q.args = q.args[:0]
+	var line []byte
+	var err error
+	for {
+		line, err = readLine(r)
+		if err != nil {
+			return err
+		}
+		if len(line) > 0 {
+			break
+		}
+	}
+	if line[0] == '*' {
+		return q.readArray(r, line)
+	}
+	return q.readInline(line)
+}
+
+// readInline splits a space-separated command line into views of the
+// line itself — zero copies on the hot path.
+func (q *request) readInline(line []byte) error {
+	for i := 0; i < len(line); {
+		if line[i] == ' ' {
+			i++
+			continue
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' {
+			j++
+		}
+		if len(q.args) >= maxArgs {
+			return protoErrorf("more than %d arguments", maxArgs)
+		}
+		q.args = append(q.args, line[i:j])
+		i = j
+	}
+	return nil
+}
+
+// readArray parses a RESP array of bulk strings: header is the already
+// consumed "*N" line.
+func (q *request) readArray(r *bufio.Reader, header []byte) error {
+	n, ok := parseInt(header[1:])
+	if !ok || n < 1 || n > maxArgs {
+		return protoErrorf("invalid multibulk count %q", header[1:])
+	}
+	total := int64(0)
+	for i := 0; i < int(n); i++ {
+		line, err := readLine(r)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		if len(line) == 0 || line[0] != '$' {
+			return protoErrorf("expected bulk string, got %q", line)
+		}
+		blen, ok := parseInt(line[1:])
+		if !ok || blen < 0 || blen > maxBulk {
+			return protoErrorf("invalid bulk length %q", line[1:])
+		}
+		if total += blen; total > maxRequest {
+			return protoErrorf("request exceeds %d bytes", maxRequest)
+		}
+		buf := q.grab(i)
+		if cap(buf) < int(blen) {
+			buf = make([]byte, 0, blen)
+		}
+		buf = buf[:blen]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		// Consume the trailing \r\n (tolerating bare \n).
+		b, err := r.ReadByte()
+		if err == nil && b == '\r' {
+			b, err = r.ReadByte()
+		}
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		if b != '\n' {
+			return protoErrorf("bulk string of %d bytes not followed by CRLF", blen)
+		}
+		q.setArg(i, buf)
+	}
+	return nil
+}
+
+// parseInt parses a decimal integer with an optional leading minus,
+// rejecting empty and malformed input.
+func parseInt(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && b[0] == '-' {
+		neg = true
+		b = b[1:]
+	}
+	if len(b) == 0 || len(b) > 19 {
+		return 0, false
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// parseUint parses an unsigned decimal (the bench client's key/value
+// encoding).
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	return n, true
+}
+
+// Reply builders. Replies are appended into a reusable scratch buffer
+// and handed to the connection's bufio.Writer in one Write call per
+// reply: five tiny writer calls per bulk reply cost more in call
+// bookkeeping than the payload bytes themselves on a deep pipeline.
+
+var crlf = []byte("\r\n")
+
+func appendStatus(dst []byte, s string) []byte {
+	dst = append(dst, '+')
+	dst = append(dst, s...)
+	return append(dst, crlf...)
+}
+
+func appendError(dst []byte, msg string) []byte {
+	dst = append(dst, '-')
+	dst = append(dst, msg...)
+	return append(dst, crlf...)
+}
+
+func appendInt(dst []byte, n int64) []byte {
+	dst = append(dst, ':')
+	dst = strconv.AppendInt(dst, n, 10)
+	return append(dst, crlf...)
+}
+
+func appendBulk(dst []byte, s string) []byte {
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(len(s)), 10)
+	dst = append(dst, crlf...)
+	dst = append(dst, s...)
+	return append(dst, crlf...)
+}
+
+func appendNilBulk(dst []byte) []byte {
+	return append(dst, "$-1\r\n"...)
+}
+
+func appendArrayHeader(dst []byte, n int) []byte {
+	dst = append(dst, '*')
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	return append(dst, crlf...)
+}
+
+// writeError writes an error reply directly (cold paths: connection
+// rejection and protocol teardown).
+func writeError(w *bufio.Writer, msg string) {
+	w.Write(appendError(nil, msg))
+}

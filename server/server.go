@@ -1,0 +1,433 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/optik-go/optik/store"
+)
+
+// options collects construction knobs; see the Option helpers.
+type options struct {
+	maxConns int
+	pipeline int
+	bufSize  int
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithMaxConns caps concurrent connections; past the cap an accepted
+// connection is answered with -ERR max connections and closed. 0 (the
+// default) means unlimited.
+func WithMaxConns(n int) Option {
+	return func(o *options) { o.maxConns = n }
+}
+
+// WithPipeline sets how many pipelined requests a connection executes
+// before its replies are force-flushed even though more input is already
+// buffered (default 512). Smaller values bound reply latency under an
+// aggressive pipeliner; larger values amortize the write syscall further.
+func WithPipeline(n int) Option {
+	return func(o *options) { o.pipeline = n }
+}
+
+// WithBufferSize sets each connection's read and write buffer size in
+// bytes (default 16384).
+func WithBufferSize(n int) Option {
+	return func(o *options) { o.bufSize = n }
+}
+
+// Server serves a store.Strings over the wire protocol in
+// docs/PROTOCOL.md. Construct with New, then ListenAndServe (blocking) or
+// Start (background); Close shuts the listener and every connection down
+// and waits for the handlers to drain.
+type Server struct {
+	st   *store.Strings
+	opts options
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+
+	closed   atomic.Bool
+	active   atomic.Int64
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+	commands atomic.Uint64
+	wg       sync.WaitGroup
+}
+
+// New returns a server for st. The server does not own the store: Close
+// stops serving but leaves st (and its maintenance scheduler) to the
+// caller.
+func New(st *store.Strings, opts ...Option) *Server {
+	o := options{pipeline: 512, bufSize: 16384}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.pipeline < 1 {
+		o.pipeline = 1
+	}
+	if o.bufSize < 512 {
+		o.bufSize = 512
+	}
+	return &Server{st: st, opts: o, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr ("host:port"; ":0" picks a free port) without serving
+// yet, so callers can learn the bound address before the first accept.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on the listener bound by Listen until Close.
+// It returns nil after Close, or the accept error that stopped it.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	var acceptDelay time.Duration
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			// Transient accept failures (fd exhaustion under connection
+			// churn, ECONNABORTED) must not take down a server with
+			// healthy live connections: back off and retry, the pattern
+			// net/http uses.
+			if ne, ok := err.(interface{ Temporary() bool }); ok && ne.Temporary() {
+				if acceptDelay == 0 {
+					acceptDelay = 5 * time.Millisecond
+				} else if acceptDelay *= 2; acceptDelay > time.Second {
+					acceptDelay = time.Second
+				}
+				time.Sleep(acceptDelay)
+				continue
+			}
+			return err
+		}
+		acceptDelay = 0
+		s.accepted.Add(1)
+		if s.opts.maxConns > 0 && s.active.Load() >= int64(s.opts.maxConns) {
+			s.rejected.Add(1)
+			w := bufio.NewWriterSize(nc, 64)
+			writeError(w, "ERR max connections")
+			w.Flush()
+			nc.Close()
+			continue
+		}
+		if !s.track(nc, true) {
+			// Close won the race between our Accept and the conns-map
+			// insert; it will never see this connection, so close it here
+			// and stop accepting.
+			nc.Close()
+			return nil
+		}
+		s.active.Add(1)
+		s.wg.Add(1)
+		go s.handle(nc)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if _, err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Start is Listen followed by Serve on a background goroutine, for
+// callers (tests, the loopback bench) that embed the server.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	a, err := s.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.Serve()
+	}()
+	return a, nil
+}
+
+// Close stops accepting, closes every live connection and waits for the
+// handlers to finish. Idempotent. The store is not touched.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// track registers or deregisters a connection. Registration reports
+// false once Close has run: Close's sweep of the conns map cannot see a
+// connection accepted concurrently but not yet inserted, so the insert
+// itself must refuse (the closed flag is set before Close takes the
+// lock, making this check race-free).
+func (s *Server) track(nc net.Conn, add bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		if s.closed.Load() {
+			return false
+		}
+		s.conns[nc] = struct{}{}
+	} else {
+		delete(s.conns, nc)
+	}
+	return true
+}
+
+// handle runs one connection: parse pipelined requests, execute in
+// arrival order, flush once per batch. The batch ends when the read
+// buffer drains (the client is waiting for answers) or at the pipeline
+// cap, whichever is first.
+func (s *Server) handle(nc net.Conn) {
+	defer s.wg.Done()
+	defer s.active.Add(-1)
+	defer s.track(nc, false)
+	defer nc.Close()
+
+	r := bufio.NewReaderSize(nc, s.opts.bufSize)
+	w := bufio.NewWriterSize(nc, s.opts.bufSize)
+	var req request
+	// Replies accumulate in out across a pipeline batch and reach the
+	// writer in one call per batch — a bufio.Write per reply costs more
+	// in bookkeeping than the reply bytes on a deep pipeline. flushAll
+	// bounds nothing itself; the size check after execute keeps out from
+	// outgrowing the buffer budget under huge replies, preserving TCP
+	// backpressure.
+	var out []byte
+	flushAll := func() error {
+		if len(out) > 0 {
+			if _, err := w.Write(out); err != nil {
+				return err
+			}
+			out = out[:0]
+		}
+		return w.Flush()
+	}
+	pending := 0
+	for {
+		skipNewlines(r)
+		if pending > 0 && (r.Buffered() == 0 || pending >= s.opts.pipeline) {
+			if flushAll() != nil {
+				return
+			}
+			s.commands.Add(uint64(pending))
+			pending = 0
+		}
+		err := req.readFrom(r)
+		if err != nil {
+			s.commands.Add(uint64(pending))
+			var pe *protoError
+			if errors.As(err, &pe) {
+				// The stream cannot be re-synchronized: report and drop the
+				// connection. Half-close and drain what the client already
+				// sent so the error reply travels on a FIN, not a RST that
+				// could destroy it in flight.
+				out = appendError(out, pe.Error())
+				if flushAll() == nil {
+					if tc, ok := nc.(*net.TCPConn); ok {
+						tc.CloseWrite()
+					}
+					nc.SetReadDeadline(time.Now().Add(time.Second))
+					io.Copy(io.Discard, r)
+				}
+			} else {
+				flushAll()
+			}
+			return
+		}
+		out, err = s.execute(&req, w, out)
+		pending++
+		if err != nil {
+			// errQuit and write errors both end the connection; flush what
+			// the client is owed first.
+			flushAll()
+			s.commands.Add(uint64(pending))
+			return
+		}
+		if len(out) >= s.opts.bufSize {
+			if _, werr := w.Write(out); werr != nil {
+				return
+			}
+			out = out[:0]
+		}
+	}
+}
+
+// execute dispatches one parsed request, appending its reply to out
+// (returned grown); the caller hands it to the writer in one call. Only
+// MGET touches w directly: its reply is unbounded by the request size,
+// so it spills to the writer mid-build to keep the scratch inside the
+// buffer budget and preserve TCP backpressure.
+func (s *Server) execute(req *request, w *bufio.Writer, out []byte) ([]byte, error) {
+	args := req.args
+	if len(args) == 0 {
+		return out, nil
+	}
+	cmd, rest := args[0], args[1:]
+	switch {
+	case cmdEq(cmd, "GET"):
+		if len(rest) != 1 {
+			return arity(out, "get")
+		}
+		if val, ok := s.st.GetHashed(store.HashKeyBytes(rest[0])); ok {
+			out = appendBulk(out, val)
+		} else {
+			out = appendNilBulk(out)
+		}
+	case cmdEq(cmd, "SET"):
+		if len(rest) != 2 {
+			return arity(out, "set")
+		}
+		replaced := s.st.SetHashed(store.HashKeyBytes(rest[0]), string(rest[1]))
+		out = appendInt(out, b2i(replaced))
+	case cmdEq(cmd, "DEL"):
+		if len(rest) != 1 {
+			return arity(out, "del")
+		}
+		out = appendInt(out, b2i(s.st.DelHashed(store.HashKeyBytes(rest[0]))))
+	case cmdEq(cmd, "MGET"):
+		if len(rest) == 0 {
+			return arity(out, "mget")
+		}
+		out = appendArrayHeader(out, len(rest))
+		for _, key := range rest {
+			if val, ok := s.st.GetHashed(store.HashKeyBytes(key)); ok {
+				out = appendBulk(out, val)
+			} else {
+				out = appendNilBulk(out)
+			}
+			if len(out) >= s.opts.bufSize {
+				if _, err := w.Write(out); err != nil {
+					return out[:0], err
+				}
+				out = out[:0]
+			}
+		}
+	case cmdEq(cmd, "MSET"):
+		if len(rest) == 0 || len(rest)%2 != 0 {
+			return arity(out, "mset")
+		}
+		inserted := int64(0)
+		for i := 0; i < len(rest); i += 2 {
+			if !s.st.SetHashed(store.HashKeyBytes(rest[i]), string(rest[i+1])) {
+				inserted++
+			}
+		}
+		out = appendInt(out, inserted)
+	case cmdEq(cmd, "MDEL"):
+		if len(rest) == 0 {
+			return arity(out, "mdel")
+		}
+		deleted := int64(0)
+		for _, key := range rest {
+			if s.st.DelHashed(store.HashKeyBytes(key)) {
+				deleted++
+			}
+		}
+		out = appendInt(out, deleted)
+	case cmdEq(cmd, "LEN"):
+		if len(rest) != 0 {
+			return arity(out, "len")
+		}
+		out = appendInt(out, int64(s.st.Len()))
+	case cmdEq(cmd, "STATS"):
+		if len(rest) != 0 {
+			return arity(out, "stats")
+		}
+		out = appendBulk(out, s.statsText())
+	case cmdEq(cmd, "QUIESCE"):
+		if len(rest) != 0 {
+			return arity(out, "quiesce")
+		}
+		s.st.Quiesce()
+		out = appendStatus(out, "OK")
+	case cmdEq(cmd, "PING"):
+		out = appendStatus(out, "PONG")
+	case cmdEq(cmd, "QUIT"):
+		return appendStatus(out, "OK"), errQuit
+	default:
+		out = appendError(out, fmt.Sprintf("ERR unknown command %q", cmd))
+	}
+	return out, nil
+}
+
+// arity reports a wrong-argument-count error for cmd; the connection
+// stays usable (the frame itself was well-formed).
+func arity(out []byte, cmd string) ([]byte, error) {
+	return appendError(out, "ERR wrong number of arguments for '"+cmd+"'"), nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// cmdEq compares a request's command byte-slice against an upper-case
+// name, case-insensitively, without allocating.
+func cmdEq(b []byte, upper string) bool {
+	if len(b) != len(upper) {
+		return false
+	}
+	for i := 0; i < len(upper); i++ {
+		c := b[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != upper[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// statsText renders the STATS reply: one "name:value" per line. See
+// docs/PROTOCOL.md for the field list and stability contract.
+func (s *Server) statsText() string {
+	idx := s.st.Index()
+	retired, reclaimed, reused := idx.ReclaimStats()
+	return fmt.Sprintf(
+		"len:%d\nshards:%d\nbuckets:%d\nresizes:%d\n"+
+			"nodes_retired:%d\nnodes_reclaimed:%d\nnodes_reused:%d\n"+
+			"values_allocated:%d\nvalues_free:%d\n"+
+			"conns:%d\naccepted:%d\nrejected:%d\ncommands:%d\n",
+		idx.Len(), idx.Shards(), idx.Buckets(), idx.Resizes(),
+		retired, reclaimed, reused,
+		s.st.Values().Allocated(), s.st.Values().FreeLen(),
+		s.active.Load(), s.accepted.Load(), s.rejected.Load(), s.commands.Load())
+}

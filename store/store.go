@@ -32,6 +32,7 @@ package store
 import (
 	"math/bits"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/optik-go/optik/ds"
@@ -235,13 +236,30 @@ func (s *Store) Quiesce() {
 	}
 }
 
+// batchScratch is the reusable routing state of one batched call: the
+// per-key shard ids and the per-shard gather slices. Batches borrow one
+// from a pool keyed by nothing — under a steady per-goroutine batch rate
+// the same goroutine gets its scratch back (sync.Pool is per-P) — so
+// large batches route allocation-free instead of costing two slices per
+// call (the ROADMAP's batch-routing item).
+type batchScratch struct {
+	ids     []uint8
+	subKeys []uint64
+	subVals []uint64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
 // route computes every key's shard once (shard ids fit a byte: maxShards
-// is 256) and the touched-shard bitset, so the per-shard gather passes
-// below compare bytes instead of recomputing the hash route — the rescan
-// is O(touchedShards × len(keys)) byte compares, the routing itself
-// O(len(keys)).
-func (s *Store) route(keys []uint64) ([]uint8, shardSet) {
-	ids := make([]uint8, len(keys))
+// is 256) and the touched-shard bitset into sc.ids, so the per-shard
+// gather passes below compare bytes instead of recomputing the hash
+// route — the rescan is O(touchedShards × len(keys)) byte compares, the
+// routing itself O(len(keys)).
+func (s *Store) route(keys []uint64, sc *batchScratch) ([]uint8, shardSet) {
+	if cap(sc.ids) < len(keys) {
+		sc.ids = make([]uint8, len(keys))
+	}
+	ids := sc.ids[:len(keys)]
 	var touched shardSet
 	for i, k := range keys {
 		id := uint8(mix(k) >> s.shift)
@@ -266,7 +284,8 @@ func (s *Store) MGet(keys, vals []uint64, found []bool) {
 		s.shards[0].SearchBatch(keys, vals, found)
 		return
 	}
-	ids, touched := s.route(keys)
+	sc := scratchPool.Get().(*batchScratch)
+	ids, touched := s.route(keys, sc)
 	for si := range s.shards {
 		if !touched.has(si) {
 			continue
@@ -278,6 +297,7 @@ func (s *Store) MGet(keys, vals []uint64, found []bool) {
 			}
 		}
 	}
+	scratchPool.Put(sc)
 }
 
 // MSet applies Set(keys[i], vals[i]) for every i, returning how many keys
@@ -287,9 +307,10 @@ func (s *Store) MSet(keys, vals []uint64) int {
 	if len(s.shards) == 1 {
 		return s.shards[0].UpsertBatch(keys, vals)
 	}
-	ids, touched := s.route(keys)
+	sc := scratchPool.Get().(*batchScratch)
+	ids, touched := s.route(keys, sc)
 	inserted := 0
-	var subKeys, subVals []uint64
+	subKeys, subVals := sc.subKeys, sc.subVals
 	for si := range s.shards {
 		if !touched.has(si) {
 			continue
@@ -303,6 +324,8 @@ func (s *Store) MSet(keys, vals []uint64) int {
 		}
 		inserted += s.shards[si].UpsertBatch(subKeys, subVals)
 	}
+	sc.subKeys, sc.subVals = subKeys, subVals
+	scratchPool.Put(sc)
 	return inserted
 }
 
@@ -312,9 +335,10 @@ func (s *Store) MDel(keys []uint64) int {
 	if len(s.shards) == 1 {
 		return s.shards[0].DeleteBatch(keys)
 	}
-	ids, touched := s.route(keys)
+	sc := scratchPool.Get().(*batchScratch)
+	ids, touched := s.route(keys, sc)
 	deleted := 0
-	var sub []uint64
+	sub := sc.subKeys
 	for si := range s.shards {
 		if !touched.has(si) {
 			continue
@@ -327,5 +351,7 @@ func (s *Store) MDel(keys []uint64) int {
 		}
 		deleted += s.shards[si].DeleteBatch(sub)
 	}
+	sc.subKeys = sub
+	scratchPool.Put(sc)
 	return deleted
 }

@@ -1,0 +1,270 @@
+// String values for the uint64 store, lifted out of examples/kvstore so
+// the network server and the example share one implementation: a Store
+// maps a key's 64-bit hash to a *handle* — a slot number in a chunked
+// value arena — and the arena holds one atomic pointer per slot to an
+// immutable {hash, value} pair. There is no lock anywhere on the
+// GET/SET/DEL path; the read-under-reuse race that handle recycling
+// creates is resolved the OPTIK way, by validation instead of
+// pessimism:
+//
+//   - SET writes the pair first and publishes the slot through the index
+//     after, so any slot a reader can reach holds a fully-built pair.
+//   - Freed slots recycle through a lock-free OPTIK stack, so a GET can
+//     hold a slot number while a concurrent DEL frees it and another SET
+//     re-points it at a different key's pair.
+//   - The GET therefore validates optimistically — does the pair's hash
+//     still match the key I looked up? — and restarts through the index
+//     when it does not, exactly how the tables' own readers validate
+//     bucket versions instead of locking.
+
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/optik-go/optik/ds/stack"
+)
+
+// pair is one stored value: the key hash it belongs to plus the value.
+// Pairs are immutable once published; replacing a value builds a new pair
+// in a new or recycled slot.
+type pair struct {
+	hash uint64
+	val  string
+}
+
+// Values is a growable arena of value slots addressed by the uint64
+// handle the index stores. Slots are chunked so growth never moves
+// published slots (a reader holding a slot number must be able to load
+// its pointer with no coordination), and the chunk directory is fixed so
+// reaching a slot is two indexed loads. Freed slots recycle through a
+// lock-free OPTIK stack. All methods are safe for concurrent use.
+type Values struct {
+	chunks [valueDirSize]atomic.Pointer[valueChunk]
+	next   atomic.Uint64
+	free   *stack.Optik
+}
+
+const (
+	valueChunkBits = 12 // 4096 slots per chunk
+	valueChunkSize = 1 << valueChunkBits
+	valueDirSize   = 4096 // 16.7M live values
+)
+
+type valueChunk [valueChunkSize]atomic.Pointer[pair]
+
+// NewValues returns an empty arena.
+func NewValues() *Values {
+	return &Values{free: stack.NewOptik()}
+}
+
+// Put stores a fresh {hash, val} pair and returns its slot handle,
+// recycling a freed slot when one is available. The pair is visible as
+// soon as the pointer store lands — before the caller publishes the slot
+// through its index — so no reader can reach a half-built pair.
+func (v *Values) Put(hash uint64, val string) uint64 {
+	slot, ok := v.free.Pop()
+	if !ok {
+		slot = v.next.Add(1) - 1
+		if slot >= valueDirSize*valueChunkSize {
+			panic("store: value arena exhausted")
+		}
+	}
+	ci := slot >> valueChunkBits
+	c := v.chunks[ci].Load()
+	for c == nil {
+		// First touch of this chunk: one allocation, racing allocators
+		// settle by CAS.
+		v.chunks[ci].CompareAndSwap(nil, new(valueChunk))
+		c = v.chunks[ci].Load()
+	}
+	c[slot&(valueChunkSize-1)].Store(&pair{hash: hash, val: val})
+	return slot
+}
+
+// Load returns the value in slot if it still belongs to hash. A false
+// return means the slot was recycled by a concurrent delete/replace since
+// the caller read the handle; the caller restarts through its index (the
+// OPTIK validate-and-retry, lifted to the value layer).
+func (v *Values) Load(slot, hash uint64) (string, bool) {
+	p := v.chunks[slot>>valueChunkBits].Load()[slot&(valueChunkSize-1)].Load()
+	if p == nil || p.hash != hash {
+		return "", false
+	}
+	return p.val, true
+}
+
+// Release recycles a slot whose index entry has been removed or replaced.
+// The old pair is left in place for stale readers; they validate its hash
+// and retry, and the pair itself is garbage-collected once the last one
+// moves on.
+func (v *Values) Release(slot uint64) {
+	v.free.Push(slot)
+}
+
+// Allocated returns how many slots have ever been carved from the arena
+// (monotone; recycled slots are not subtracted).
+func (v *Values) Allocated() uint64 { return v.next.Load() }
+
+// FreeLen returns the current free-list length (racy; for monitoring).
+func (v *Values) FreeLen() int { return v.free.Len() }
+
+// fnv64a is FNV-1a inlined: hash/fnv's Write is allocation-free, but
+// constructing its hash.Hash64 costs an interface allocation per call,
+// and key hashing is on every operation's hot path.
+func fnv64a[T ~string | ~[]byte](key T) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return clampHash(h)
+}
+
+// HashKey maps a string key into the index's key space, keeping clear of
+// the tables' sentinel keys (0 and MaxUint64).
+func HashKey(key string) uint64 { return fnv64a(key) }
+
+// HashKeyBytes is HashKey for a byte-slice key; it does not retain or
+// allocate, so protocol parsers can hash straight out of their read
+// buffers.
+func HashKeyBytes(key []byte) uint64 { return fnv64a(key) }
+
+func clampHash(v uint64) uint64 {
+	if v == 0 || v == ^uint64(0) {
+		return 1
+	}
+	return v
+}
+
+// Strings maps string keys to string values: a sharded OPTIK index from
+// key hashes to value handles in a Values arena. It is the string-valued
+// face of the Store — examples/kvstore runs it in-process and the server
+// package serves it over TCP. Distinct keys whose hashes collide alias to
+// one entry; with 64-bit FNV-1a that needs ~2^32 live keys to become
+// likely, far beyond the arena's capacity.
+type Strings struct {
+	index  *Store
+	values *Values
+}
+
+// NewStrings returns a string store; the options configure the underlying
+// index exactly as in New.
+func NewStrings(opts ...Option) *Strings {
+	return &Strings{index: New(opts...), values: NewValues()}
+}
+
+// Index exposes the underlying sharded index for stats aggregation.
+func (s *Strings) Index() *Store { return s.index }
+
+// Values exposes the underlying arena for stats aggregation.
+func (s *Strings) Values() *Values { return s.values }
+
+// Close stops the index's maintenance scheduler.
+func (s *Strings) Close() { s.index.Close() }
+
+// Quiesce drives every index shard's maintenance home.
+func (s *Strings) Quiesce() { s.index.Quiesce() }
+
+// Len returns the live key count (same non-linearizable contract as
+// Store.Len).
+func (s *Strings) Len() int { return s.index.Len() }
+
+// Set stores key→value, returning true if it replaced an existing value
+// and false on a fresh insert.
+func (s *Strings) Set(key, value string) bool {
+	return s.SetHashed(HashKey(key), value)
+}
+
+// SetHashed is Set for a pre-hashed key (see HashKey/HashKeyBytes).
+func (s *Strings) SetHashed(k uint64, value string) bool {
+	slot := s.values.Put(k, value)
+	old, replaced := s.index.Set(k, slot)
+	if replaced {
+		s.values.Release(old)
+	}
+	return replaced
+}
+
+// Get returns the value stored under key. The loop is the OPTIK shape in
+// miniature: optimistic read (index lookup, then the arena load), validate
+// (does the pair still belong to this key?), retry on conflict. A retry
+// means a concurrent SET or DEL recycled the slot under us, so each lap
+// rides on another operation's progress — the same obstruction-freedom
+// argument as the tables' own readers.
+func (s *Strings) Get(key string) (string, bool) {
+	return s.GetHashed(HashKey(key))
+}
+
+// GetHashed is Get for a pre-hashed key.
+func (s *Strings) GetHashed(k uint64) (string, bool) {
+	for {
+		slot, ok := s.index.Get(k)
+		if !ok {
+			return "", false
+		}
+		if val, ok := s.values.Load(slot, k); ok {
+			return val, true
+		}
+	}
+}
+
+// Del removes key, reporting whether it was present.
+func (s *Strings) Del(key string) bool {
+	return s.DelHashed(HashKey(key))
+}
+
+// DelHashed is Del for a pre-hashed key.
+func (s *Strings) DelHashed(k uint64) bool {
+	old, ok := s.index.Del(k)
+	if !ok {
+		return false
+	}
+	s.values.Release(old)
+	return true
+}
+
+// mgetScratch pools the per-batch hash/slot slices of Strings.MGet, the
+// same treatment the index's own batch routing gets from batchScratch —
+// a batched read path that allocates per call would undo it.
+type mgetScratch struct {
+	hashes []uint64
+	slots  []uint64
+}
+
+var mgetPool = sync.Pool{New: func() any { return new(mgetScratch) }}
+
+// MGet looks up every keys[i], storing the value into vals[i] and
+// presence into found[i]; vals and found must be at least len(keys) long.
+// The index pass is batched (each touched shard visited once); slots
+// whose pairs were recycled mid-read fall back to the scalar validated
+// Get.
+func (s *Strings) MGet(keys []string, vals []string, found []bool) {
+	sc := mgetPool.Get().(*mgetScratch)
+	defer mgetPool.Put(sc)
+	if cap(sc.hashes) < len(keys) {
+		sc.hashes = make([]uint64, len(keys))
+		sc.slots = make([]uint64, len(keys))
+	}
+	hashes, slots := sc.hashes[:len(keys)], sc.slots[:len(keys)]
+	for i, key := range keys {
+		hashes[i] = HashKey(key)
+	}
+	s.index.MGet(hashes, slots, found)
+	for i := range keys {
+		if !found[i] {
+			vals[i] = ""
+			continue
+		}
+		if v, ok := s.values.Load(slots[i], hashes[i]); ok {
+			vals[i] = v
+		} else {
+			vals[i], found[i] = s.GetHashed(hashes[i])
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStringsBasic pins the scalar surface: set/get/del, replace
+// semantics, and the arena recycling a released slot.
+func TestStringsBasic(t *testing.T) {
+	s := NewStrings(WithShards(2), WithShardBuckets(64), WithoutMaintenance())
+	defer s.Close()
+
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get on empty store hit")
+	}
+	if replaced := s.Set("a", "1"); replaced {
+		t.Fatal("fresh Set reported replace")
+	}
+	if replaced := s.Set("a", "2"); !replaced {
+		t.Fatal("second Set did not report replace")
+	}
+	if v, ok := s.Get("a"); !ok || v != "2" {
+		t.Fatalf("Get(a) = %q, %v; want 2, true", v, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if !s.Del("a") {
+		t.Fatal("Del(a) missed")
+	}
+	if s.Del("a") {
+		t.Fatal("second Del(a) hit")
+	}
+	// The replace and the delete each released a slot; the next two Puts
+	// must recycle instead of growing the arena.
+	allocated := s.Values().Allocated()
+	if free := s.Values().FreeLen(); free != 2 {
+		t.Fatalf("free list = %d, want 2", free)
+	}
+	s.Set("b", "3")
+	s.Set("c", "4")
+	if got := s.Values().Allocated(); got != allocated {
+		t.Fatalf("arena grew %d → %d with slots on the free list", allocated, got)
+	}
+}
+
+// TestValuesLoadValidates pins the OPTIK move at the value layer: a slot
+// recycled to another key's pair must fail hash validation for the old
+// key instead of returning the wrong value.
+func TestValuesLoadValidates(t *testing.T) {
+	v := NewValues()
+	slot := v.Put(10, "ten")
+	if got, ok := v.Load(slot, 10); !ok || got != "ten" {
+		t.Fatalf("Load = %q, %v", got, ok)
+	}
+	v.Release(slot)
+	slot2 := v.Put(99, "ninety-nine")
+	if slot2 != slot {
+		t.Fatalf("free list did not recycle: got slot %d, want %d", slot2, slot)
+	}
+	if _, ok := v.Load(slot, 10); ok {
+		t.Fatal("stale Load validated against a recycled slot")
+	}
+	if got, ok := v.Load(slot, 99); !ok || got != "ninety-nine" {
+		t.Fatalf("Load after recycle = %q, %v", got, ok)
+	}
+}
+
+// TestStringsMGet pins the batched read path, including the recycled-slot
+// fallback being invisible to callers.
+func TestStringsMGet(t *testing.T) {
+	s := NewStrings(WithShards(4), WithShardBuckets(64), WithoutMaintenance())
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		s.Set(fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d", i))
+	}
+	keys := []string{"k00", "nope", "k51", "k99", "also-nope"}
+	vals := make([]string, len(keys))
+	found := make([]bool, len(keys))
+	s.MGet(keys, vals, found)
+	wantVals := []string{"v00", "", "v51", "v99", ""}
+	wantFound := []bool{true, false, true, true, false}
+	for i := range keys {
+		if vals[i] != wantVals[i] || found[i] != wantFound[i] {
+			t.Fatalf("MGet[%d] = %q, %v; want %q, %v", i, vals[i], found[i], wantVals[i], wantFound[i])
+		}
+	}
+}
+
+// TestStringsConcurrentRecycle hammers one hot key set with readers and
+// recycling writers: a reader must only ever observe a value that was
+// written for the key it asked about, never another key's pair through a
+// recycled slot.
+func TestStringsConcurrentRecycle(t *testing.T) {
+	s := NewStrings(WithShards(2), WithShardBuckets(64), WithoutMaintenance())
+	defer s.Close()
+	const keys = 8
+	key := func(i int) string { return fmt.Sprintf("hot%d", i) }
+	val := func(i int) string { return fmt.Sprintf("val-for-%d", i) }
+	for i := 0; i < keys; i++ {
+		s.Set(key(i), val(i))
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := seed; !stop.Load(); i++ {
+				k := i % keys
+				s.Del(key(k))
+				s.Set(key(k), val(k))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := seed; !stop.Load(); i++ {
+				k := i % keys
+				if v, ok := s.Get(key(k)); ok && v != val(k) {
+					t.Errorf("Get(%s) = %q, want %q", key(k), v, val(k))
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 200000 && !t.Failed(); i++ {
+		k := i % keys
+		if v, ok := s.Get(key(k)); ok && v != val(k) {
+			t.Errorf("Get(%s) = %q, want %q", key(k), v, val(k))
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestHashKeyBytesMatches pins the zero-alloc byte hasher to the string
+// one, sentinel clamping included.
+func TestHashKeyBytesMatches(t *testing.T) {
+	for _, k := range []string{"", "a", "user:0042", "\x00\xff", "the quick brown fox"} {
+		if HashKey(k) != HashKeyBytes([]byte(k)) {
+			t.Fatalf("HashKey(%q) = %d != HashKeyBytes = %d", k, HashKey(k), HashKeyBytes([]byte(k)))
+		}
+	}
+	if HashKey("") == 0 {
+		t.Fatal("sentinel clamp missing")
+	}
+}
