@@ -41,6 +41,11 @@ type row struct {
 	Impl     string  `json:"impl"`
 	Threads  int     `json:"threads"`
 	Mops     float64 `json:"mops"`
+	// MaxProcs joins as a guard, not a key: rows that both carry it must
+	// agree, or the comparison is across differently-sized runners and is
+	// skipped with a note instead of reported as a phantom regression.
+	// Rows without it (older baselines, non-server figures) join as before.
+	MaxProcs int `json:"maxprocs"`
 }
 
 // key identifies a data point across runs.
@@ -72,17 +77,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	base := map[key]float64{}
+	base := map[key]row{}
 	for _, r := range old.Rows {
-		base[key{r.Figure, r.Workload, r.Impl, r.Threads}] = r.Mops
+		base[key{r.Figure, r.Workload, r.Impl, r.Threads}] = r
 	}
 
 	annotate := os.Getenv("GITHUB_ACTIONS") == "true"
-	matched, regressions := 0, 0
+	matched, regressions, skipped := 0, 0, 0
 	for _, r := range cur.Rows {
-		was, ok := base[key{r.Figure, r.Workload, r.Impl, r.Threads}]
+		b, ok := base[key{r.Figure, r.Workload, r.Impl, r.Threads}]
+		was := b.Mops
 		if !ok || was <= 0 || r.Mops <= 0 {
 			continue // new row, removed row, or a non-throughput point
+		}
+		if b.MaxProcs != 0 && r.MaxProcs != 0 && b.MaxProcs != r.MaxProcs {
+			skipped++
+			fmt.Printf("skipping %s / %s / %s @ %d threads: maxprocs %d vs %d, not comparable\n",
+				r.Figure, r.Workload, r.Impl, r.Threads, b.MaxProcs, r.MaxProcs)
+			continue
 		}
 		matched++
 		deltaPct := (r.Mops - was) / was * 100
@@ -96,8 +108,8 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("bench-diff: %d rows matched (%s -> %s), %d regressed beyond %.0f%%\n",
-		matched, old.GeneratedAt, cur.GeneratedAt, regressions, *threshold)
+	fmt.Printf("bench-diff: %d rows matched (%s -> %s), %d regressed beyond %.0f%%, %d skipped on maxprocs\n",
+		matched, old.GeneratedAt, cur.GeneratedAt, regressions, *threshold, skipped)
 	if regressions > 0 && *failFlag {
 		os.Exit(1)
 	}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	optik-server [-addr :7979] [-shards 0] [-shard-buckets 1024]
-//	             [-batch 512] [-maxconns 0]
+//	             [-batch 512] [-coalesce 256] [-maxconns 0]
 //
 // Flags:
 //
@@ -16,6 +16,8 @@
 //	-shard-buckets per-shard floor bucket count (default 1024)
 //	-batch         pipelined requests executed per reply flush
 //	               (default 512)
+//	-coalesce      max keys per coalesced run of pipelined same-kind
+//	               scalar commands (default 256, 0 disables)
 //	-maxconns      concurrent connection cap (default 0 = unlimited)
 //
 // Try it with netcat:
@@ -44,6 +46,8 @@ func main() {
 	shards := flag.Int("shards", 0, "index shards, power of two (0 = one per core)")
 	shardBuckets := flag.Int("shard-buckets", 1024, "per-shard floor bucket count")
 	batch := flag.Int("batch", 512, "pipelined requests executed per reply flush")
+	coalesce := flag.Int("coalesce", server.DefaultCoalesce,
+		"max keys per coalesced run of pipelined same-kind scalar commands (0 disables)")
 	maxConns := flag.Int("maxconns", 0, "concurrent connection cap (0 = unlimited)")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -54,15 +58,16 @@ func main() {
 
 	st := store.NewStrings(store.WithShards(*shards), store.WithShardBuckets(*shardBuckets))
 	defer st.Close()
-	srv := server.New(st, server.WithPipeline(*batch), server.WithMaxConns(*maxConns))
+	srv := server.New(st, server.WithPipeline(*batch), server.WithCoalesce(*coalesce),
+		server.WithMaxConns(*maxConns))
 
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "optik-server:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("optik-server: serving %d shards on %s (batch %d, maxconns %d)\n",
-		st.Index().Shards(), bound, *batch, *maxConns)
+	fmt.Printf("optik-server: serving %d shards on %s (batch %d, coalesce %d, maxconns %d)\n",
+		st.Index().Shards(), bound, *batch, *coalesce, *maxConns)
 
 	// SIGINT/SIGTERM drain the server before the store's scheduler stops.
 	sig := make(chan os.Signal, 1)

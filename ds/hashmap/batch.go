@@ -38,6 +38,30 @@ func (r *Resizable) UpsertBatch(keys, vals []uint64) int {
 	return inserted
 }
 
+// UpsertBatchEach is UpsertBatch with per-key results: old[i] receives
+// the value keys[i] replaced and replaced[i] whether one existed. The
+// sharded store's value layer needs the per-key outcomes — every
+// replaced handle is a value slot it must recycle — and the network
+// server needs them to frame one reply per pipelined SET. old and
+// replaced must be at least len(keys) long. Keys are applied in order,
+// so duplicates within a batch behave exactly as sequential Upserts.
+func (r *Resizable) UpsertBatchEach(keys, vals, old []uint64, replaced []bool) int {
+	for _, k := range keys {
+		ds.CheckKey(k)
+	}
+	rc := reclaimer{pool: r.pool}
+	defer rc.release()
+	r.help(&rc)
+	inserted := 0
+	for i, k := range keys {
+		old[i], replaced[i] = r.upsert(&rc, k, vals[i])
+		if !replaced[i] {
+			inserted++
+		}
+	}
+	return inserted
+}
+
 // DeleteBatch deletes every key under one reclamation handle and returns
 // how many were present.
 func (r *Resizable) DeleteBatch(keys []uint64) int {
@@ -50,6 +74,28 @@ func (r *Resizable) DeleteBatch(keys []uint64) int {
 	deleted := 0
 	for _, k := range keys {
 		if _, ok := r.delete(&rc, k); ok {
+			deleted++
+		}
+	}
+	return deleted
+}
+
+// DeleteBatchEach is DeleteBatch with per-key results: old[i] receives
+// the removed value and found[i] whether keys[i] was present, under one
+// reclamation handle. old and found must be at least len(keys) long.
+// Keys are applied in order, so a duplicate deletes once and then
+// misses, exactly as sequential Deletes would.
+func (r *Resizable) DeleteBatchEach(keys, old []uint64, found []bool) int {
+	for _, k := range keys {
+		ds.CheckKey(k)
+	}
+	rc := reclaimer{pool: r.pool}
+	defer rc.release()
+	r.help(&rc)
+	deleted := 0
+	for i, k := range keys {
+		old[i], found[i] = r.delete(&rc, k)
+		if found[i] {
 			deleted++
 		}
 	}

@@ -156,3 +156,47 @@ func TestBatchOps(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchOpsEach pins the per-key-result batch variants: outcomes must
+// match what the same sequence of scalar Upserts/Deletes would report,
+// including duplicate keys inside one batch (applied in order: the first
+// occurrence inserts or deletes, the rest see its effect).
+func TestBatchOpsEach(t *testing.T) {
+	m := NewResizable(16)
+	keys := []uint64{10, 20, 10, 30, 20, 10}
+	vals := []uint64{1, 2, 3, 4, 5, 6}
+	old := make([]uint64, len(keys))
+	replaced := make([]bool, len(keys))
+	if got := m.UpsertBatchEach(keys, vals, old, replaced); got != 3 {
+		t.Fatalf("UpsertBatchEach fresh = %d, want 3 (distinct keys)", got)
+	}
+	wantRepl := []bool{false, false, true, false, true, true}
+	wantOld := []uint64{0, 0, 1, 0, 2, 3}
+	for i := range keys {
+		if replaced[i] != wantRepl[i] || (replaced[i] && old[i] != wantOld[i]) {
+			t.Fatalf("UpsertBatchEach[%d] = old %d replaced %v; want %d %v",
+				i, old[i], replaced[i], wantOld[i], wantRepl[i])
+		}
+	}
+	if v, ok := m.Search(10); !ok || v != 6 {
+		t.Fatalf("Search(10) = %d,%v; want 6 (last duplicate wins)", v, ok)
+	}
+	delKeys := []uint64{10, 99, 10, 20}
+	delOld := make([]uint64, len(delKeys))
+	delFound := make([]bool, len(delKeys))
+	if got := m.DeleteBatchEach(delKeys, delOld, delFound); got != 2 {
+		t.Fatalf("DeleteBatchEach = %d, want 2", got)
+	}
+	wantDel := []bool{true, false, false, true}
+	for i := range delKeys {
+		if delFound[i] != wantDel[i] {
+			t.Fatalf("DeleteBatchEach[%d] found = %v, want %v", i, delFound[i], wantDel[i])
+		}
+	}
+	if delOld[0] != 6 || delOld[3] != 5 {
+		t.Fatalf("DeleteBatchEach old = %v", delOld)
+	}
+	if got := m.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1 (only key 30 left)", got)
+	}
+}

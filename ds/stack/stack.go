@@ -103,6 +103,45 @@ func (s *Optik) Push(val uint64) {
 	}
 }
 
+// PushAll places every value on the stack under ONE validate-and-lock
+// commit, leaving vals[len-1] on top — exactly the state len(vals)
+// scalar Pushes would produce, at one lock acquisition instead of n.
+// The chain is linked outside the critical section (the OPTIK prepare
+// phase), so the locked window is two stores regardless of batch size;
+// batch producers such as a value arena releasing a request's worth of
+// recycled slots amortize the stack's single point of contention the
+// same way the tables' batch operations amortize their per-op costs.
+func (s *Optik) PushAll(vals []uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	// Build tail→…→head links: vals[0] is the chain's deepest node.
+	var first *node // becomes the new top (last value pushed)
+	var last *node  // joins the old top
+	for _, v := range vals {
+		n := &node{val: v, next: first}
+		if first == nil {
+			last = n
+		}
+		first = n
+	}
+	var bo backoff.Backoff
+	for {
+		v := s.lock.GetVersion()
+		if v.IsLocked() {
+			bo.Wait()
+			continue
+		}
+		last.next = s.top.Load()
+		if s.lock.TryLockVersion(v) {
+			s.top.Store(first)
+			s.lock.Unlock()
+			return
+		}
+		bo.Wait()
+	}
+}
+
 // Pop removes and returns the top element, if any. An empty stack is
 // detected without locking (the emptiness read linearizes on its own).
 func (s *Optik) Pop() (uint64, bool) {

@@ -108,6 +108,76 @@ func TestPerThreadLIFOOrder(t *testing.T) {
 	}
 }
 
+// TestPushAll pins the batch splice: PushAll must leave the stack in
+// exactly the state the equivalent scalar Push sequence would (last
+// element on top), including empty batches and splices onto a non-empty
+// stack.
+func TestPushAll(t *testing.T) {
+	s := NewOptik()
+	s.PushAll(nil)
+	if _, ok := s.Pop(); ok {
+		t.Fatal("empty PushAll produced an element")
+	}
+	s.Push(1)
+	s.PushAll([]uint64{2, 3, 4})
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	for want := uint64(4); want >= 1; want-- {
+		v, ok := s.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = %v,%v want %d", v, ok, want)
+		}
+	}
+}
+
+// TestPushAllConcurrent races batch pushers against scalar poppers:
+// every value must come back exactly once.
+func TestPushAllConcurrent(t *testing.T) {
+	s := NewOptik()
+	const producers, batches, batchLen = 4, 200, 16
+	total := producers * batches * batchLen
+	seen := make([]atomic.Uint32, total+1)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			buf := make([]uint64, batchLen)
+			for b := uint64(0); b < batches; b++ {
+				for i := range buf {
+					buf[i] = id*batches*batchLen + b*batchLen + uint64(i) + 1
+				}
+				s.PushAll(buf)
+				s.Pop() // interleave contention on top
+			}
+		}(uint64(p))
+	}
+	wg.Wait()
+	popped := 0
+	for {
+		v, ok := s.Pop()
+		if !ok {
+			break
+		}
+		if seen[v].Add(1) != 1 {
+			t.Fatalf("value %d popped twice", v)
+		}
+		popped++
+	}
+	// The interleaved Pops already removed producers×batches values; count
+	// them via the seen table instead of trusting the drain alone.
+	if popped != total-producers*batches {
+		drained := 0
+		for i := 1; i <= total; i++ {
+			if seen[i].Load() > 0 {
+				drained++
+			}
+		}
+		t.Fatalf("drained %d (%d marked) of %d", popped, drained, total)
+	}
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	for name, mk := range variants() {
 		b.Run(name, func(b *testing.B) {

@@ -79,6 +79,9 @@ type Row struct {
 	// proof steady-state churn reuses nodes instead of re-allocating.
 	NodesRetired uint64 `json:"nodes_retired,omitempty"`
 	NodesReused  uint64 `json:"nodes_reused,omitempty"`
+	// MaxProcs is set by the server/net rows: GOMAXPROCS at measurement
+	// time, so rows from differently-sized runners never join silently.
+	MaxProcs int `json:"maxprocs,omitempty"`
 }
 
 // Recorder accumulates rows for machine-readable output. The figure
@@ -649,6 +652,7 @@ func FigServer(o RunOpts) {
 				Figure: "Server", Workload: wlLabel, Impl: implName(sh), Threads: th,
 				Mops: res.Mops, FinalBuckets: res.FinalBuckets,
 				NodesRetired: res.NodesRetired, NodesReused: res.NodesReused,
+				MaxProcs: res.MaxProcs,
 			})
 		}
 		fmt.Fprintln(o.Out)
@@ -671,6 +675,7 @@ func FigServer(o RunOpts) {
 		o.Record.add(Row{
 			Figure: "Server latency", Workload: wlLabel, Impl: implName(sh), Threads: th,
 			Mops: res.Mops, P50Ns: res.Latency.P50, P99Ns: res.Latency.P99, MaxNs: res.Latency.Max,
+			MaxProcs: res.MaxProcs,
 		})
 	}
 	fmt.Fprintln(o.Out)
@@ -736,20 +741,21 @@ func FigNet(o RunOpts) {
 	if o.NetAddr != "" {
 		where = "external server at " + o.NetAddr
 	}
+	cols := netColumns(o, depths)
 	fmt.Fprintf(o.Out, "# Net — optik-server over TCP, %s (%s; Mops/s)\n", wlLabel, where)
 	fmt.Fprintf(o.Out, "%-8s", "threads")
-	for _, d := range depths {
-		fmt.Fprintf(o.Out, "%16s", netImplName(d))
+	for _, c := range cols {
+		fmt.Fprintf(o.Out, "%16s", netImplName(c.depth, c.variant))
 	}
 	fmt.Fprintln(o.Out)
 	for _, th := range o.Threads {
 		fmt.Fprintf(o.Out, "%-8d", th)
-		for _, d := range depths {
-			res := runNetCell(o, netServerCfg(o, th, d, initial, false))
+		for _, c := range cols {
+			res := runNetCell(o, netServerCfg(o, th, c.depth, initial, false), c.variant)
 			fmt.Fprintf(o.Out, "%16.3f", res.Mops)
 			o.Record.add(Row{
-				Figure: "Net", Workload: wlLabel, Impl: netImplName(d), Threads: th,
-				Mops: res.Mops, FinalBuckets: res.FinalBuckets,
+				Figure: "Net", Workload: wlLabel, Impl: netImplName(c.depth, c.variant), Threads: th,
+				Mops: res.Mops, FinalBuckets: res.FinalBuckets, MaxProcs: res.MaxProcs,
 			})
 		}
 		fmt.Fprintln(o.Out)
@@ -757,23 +763,69 @@ func FigNet(o RunOpts) {
 	fmt.Fprintln(o.Out)
 	th := o.Threads[len(o.Threads)-1]
 	fmt.Fprintf(o.Out, "# Net latency — per-key ns by pipeline depth, %d threads\n", th)
-	for _, d := range depths {
-		res := runNetCell(o, netServerCfg(o, th, d, initial, true))
+	for _, c := range cols {
+		res := runNetCell(o, netServerCfg(o, th, c.depth, initial, true), c.variant)
 		lat := res.BatchLatency
-		if d == 1 {
+		if c.depth == 1 {
 			lat = res.Latency
 		}
-		fmt.Fprintf(o.Out, "%-16s %s (hit rate %.1f%%)\n", netImplName(d), lat, 100*res.HitRate)
+		fmt.Fprintf(o.Out, "%-16s %s (hit rate %.1f%%)\n", netImplName(c.depth, c.variant), lat, 100*res.HitRate)
 		o.Record.add(Row{
-			Figure: "Net latency", Workload: wlLabel, Impl: netImplName(d), Threads: th,
-			Mops: res.Mops, P50Ns: lat.P50, P99Ns: lat.P99, MaxNs: lat.Max,
+			Figure: "Net latency", Workload: wlLabel, Impl: netImplName(c.depth, c.variant), Threads: th,
+			Mops: res.Mops, P50Ns: lat.P50, P99Ns: lat.P99, MaxNs: lat.Max, MaxProcs: res.MaxProcs,
 		})
 	}
 	fmt.Fprintln(o.Out)
 }
 
-// netImplName labels a pipeline-depth series.
-func netImplName(depth int) string { return fmt.Sprintf("net-p%d", depth) }
+// netVariant selects which server path a net cell exercises.
+type netVariant uint8
+
+const (
+	netCoalesced  netVariant = iota // scalar pipeline, server coalescing on (default)
+	netNoCoalesce                   // scalar pipeline, WithCoalesce(0) baseline
+	netMultibulk                    // true MGET/MSET/MDEL frames, coalescing on
+)
+
+// netColumn is one (depth, variant) series of the net figure.
+type netColumn struct {
+	depth   int
+	variant netVariant
+}
+
+// netColumns expands the depth sweep into the variant columns: every
+// depth runs the default coalesced cell; pipelined depths additionally
+// run the coalesce-off baseline (skipped against an external server —
+// its -coalesce knob cannot be flipped from here) and the multibulk
+// client. Depth 1 has nothing to coalesce or batch, so it stays a single
+// request/response column.
+func netColumns(o RunOpts, depths []int) []netColumn {
+	var cols []netColumn
+	for _, d := range depths {
+		cols = append(cols, netColumn{d, netCoalesced})
+		if d > 1 {
+			if o.NetAddr == "" {
+				cols = append(cols, netColumn{d, netNoCoalesce})
+			}
+			cols = append(cols, netColumn{d, netMultibulk})
+		}
+	}
+	return cols
+}
+
+// netImplName labels a pipeline-depth series; the variant suffix is part
+// of the JSON join key, so coalesced and baseline rows never compare
+// against each other silently.
+func netImplName(depth int, v netVariant) string {
+	switch v {
+	case netNoCoalesce:
+		return fmt.Sprintf("net-p%d-nc", depth)
+	case netMultibulk:
+		return fmt.Sprintf("net-p%d-mb", depth)
+	default:
+		return fmt.Sprintf("net-p%d", depth)
+	}
+}
 
 // netServerCfg is the FigNet cell configuration: depth 1 runs the scalar
 // request/response path, deeper cells run every request as a depth-sized
@@ -796,12 +848,17 @@ func netServerCfg(o RunOpts, threads, depth, initial int, latency bool) workload
 }
 
 // runNetCell runs one net figure cell, bringing up (and tearing down) a
-// private loopback server unless RunOpts names an external one.
-func runNetCell(o RunOpts, cfg workload.ServerConfig) workload.ServerResult {
+// private loopback server unless RunOpts names an external one. The
+// variant picks the server's coalescing mode and the client's framing.
+func runNetCell(o RunOpts, cfg workload.ServerConfig, v netVariant) workload.ServerResult {
 	addr := o.NetAddr
 	if addr == "" {
 		st := store.NewStrings(store.WithShardBuckets(1024))
-		srv := server.New(st)
+		var sopts []server.Option
+		if v == netNoCoalesce {
+			sopts = append(sopts, server.WithCoalesce(0))
+		}
+		srv := server.New(st, sopts...)
 		bound, err := srv.Start("127.0.0.1:0")
 		if err != nil {
 			panic("figures: loopback server: " + err.Error())
@@ -812,8 +869,12 @@ func runNetCell(o RunOpts, cfg workload.ServerConfig) workload.ServerResult {
 		}()
 		addr = bound.String()
 	}
+	newTarget := workload.NewNetTarget
+	if v == netMultibulk {
+		newTarget = workload.NewNetTargetMultibulk
+	}
 	return workload.RunServer(cfg, func() workload.Target {
-		return workload.NewNetTarget(addr)
+		return newTarget(addr)
 	})
 }
 

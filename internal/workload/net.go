@@ -21,10 +21,11 @@ import (
 // errors — the load generator wants a loud failure, not a slow retry
 // path inside the measured window.
 type NetTarget struct {
-	addr string
-	mu   sync.Mutex
-	idle []*server.Client
-	all  []*server.Client
+	addr      string
+	multibulk bool
+	mu        sync.Mutex
+	idle      []*server.Client
+	all       []*server.Client
 }
 
 var _ Target = (*NetTarget)(nil)
@@ -33,6 +34,14 @@ var _ Target = (*NetTarget)(nil)
 // Connections are dialed lazily on first borrow.
 func NewNetTarget(addr string) *NetTarget {
 	return &NetTarget{addr: addr}
+}
+
+// NewNetTargetMultibulk returns a Target whose batched operations send
+// true MGET/MSET/MDEL frames instead of pipelined scalars — the same
+// request mix, exercising the server's wire-level batched handlers
+// rather than its coalescer.
+func NewNetTargetMultibulk(addr string) *NetTarget {
+	return &NetTarget{addr: addr, multibulk: true}
 }
 
 // borrow pops an idle connection or dials a fresh one.
@@ -49,6 +58,7 @@ func (t *NetTarget) borrow() *server.Client {
 	if err != nil {
 		panic("workload: net target dial: " + err.Error())
 	}
+	c.SetMultibulk(t.multibulk)
 	t.mu.Lock()
 	t.all = append(t.all, c)
 	t.mu.Unlock()

@@ -108,6 +108,10 @@ type ServerResult struct {
 	// by batch size, so the amortization is directly comparable to the
 	// single-key summaries.
 	BatchLatency stats.Summary
+	// MaxProcs records runtime.GOMAXPROCS at measurement time: throughput
+	// and latency rows are only comparable across machines (or CI runner
+	// generations) alongside the parallelism they actually had.
+	MaxProcs int
 }
 
 // RunServer drives a server workload against a target from factory and
@@ -312,6 +316,7 @@ func RunServer(cfg ServerConfig, factory func() Target) ServerResult {
 	total.Elapsed = time.Since(begin)
 
 	st.Quiesce()
+	total.MaxProcs = runtime.GOMAXPROCS(0)
 	total.Mops = float64(total.Ops) / total.Elapsed.Seconds() / 1e6
 	if total.Gets > 0 {
 		total.HitRate = float64(total.Hits) / float64(total.Gets)

@@ -11,42 +11,58 @@ import (
 // depths: one client goroutine keeps depth GET commands in flight against
 // a loopback server on a prefilled store. This is the protocol+transport
 // overhead the net figure adds on top of the in-process store, isolated
-// from the workload driver.
+// from the workload driver. The default variant exercises the coalescer
+// (pipelined scalars merged server-side); coalesce=off is the
+// one-execution-per-request baseline and multibulk replaces the scalar
+// pipeline with real MGET frames, bounding what coalescing can recover.
 func BenchmarkPipeline(b *testing.B) {
 	for _, depth := range []int{1, 16, 64, 256} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
-			st := store.NewStrings(store.WithShardBuckets(1024), store.WithoutMaintenance())
-			defer st.Close()
-			srv := New(st)
-			addr, err := srv.Start("127.0.0.1:0")
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer srv.Close()
-			cl, err := Dial(addr.String())
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer cl.Close()
-
-			const population = 4096
-			keys := make([]uint64, depth)
-			vals := make([]uint64, depth)
-			found := make([]bool, depth)
-			for i := 0; i < population; i++ {
-				vals[0] = uint64(i)
-				cl.Set(uint64(i)+1, vals[0])
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			var k uint64
-			for i := 0; i < b.N; i += depth {
-				for j := range keys {
-					k = k*2862933555777941757 + 3037000493 // lcg walk over the population
-					keys[j] = k%population + 1
-				}
-				cl.MGet(keys, vals, found)
-			}
+			benchPipeline(b, depth, nil, false)
 		})
+	}
+	for _, depth := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("depth=%d/coalesce=off", depth), func(b *testing.B) {
+			benchPipeline(b, depth, []Option{WithCoalesce(0)}, false)
+		})
+		b.Run(fmt.Sprintf("depth=%d/multibulk", depth), func(b *testing.B) {
+			benchPipeline(b, depth, nil, true)
+		})
+	}
+}
+
+func benchPipeline(b *testing.B, depth int, opts []Option, multibulk bool) {
+	st := store.NewStrings(store.WithShardBuckets(1024), store.WithoutMaintenance())
+	defer st.Close()
+	srv := New(st, opts...)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(addr.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetMultibulk(multibulk)
+
+	const population = 4096
+	keys := make([]uint64, depth)
+	vals := make([]uint64, depth)
+	found := make([]bool, depth)
+	for i := 0; i < population; i++ {
+		vals[0] = uint64(i)
+		cl.Set(uint64(i)+1, vals[0])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var k uint64
+	for i := 0; i < b.N; i += depth {
+		for j := range keys {
+			k = k*2862933555777941757 + 3037000493 // lcg walk over the population
+			keys[j] = k%population + 1
+		}
+		cl.MGet(keys, vals, found)
 	}
 }

@@ -22,12 +22,22 @@ import (
 // surface loudly, not an error to propagate through a hot measurement
 // loop.
 type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-	out  []byte // command build buffer: a whole pipeline, one Write
-	bulk []byte // reusable bulk-reply buffer (slow path)
+	conn      net.Conn
+	r         *bufio.Reader
+	w         *bufio.Writer
+	out       []byte // command build buffer: a whole pipeline, one Write
+	bulk      []byte // reusable bulk-reply buffer (slow path)
+	multibulk bool   // batch ops send real MGET/MSET/MDEL frames
 }
+
+// SetMultibulk switches the batch operations (MGet/MSet/MDel) between
+// pipelined scalar commands (the default: k GET frames, depth-k
+// pipeline) and true multi-key frames (one MGET frame carrying k keys,
+// chunked under the server's per-request argument cap). The two modes
+// are semantically identical; they differ in which server path the
+// batch exercises — the coalescer assembling a run from scalars versus
+// the wire-level batched handler.
+func (c *Client) SetMultibulk(on bool) { c.multibulk = on }
 
 // Dial connects to a server at addr.
 func Dial(addr string) (*Client, error) {
@@ -53,6 +63,42 @@ func (c *Client) appendCommand(cmd string, args ...uint64) {
 		c.out = append(c.out, ' ')
 		c.out = strconv.AppendUint(c.out, a, 10)
 	}
+	c.out = append(c.out, crlf...)
+}
+
+// Multibulk frame chunking: a frame carries at most maxArgs args
+// including the command name, so one MGET/MDEL moves up to maxBatchKeys
+// keys and one MSET up to maxBatchPairs pairs; larger batches are split
+// into consecutive frames in the same pipeline.
+const (
+	maxBatchKeys  = maxArgs - 1
+	maxBatchPairs = (maxArgs - 1) / 2
+)
+
+// beginMulti appends a multibulk array header for n items.
+func (c *Client) beginMulti(n int) {
+	c.out = append(c.out, '*')
+	c.out = strconv.AppendInt(c.out, int64(n), 10)
+	c.out = append(c.out, crlf...)
+}
+
+// bulkString appends one bulk-framed string item.
+func (c *Client) bulkString(s string) {
+	c.out = append(c.out, '$')
+	c.out = strconv.AppendInt(c.out, int64(len(s)), 10)
+	c.out = append(c.out, crlf...)
+	c.out = append(c.out, s...)
+	c.out = append(c.out, crlf...)
+}
+
+// bulkUint appends one bulk-framed decimal uint64 item.
+func (c *Client) bulkUint(v uint64) {
+	var tmp [20]byte
+	b := strconv.AppendUint(tmp[:0], v, 10)
+	c.out = append(c.out, '$')
+	c.out = strconv.AppendInt(c.out, int64(len(b)), 10)
+	c.out = append(c.out, crlf...)
+	c.out = append(c.out, b...)
 	c.out = append(c.out, crlf...)
 }
 
@@ -189,9 +235,31 @@ func (c *Client) Insert(key, val uint64) bool {
 	return !replaced
 }
 
-// MGet pipelines one GET per key — len(keys) commands, one flush, replies
-// in order — filling vals and found like store.Store.MGet.
+// MGet fetches a batch of keys — pipelined GETs by default, true MGET
+// frames in multibulk mode — filling vals and found like store.Store.MGet.
 func (c *Client) MGet(keys, vals []uint64, found []bool) {
+	if c.multibulk {
+		for start := 0; start < len(keys); start += maxBatchKeys {
+			chunk := keys[start:min(start+maxBatchKeys, len(keys))]
+			c.beginMulti(len(chunk) + 1)
+			c.bulkString("MGET")
+			for _, k := range chunk {
+				c.bulkUint(k)
+			}
+		}
+		c.flush()
+		i := 0
+		for start := 0; start < len(keys); start += maxBatchKeys {
+			end := min(start+maxBatchKeys, len(keys))
+			if kind, n, _ := c.readReply(); kind != '*' || int(n) != end-start {
+				panic("server client: bad MGET array header")
+			}
+			for ; i < end; i++ {
+				vals[i], found[i] = c.readValue()
+			}
+		}
+		return
+	}
 	for _, k := range keys {
 		c.appendCommand("GET", k)
 	}
@@ -201,8 +269,26 @@ func (c *Client) MGet(keys, vals []uint64, found []bool) {
 	}
 }
 
-// MSet pipelines one SET per pair, returning how many were fresh inserts.
+// MSet stores a batch of pairs — pipelined SETs by default, true MSET
+// frames in multibulk mode — returning how many were fresh inserts.
 func (c *Client) MSet(keys, vals []uint64) int {
+	if c.multibulk {
+		for start := 0; start < len(keys); start += maxBatchPairs {
+			end := min(start+maxBatchPairs, len(keys))
+			c.beginMulti((end-start)*2 + 1)
+			c.bulkString("MSET")
+			for i := start; i < end; i++ {
+				c.bulkUint(keys[i])
+				c.bulkUint(vals[i])
+			}
+		}
+		c.flush()
+		inserted := 0
+		for start := 0; start < len(keys); start += maxBatchPairs {
+			inserted += int(c.readInt())
+		}
+		return inserted
+	}
 	for i, k := range keys {
 		c.appendCommand("SET", k, vals[i])
 	}
@@ -216,8 +302,25 @@ func (c *Client) MSet(keys, vals []uint64) int {
 	return inserted
 }
 
-// MDel pipelines one DEL per key, returning how many were present.
+// MDel removes a batch of keys — pipelined DELs by default, true MDEL
+// frames in multibulk mode — returning how many were present.
 func (c *Client) MDel(keys []uint64) int {
+	if c.multibulk {
+		for start := 0; start < len(keys); start += maxBatchKeys {
+			chunk := keys[start:min(start+maxBatchKeys, len(keys))]
+			c.beginMulti(len(chunk) + 1)
+			c.bulkString("MDEL")
+			for _, k := range chunk {
+				c.bulkUint(k)
+			}
+		}
+		c.flush()
+		deleted := 0
+		for start := 0; start < len(keys); start += maxBatchKeys {
+			deleted += int(c.readInt())
+		}
+		return deleted
+	}
 	for _, k := range keys {
 		c.appendCommand("DEL", k)
 	}

@@ -18,6 +18,7 @@ type options struct {
 	maxConns int
 	pipeline int
 	bufSize  int
+	coalesce int
 }
 
 // Option configures New.
@@ -44,6 +45,23 @@ func WithBufferSize(n int) Option {
 	return func(o *options) { o.bufSize = n }
 }
 
+// WithCoalesce bounds server-side request coalescing: runs of same-kind
+// pipelined scalar commands (GET/MGET, SET/MSET, DEL/MDEL) are staged up
+// to n keys and driven through the store's shard-batched path in one
+// execution (default 256). Coalescing is invisible on the wire — replies
+// keep exact arrival order and byte-identical framing — and never delays
+// a request/response client (the run drains whenever the read buffer
+// does). 0 disables staging entirely, restoring one-execution-per-request
+// (multi-key MGET/MSET/MDEL frames still take the shard-batched path). A
+// run may overshoot n by the final request's keys: requests are never
+// split across runs.
+func WithCoalesce(n int) Option {
+	return func(o *options) { o.coalesce = n }
+}
+
+// DefaultCoalesce is the default WithCoalesce run bound (in keys).
+const DefaultCoalesce = 256
+
 // Server serves a store.Strings over the wire protocol in
 // docs/PROTOCOL.md. Construct with New, then ListenAndServe (blocking) or
 // Start (background); Close shuts the listener and every connection down
@@ -61,14 +79,18 @@ type Server struct {
 	accepted atomic.Uint64
 	rejected atomic.Uint64
 	commands atomic.Uint64
-	wg       sync.WaitGroup
+	// Coalescing stats: runs that merged >= 2 pipelined requests into one
+	// batched store execution, and the keys those runs carried.
+	coalescedBatches atomic.Uint64
+	coalescedKeys    atomic.Uint64
+	wg               sync.WaitGroup
 }
 
 // New returns a server for st. The server does not own the store: Close
 // stops serving but leaves st (and its maintenance scheduler) to the
 // caller.
 func New(st *store.Strings, opts ...Option) *Server {
-	o := options{pipeline: 512, bufSize: 16384}
+	o := options{pipeline: 512, bufSize: 16384, coalesce: DefaultCoalesce}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -77,6 +99,9 @@ func New(st *store.Strings, opts ...Option) *Server {
 	}
 	if o.bufSize < 512 {
 		o.bufSize = 512
+	}
+	if o.coalesce < 0 {
+		o.coalesce = 0
 	}
 	return &Server{st: st, opts: o, conns: make(map[net.Conn]struct{})}
 }
@@ -208,10 +233,11 @@ func (s *Server) track(nc net.Conn, add bool) bool {
 	return true
 }
 
-// handle runs one connection: parse pipelined requests, execute in
-// arrival order, flush once per batch. The batch ends when the read
-// buffer drains (the client is waiting for answers) or at the pipeline
-// cap, whichever is first.
+// handle runs one connection: parse pipelined requests, stage or
+// execute in arrival order, flush once per batch. The batch ends when
+// the read buffer drains (the client is waiting for answers) or at the
+// pipeline cap, whichever is first; any staged run drains right before
+// the flush, so coalescing never holds a reply past its batch.
 func (s *Server) handle(nc net.Conn) {
 	defer s.wg.Done()
 	defer s.active.Add(-1)
@@ -221,12 +247,13 @@ func (s *Server) handle(nc net.Conn) {
 	r := bufio.NewReaderSize(nc, s.opts.bufSize)
 	w := bufio.NewWriterSize(nc, s.opts.bufSize)
 	var req request
+	var co coalescer
 	// Replies accumulate in out across a pipeline batch and reach the
 	// writer in one call per batch — a bufio.Write per reply costs more
 	// in bookkeeping than the reply bytes on a deep pipeline. flushAll
-	// bounds nothing itself; the size check after execute keeps out from
-	// outgrowing the buffer budget under huge replies, preserving TCP
-	// backpressure.
+	// bounds nothing itself; the spill checks after dispatch and inside
+	// the drains keep out from outgrowing the buffer budget under huge
+	// replies, preserving TCP backpressure.
 	var out []byte
 	flushAll := func() error {
 		if len(out) > 0 {
@@ -241,6 +268,10 @@ func (s *Server) handle(nc net.Conn) {
 	for {
 		skipNewlines(r)
 		if pending > 0 && (r.Buffered() == 0 || pending >= s.opts.pipeline) {
+			var err error
+			if out, err = s.drain(&co, w, out); err != nil {
+				return
+			}
 			if flushAll() != nil {
 				return
 			}
@@ -253,9 +284,13 @@ func (s *Server) handle(nc net.Conn) {
 			var pe *protoError
 			if errors.As(err, &pe) {
 				// The stream cannot be re-synchronized: report and drop the
-				// connection. Half-close and drain what the client already
-				// sent so the error reply travels on a FIN, not a RST that
-				// could destroy it in flight.
+				// connection — but the staged run's replies are owed first,
+				// ahead of the error. Half-close and drain what the client
+				// already sent so the error reply travels on a FIN, not a
+				// RST that could destroy it in flight.
+				if out, err = s.drain(&co, w, out); err != nil {
+					return
+				}
 				out = appendError(out, pe.Error())
 				if flushAll() == nil {
 					if tc, ok := nc.(*net.TCPConn); ok {
@@ -265,100 +300,104 @@ func (s *Server) handle(nc net.Conn) {
 					io.Copy(io.Discard, r)
 				}
 			} else {
-				flushAll()
+				if out, err = s.drain(&co, w, out); err == nil {
+					flushAll()
+				}
 			}
 			return
 		}
-		out, err = s.execute(&req, w, out)
+		out, err = s.dispatch(&co, &req, w, out)
 		pending++
 		if err != nil {
 			// errQuit and write errors both end the connection; flush what
-			// the client is owed first.
+			// the client is owed first (QUIT drained the stage itself).
 			flushAll()
 			s.commands.Add(uint64(pending))
 			return
 		}
-		if len(out) >= s.opts.bufSize {
-			if _, werr := w.Write(out); werr != nil {
-				return
-			}
-			out = out[:0]
+		if out, err = s.spill(w, out); err != nil {
+			return
 		}
 	}
 }
 
-// execute dispatches one parsed request, appending its reply to out
-// (returned grown); the caller hands it to the writer in one call. Only
-// MGET touches w directly: its reply is unbounded by the request size,
-// so it spills to the writer mid-build to keep the scratch inside the
-// buffer budget and preserve TCP backpressure.
-func (s *Server) execute(req *request, w *bufio.Writer, out []byte) ([]byte, error) {
+// dispatch routes one parsed request: the three coalescable families are
+// staged into the connection's run (draining first on a family switch,
+// immediately at the run bound — and always when coalescing is
+// disabled); everything else is a barrier that drains the run and then
+// executes. Replies append to out in arrival order either way.
+func (s *Server) dispatch(co *coalescer, req *request, w *bufio.Writer, out []byte) ([]byte, error) {
 	args := req.args
 	if len(args) == 0 {
 		return out, nil
 	}
 	cmd, rest := args[0], args[1:]
+	kind, multi := runNone, false
 	switch {
 	case cmdEq(cmd, "GET"):
 		if len(rest) != 1 {
-			return arity(out, "get")
+			return s.barrierArity(co, w, out, "get")
 		}
-		if val, ok := s.st.GetHashed(store.HashKeyBytes(rest[0])); ok {
-			out = appendBulk(out, val)
-		} else {
-			out = appendNilBulk(out)
-		}
-	case cmdEq(cmd, "SET"):
-		if len(rest) != 2 {
-			return arity(out, "set")
-		}
-		replaced := s.st.SetHashed(store.HashKeyBytes(rest[0]), string(rest[1]))
-		out = appendInt(out, b2i(replaced))
-	case cmdEq(cmd, "DEL"):
-		if len(rest) != 1 {
-			return arity(out, "del")
-		}
-		out = appendInt(out, b2i(s.st.DelHashed(store.HashKeyBytes(rest[0]))))
+		kind = runRead
 	case cmdEq(cmd, "MGET"):
 		if len(rest) == 0 {
-			return arity(out, "mget")
+			return s.barrierArity(co, w, out, "mget")
 		}
-		out = appendArrayHeader(out, len(rest))
-		for _, key := range rest {
-			if val, ok := s.st.GetHashed(store.HashKeyBytes(key)); ok {
-				out = appendBulk(out, val)
-			} else {
-				out = appendNilBulk(out)
-			}
-			if len(out) >= s.opts.bufSize {
-				if _, err := w.Write(out); err != nil {
-					return out[:0], err
-				}
-				out = out[:0]
-			}
+		kind, multi = runRead, true
+	case cmdEq(cmd, "SET"):
+		if len(rest) != 2 {
+			return s.barrierArity(co, w, out, "set")
 		}
+		kind = runWrite
 	case cmdEq(cmd, "MSET"):
 		if len(rest) == 0 || len(rest)%2 != 0 {
-			return arity(out, "mset")
+			return s.barrierArity(co, w, out, "mset")
 		}
-		inserted := int64(0)
-		for i := 0; i < len(rest); i += 2 {
-			if !s.st.SetHashed(store.HashKeyBytes(rest[i]), string(rest[i+1])) {
-				inserted++
-			}
+		kind, multi = runWrite, true
+	case cmdEq(cmd, "DEL"):
+		if len(rest) != 1 {
+			return s.barrierArity(co, w, out, "del")
 		}
-		out = appendInt(out, inserted)
+		kind = runDel
 	case cmdEq(cmd, "MDEL"):
 		if len(rest) == 0 {
-			return arity(out, "mdel")
+			return s.barrierArity(co, w, out, "mdel")
 		}
-		deleted := int64(0)
-		for _, key := range rest {
-			if s.st.DelHashed(store.HashKeyBytes(key)) {
-				deleted++
-			}
+		kind, multi = runDel, true
+	default:
+		// Barrier command: the staged run's replies come first.
+		out, err := s.drain(co, w, out)
+		if err != nil {
+			return out, err
 		}
-		out = appendInt(out, deleted)
+		return s.execute(req, out)
+	}
+	if co.kind != kind && co.kind != runNone {
+		var err error
+		if out, err = s.drain(co, w, out); err != nil {
+			return out, err
+		}
+	}
+	n := len(rest)
+	if kind == runWrite {
+		n = len(rest) / 2
+		co.stagePairs(rest)
+	} else {
+		co.stageKeys(rest)
+	}
+	co.stage(kind, n, multi)
+	if co.keys() >= s.opts.coalesce {
+		return s.drain(co, w, out)
+	}
+	return out, nil
+}
+
+// execute answers one barrier command (every command outside the three
+// coalescable families), appending its reply to out.
+func (s *Server) execute(req *request, out []byte) ([]byte, error) {
+	args := req.args
+	cmd, rest := args[0], args[1:]
+	switch {
 	case cmdEq(cmd, "LEN"):
 		if len(rest) != 0 {
 			return arity(out, "len")
@@ -389,6 +428,16 @@ func (s *Server) execute(req *request, w *bufio.Writer, out []byte) ([]byte, err
 // stays usable (the frame itself was well-formed).
 func arity(out []byte, cmd string) ([]byte, error) {
 	return appendError(out, "ERR wrong number of arguments for '"+cmd+"'"), nil
+}
+
+// barrierArity drains the staged run — its replies precede the error in
+// arrival order — then reports the wrong-argument-count error for cmd.
+func (s *Server) barrierArity(co *coalescer, w *bufio.Writer, out []byte, cmd string) ([]byte, error) {
+	out, err := s.drain(co, w, out)
+	if err != nil {
+		return out, err
+	}
+	return arity(out, cmd)
 }
 
 func b2i(b bool) int64 {
@@ -425,9 +474,11 @@ func (s *Server) statsText() string {
 		"len:%d\nshards:%d\nbuckets:%d\nresizes:%d\n"+
 			"nodes_retired:%d\nnodes_reclaimed:%d\nnodes_reused:%d\n"+
 			"values_allocated:%d\nvalues_free:%d\n"+
-			"conns:%d\naccepted:%d\nrejected:%d\ncommands:%d\n",
+			"conns:%d\naccepted:%d\nrejected:%d\ncommands:%d\n"+
+			"coalesced_batches:%d\ncoalesced_keys:%d\n",
 		idx.Len(), idx.Shards(), idx.Buckets(), idx.Resizes(),
 		retired, reclaimed, reused,
 		s.st.Values().Allocated(), s.st.Values().FreeLen(),
-		s.active.Load(), s.accepted.Load(), s.rejected.Load(), s.commands.Load())
+		s.active.Load(), s.accepted.Load(), s.rejected.Load(), s.commands.Load(),
+		s.coalescedBatches.Load(), s.coalescedKeys.Load())
 }

@@ -246,6 +246,10 @@ type batchScratch struct {
 	ids     []uint8
 	subKeys []uint64
 	subVals []uint64
+	// Per-key-result gather buffers (MSetEach/MDelEach): shard-batch
+	// outputs land here and scatter back to the caller's arrays.
+	subOld   []uint64
+	subFound []bool
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
@@ -327,6 +331,92 @@ func (s *Store) MSet(keys, vals []uint64) int {
 	sc.subKeys, sc.subVals = subKeys, subVals
 	scratchPool.Put(sc)
 	return inserted
+}
+
+// MSetEach is MSet with per-key results: old[i] receives the value
+// keys[i] replaced and replaced[i] whether one existed; the return value
+// still counts fresh inserts. old and replaced must be at least
+// len(keys) long. The value layer (store.Strings) and the server's
+// pipelined SET replies both need the per-key outcomes, which plain MSet
+// folds away. Within one shard keys apply in arrival order, so duplicate
+// keys behave exactly as sequential Sets (a duplicate always routes to
+// the same shard).
+func (s *Store) MSetEach(keys, vals, old []uint64, replaced []bool) int {
+	if len(s.shards) == 1 {
+		return s.shards[0].UpsertBatchEach(keys, vals, old, replaced)
+	}
+	sc := scratchPool.Get().(*batchScratch)
+	ids, touched := s.route(keys, sc)
+	if cap(sc.subOld) < len(keys) {
+		sc.subOld = make([]uint64, len(keys))
+		sc.subFound = make([]bool, len(keys))
+	}
+	inserted := 0
+	subKeys, subVals := sc.subKeys, sc.subVals
+	for si := range s.shards {
+		if !touched.has(si) {
+			continue
+		}
+		subKeys, subVals = subKeys[:0], subVals[:0]
+		for i, k := range keys {
+			if ids[i] == uint8(si) {
+				subKeys = append(subKeys, k)
+				subVals = append(subVals, vals[i])
+			}
+		}
+		subOld, subRepl := sc.subOld[:len(subKeys)], sc.subFound[:len(subKeys)]
+		inserted += s.shards[si].UpsertBatchEach(subKeys, subVals, subOld, subRepl)
+		j := 0
+		for i := range keys {
+			if ids[i] == uint8(si) {
+				old[i], replaced[i] = subOld[j], subRepl[j]
+				j++
+			}
+		}
+	}
+	sc.subKeys, sc.subVals = subKeys, subVals
+	scratchPool.Put(sc)
+	return inserted
+}
+
+// MDelEach is MDel with per-key results: old[i] receives the removed
+// value and found[i] whether keys[i] was present; the return value still
+// counts hits. old and found must be at least len(keys) long.
+func (s *Store) MDelEach(keys, old []uint64, found []bool) int {
+	if len(s.shards) == 1 {
+		return s.shards[0].DeleteBatchEach(keys, old, found)
+	}
+	sc := scratchPool.Get().(*batchScratch)
+	ids, touched := s.route(keys, sc)
+	if cap(sc.subOld) < len(keys) {
+		sc.subOld = make([]uint64, len(keys))
+		sc.subFound = make([]bool, len(keys))
+	}
+	deleted := 0
+	sub := sc.subKeys
+	for si := range s.shards {
+		if !touched.has(si) {
+			continue
+		}
+		sub = sub[:0]
+		for i, k := range keys {
+			if ids[i] == uint8(si) {
+				sub = append(sub, k)
+			}
+		}
+		subOld, subFound := sc.subOld[:len(sub)], sc.subFound[:len(sub)]
+		deleted += s.shards[si].DeleteBatchEach(sub, subOld, subFound)
+		j := 0
+		for i := range keys {
+			if ids[i] == uint8(si) {
+				old[i], found[i] = subOld[j], subFound[j]
+				j++
+			}
+		}
+	}
+	sc.subKeys = sub
+	scratchPool.Put(sc)
+	return deleted
 }
 
 // MDel deletes every key, returning how many were present. Each touched

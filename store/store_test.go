@@ -298,3 +298,104 @@ func TestStoreCloseLeavesShardsUsable(t *testing.T) {
 	}
 	s.Quiesce() // manual maintenance still available
 }
+
+// TestStoreEachVariants pins MSetEach/MDelEach against the scalar ops:
+// per-key outcomes and old values must match what the same sequence of
+// Set/Del calls reports, at shard counts on both sides of the 1-shard
+// fast path, including duplicate keys inside one batch.
+func TestStoreEachVariants(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		s := New(WithShards(shards), WithShardBuckets(64), WithoutMaintenance())
+		keys := []uint64{5, 6, 5, 7, 6}
+		vals := []uint64{50, 60, 51, 70, 61}
+		old := make([]uint64, len(keys))
+		replaced := make([]bool, len(keys))
+		if got := s.MSetEach(keys, vals, old, replaced); got != 3 {
+			t.Fatalf("shards=%d: MSetEach fresh = %d, want 3", shards, got)
+		}
+		wantRepl := []bool{false, false, true, false, true}
+		for i := range keys {
+			if replaced[i] != wantRepl[i] {
+				t.Fatalf("shards=%d: replaced[%d] = %v, want %v", shards, i, replaced[i], wantRepl[i])
+			}
+		}
+		if old[2] != 50 || old[4] != 60 {
+			t.Fatalf("shards=%d: old = %v", shards, old)
+		}
+		if v, _ := s.Get(5); v != 51 {
+			t.Fatalf("shards=%d: Get(5) = %d, want last write 51", shards, v)
+		}
+		delKeys := []uint64{5, 9, 5, 6}
+		found := make([]bool, len(delKeys))
+		if got := s.MDelEach(delKeys, old[:len(delKeys)], found); got != 2 {
+			t.Fatalf("shards=%d: MDelEach = %d, want 2", shards, got)
+		}
+		if !found[0] || found[1] || found[2] || !found[3] {
+			t.Fatalf("shards=%d: MDelEach found = %v", shards, found)
+		}
+		if old[0] != 51 || old[3] != 61 {
+			t.Fatalf("shards=%d: MDelEach old = %v", shards, old[:len(delKeys)])
+		}
+		if got := s.Len(); got != 1 {
+			t.Fatalf("shards=%d: Len = %d, want 1", shards, got)
+		}
+	}
+}
+
+// TestStoreEachMatchesScalar cross-checks the Each variants against a
+// model map over a larger randomized batch, so the scatter/gather
+// bookkeeping is exercised across many shards.
+func TestStoreEachMatchesScalar(t *testing.T) {
+	s := New(WithShards(16), WithShardBuckets(64), WithoutMaintenance())
+	model := map[uint64]uint64{}
+	const n = 2000
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	rnd := uint64(42)
+	next := func() uint64 { rnd ^= rnd << 13; rnd ^= rnd >> 7; rnd ^= rnd << 17; return rnd }
+	for round := 0; round < 3; round++ {
+		for i := range keys {
+			keys[i] = next()%512 + 1
+			vals[i] = next()
+		}
+		old := make([]uint64, n)
+		replaced := make([]bool, n)
+		ins := s.MSetEach(keys, vals, old, replaced)
+		wantIns := 0
+		for i := range keys {
+			prev, ok := model[keys[i]]
+			if ok != replaced[i] || (ok && prev != old[i]) {
+				t.Fatalf("round %d key %d: got old %d replaced %v, model %d %v",
+					round, keys[i], old[i], replaced[i], prev, ok)
+			}
+			if !ok {
+				wantIns++
+			}
+			model[keys[i]] = vals[i]
+		}
+		if ins != wantIns {
+			t.Fatalf("round %d: inserted = %d, want %d", round, ins, wantIns)
+		}
+		// Delete a random half and check per-key outcomes.
+		delKeys := keys[:n/2]
+		found := make([]bool, n/2)
+		del := s.MDelEach(delKeys, old[:n/2], found)
+		wantDel := 0
+		for i, k := range delKeys {
+			prev, ok := model[k]
+			if found[i] != ok || (ok && old[i] != prev) {
+				t.Fatalf("round %d del key %d: got %d,%v model %d,%v", round, k, old[i], found[i], prev, ok)
+			}
+			if ok {
+				wantDel++
+				delete(model, k)
+			}
+		}
+		if del != wantDel {
+			t.Fatalf("round %d: deleted = %d, want %d", round, del, wantDel)
+		}
+		if s.Len() != len(model) {
+			t.Fatalf("round %d: Len = %d, model %d", round, s.Len(), len(model))
+		}
+	}
+}

@@ -103,6 +103,14 @@ func (v *Values) Release(slot uint64) {
 	v.free.Push(slot)
 }
 
+// ReleaseBatch recycles every slot in one splice onto the free list —
+// the stack's single validate-and-lock commit covers the whole batch, so
+// a pipelined burst of deletes pays one contended CAS instead of one per
+// slot. Same visibility contract as Release.
+func (v *Values) ReleaseBatch(slots []uint64) {
+	v.free.PushAll(slots)
+}
+
 // Allocated returns how many slots have ever been carved from the arena
 // (monotone; recycled slots are not subtracted).
 func (v *Values) Allocated() uint64 { return v.next.Load() }
@@ -229,15 +237,30 @@ func (s *Strings) DelHashed(k uint64) bool {
 	return true
 }
 
-// mgetScratch pools the per-batch hash/slot slices of Strings.MGet, the
-// same treatment the index's own batch routing gets from batchScratch —
-// a batched read path that allocates per call would undo it.
-type mgetScratch struct {
+// batchStrScratch pools the per-batch hash/slot/flag slices of the
+// Strings batch operations, the same treatment the index's own batch
+// routing gets from batchScratch — a batched path that allocates per
+// call would undo it.
+type batchStrScratch struct {
 	hashes []uint64
 	slots  []uint64
+	old    []uint64
+	repl   []bool
 }
 
-var mgetPool = sync.Pool{New: func() any { return new(mgetScratch) }}
+var strScratchPool = sync.Pool{New: func() any { return new(batchStrScratch) }}
+
+// grab sizes the scratch for an n-key batch and returns it.
+func grabStrScratch(n int) *batchStrScratch {
+	sc := strScratchPool.Get().(*batchStrScratch)
+	if cap(sc.hashes) < n {
+		sc.hashes = make([]uint64, n)
+		sc.slots = make([]uint64, n)
+		sc.old = make([]uint64, n)
+		sc.repl = make([]bool, n)
+	}
+	return sc
+}
 
 // MGet looks up every keys[i], storing the value into vals[i] and
 // presence into found[i]; vals and found must be at least len(keys) long.
@@ -245,18 +268,29 @@ var mgetPool = sync.Pool{New: func() any { return new(mgetScratch) }}
 // whose pairs were recycled mid-read fall back to the scalar validated
 // Get.
 func (s *Strings) MGet(keys []string, vals []string, found []bool) {
-	sc := mgetPool.Get().(*mgetScratch)
-	defer mgetPool.Put(sc)
-	if cap(sc.hashes) < len(keys) {
-		sc.hashes = make([]uint64, len(keys))
-		sc.slots = make([]uint64, len(keys))
-	}
-	hashes, slots := sc.hashes[:len(keys)], sc.slots[:len(keys)]
+	sc := grabStrScratch(len(keys))
+	defer strScratchPool.Put(sc)
+	hashes := sc.hashes[:len(keys)]
 	for i, key := range keys {
 		hashes[i] = HashKey(key)
 	}
+	s.mgetSlots(hashes, vals, found, sc.slots[:len(keys)])
+}
+
+// MGetHashed is MGet for pre-hashed keys (see HashKeyBytes): protocol
+// parsers hash straight out of their read buffers and hand the batch
+// here, so key bytes never escape the parser's views.
+func (s *Strings) MGetHashed(hashes []uint64, vals []string, found []bool) {
+	sc := grabStrScratch(len(hashes))
+	defer strScratchPool.Put(sc)
+	s.mgetSlots(hashes, vals, found, sc.slots[:len(hashes)])
+}
+
+// mgetSlots is the shared body of MGet/MGetHashed: one batched index
+// pass, then arena loads validated against slot recycling.
+func (s *Strings) mgetSlots(hashes []uint64, vals []string, found []bool, slots []uint64) {
 	s.index.MGet(hashes, slots, found)
-	for i := range keys {
+	for i := range hashes {
 		if !found[i] {
 			vals[i] = ""
 			continue
@@ -267,4 +301,50 @@ func (s *Strings) MGet(keys []string, vals []string, found []bool) {
 			vals[i], found[i] = s.GetHashed(hashes[i])
 		}
 	}
+}
+
+// MSetHashed stores vals[i] under every pre-hashed keys[i], recording
+// into replaced[i] whether an existing value was overwritten, and
+// returns the fresh-insert count. The arena writes happen up front (a
+// published slot always holds a fully-built pair), the index pass is
+// shard-batched, and every replaced slot recycles through one batch
+// splice onto the free list. replaced must be at least len(hashes) long.
+// Duplicate hashes apply in order, exactly as sequential SetHashed calls.
+func (s *Strings) MSetHashed(hashes []uint64, vals []string, replaced []bool) int {
+	sc := grabStrScratch(len(hashes))
+	defer strScratchPool.Put(sc)
+	slots, old := sc.slots[:len(hashes)], sc.old[:len(hashes)]
+	for i, h := range hashes {
+		slots[i] = s.values.Put(h, vals[i])
+	}
+	inserted := s.index.MSetEach(hashes, slots, old, replaced)
+	// Compact the replaced handles into the (now index-owned, no longer
+	// needed) slots scratch and recycle them in one splice.
+	rel := slots[:0]
+	for i := range hashes {
+		if replaced[i] {
+			rel = append(rel, old[i])
+		}
+	}
+	s.values.ReleaseBatch(rel)
+	return inserted
+}
+
+// MDelHashed removes every pre-hashed keys[i], recording presence into
+// found[i], and returns the hit count; found must be at least len(hashes)
+// long. The index pass is shard-batched and the freed value slots recycle
+// in one batch splice.
+func (s *Strings) MDelHashed(hashes []uint64, found []bool) int {
+	sc := grabStrScratch(len(hashes))
+	defer strScratchPool.Put(sc)
+	old := sc.old[:len(hashes)]
+	deleted := s.index.MDelEach(hashes, old, found)
+	rel := sc.slots[:0]
+	for i := range hashes {
+		if found[i] {
+			rel = append(rel, old[i])
+		}
+	}
+	s.values.ReleaseBatch(rel)
+	return deleted
 }

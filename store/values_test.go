@@ -151,3 +151,108 @@ func TestHashKeyBytesMatches(t *testing.T) {
 		t.Fatal("sentinel clamp missing")
 	}
 }
+
+// TestStringsHashedBatches drives the hash-level batch APIs end to end
+// against the scalar surface: same outcomes, value-slot conservation
+// (every replaced/deleted slot recycles through the free list), and
+// duplicate hashes applying in order.
+func TestStringsHashedBatches(t *testing.T) {
+	s := NewStrings(WithShards(4), WithShardBuckets(64), WithoutMaintenance())
+	defer s.Close()
+	keys := []string{"a", "b", "a", "c"}
+	hashes := make([]uint64, len(keys))
+	for i, k := range keys {
+		hashes[i] = HashKey(k)
+	}
+	vals := []string{"1", "2", "3", "4"}
+	replaced := make([]bool, len(keys))
+	if ins := s.MSetHashed(hashes, vals, replaced); ins != 3 {
+		t.Fatalf("MSetHashed fresh = %d, want 3", ins)
+	}
+	if replaced[0] || replaced[1] || !replaced[2] || replaced[3] {
+		t.Fatalf("MSetHashed replaced = %v", replaced)
+	}
+	// The duplicate's first slot must have recycled.
+	if got := s.Values().FreeLen(); got != 1 {
+		t.Fatalf("FreeLen = %d after duplicate overwrite, want 1", got)
+	}
+	if v, ok := s.Get("a"); !ok || v != "3" {
+		t.Fatalf(`Get("a") = %q,%v; want "3" (last duplicate wins)`, v, ok)
+	}
+	outVals := make([]string, len(keys))
+	found := make([]bool, len(keys))
+	s.MGetHashed(hashes, outVals, found)
+	want := []string{"3", "2", "3", "4"}
+	for i := range keys {
+		if !found[i] || outVals[i] != want[i] {
+			t.Fatalf("MGetHashed[%d] = %q,%v; want %q", i, outVals[i], found[i], want[i])
+		}
+	}
+	delHashes := []uint64{hashes[0], HashKey("missing"), hashes[0], hashes[3]}
+	delFound := make([]bool, len(delHashes))
+	if del := s.MDelHashed(delHashes, delFound); del != 2 {
+		t.Fatalf("MDelHashed = %d, want 2", del)
+	}
+	if !delFound[0] || delFound[1] || delFound[2] || !delFound[3] {
+		t.Fatalf("MDelHashed found = %v", delFound)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	// 4 puts, 3 live slots released (1 dup overwrite + 2 deletes): the
+	// free list carries all of them for the next Put to recycle.
+	if got := s.Values().FreeLen(); got != 3 {
+		t.Fatalf("FreeLen = %d, want 3", got)
+	}
+	if s.Set("e", "9"); s.Values().Allocated() != 4 {
+		t.Fatalf("Allocated = %d: Set did not recycle a batch-released slot", s.Values().Allocated())
+	}
+}
+
+// TestStringsHashedBatchConcurrent races hashed batch writers/deleters
+// with scalar readers on an overlapping keyspace; under -race this is
+// the data-race coverage for the batch release path, and the final Len
+// must match the model of net inserts.
+func TestStringsHashedBatchConcurrent(t *testing.T) {
+	s := NewStrings(WithShards(4), WithShardBuckets(64), WithoutMaintenance())
+	defer s.Close()
+	const workers, iters, span = 4, 300, 128
+	var net int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rnd := seed
+			next := func() uint64 { rnd ^= rnd << 13; rnd ^= rnd >> 7; rnd ^= rnd << 17; return rnd }
+			hashes := make([]uint64, 8)
+			vals := make([]string, 8)
+			outV := make([]string, 8)
+			flags := make([]bool, 8)
+			local := int64(0)
+			for i := 0; i < iters; i++ {
+				for j := range hashes {
+					hashes[j] = next()%span + 2 // clear of sentinel hashes
+					vals[j] = "v"
+				}
+				switch i % 3 {
+				case 0:
+					local += int64(s.MSetHashed(hashes, vals, flags))
+				case 1:
+					local -= int64(s.MDelHashed(hashes, flags))
+				default:
+					s.MGetHashed(hashes, outV, flags)
+				}
+			}
+			mu.Lock()
+			net += local
+			mu.Unlock()
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	s.Quiesce()
+	if int64(s.Len()) != net {
+		t.Fatalf("conservation: Len = %d, net = %d", s.Len(), net)
+	}
+}
