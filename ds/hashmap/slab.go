@@ -119,7 +119,8 @@ func newBucketSlab(n int) []bucket {
 // search is the one-line fast path (fixed-table flavor: a miss returns
 // without validation, which is linearizable because a key can only change
 // buckets through a delete→insert pair, i.e. through an absence instant).
-// An inline hit validates the version so the key/value pair is atomic.
+// Hits validate the version: inline so the key/value pair is read
+// atomically, chain so the value cannot come from a recycled node.
 func (b *bucket) search(key uint64) (uint64, bool) {
 restart:
 	vn := b.lock.GetVersionWait()
@@ -138,7 +139,16 @@ restart:
 			break
 		}
 		if k == key {
-			return cur.val.Load(), true
+			// Validated chain hit, as in Resizable's search: only the fixed
+			// Slab table calls this today, where the node could not have been
+			// recycled, but the bucket type is shared with tables that do
+			// recycle (see node's doc) and an unvalidated hit here is exactly
+			// the chain-hit bug optikvalidate exists to catch.
+			val := cur.val.Load()
+			if b.lock.GetVersion().Same(vn) {
+				return val, true
+			}
+			goto restart
 		}
 	}
 	return 0, false

@@ -3,6 +3,7 @@ package queue
 import (
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 
 	"github.com/optik-go/optik/ds"
 	"github.com/optik-go/optik/internal/core"
@@ -22,11 +23,17 @@ const DefaultVictimThreshold = 2
 // whole victim batch into the main queue once it acquires the tail lock;
 // later victim enqueuers wait until their batch has been drained (which
 // makes their elements visible and linearizable).
+//
+//lint:optik padcheck a queue is one heap object, never a slice element, so element-stride false sharing cannot arise
 type OptikVictim struct {
 	optikBase
 	// The ticket-based tail lock is the hottest word in the structure
-	// (every enqueue at least polls NumQueued on it); padding keeps its
-	// line clear of the victim-queue fields below.
+	// (every enqueue at least polls NumQueued on it). The leading pad
+	// starts it on a fresh cache line — without it the lock lands at
+	// offset 24, sharing the head lock's line, and the Padded wrapper
+	// only keeps the *following* fields clear — and the wrapper's own
+	// tail pad keeps the victim-queue fields below off that line.
+	_         [core.CacheLineSize - unsafe.Sizeof(optikBase{})%core.CacheLineSize]byte
 	tailLock  core.PaddedTicketLock
 	threshold uint32
 

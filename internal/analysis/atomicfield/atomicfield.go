@@ -1,0 +1,149 @@
+// Package atomicfield implements the mixed-access detector `go vet` lacks:
+// a struct field whose address is ever passed to a sync/atomic function
+// must be accessed through sync/atomic everywhere. One plain load of such a
+// field can tear (the compiler may read it twice, or in halves on 32-bit
+// targets) and races with the atomic writers by definition; one plain store
+// silently discards the synchronization every atomic reader paid for.
+//
+// The repo's own code uses the typed atomics (atomic.Uint64 and friends),
+// which make mixed access unrepresentable — this analyzer is the fence
+// that keeps it that way when a bare uint64-plus-atomic.AddUint64 counter
+// sneaks in through a refactor or a benchmark harness.
+//
+// Scope: package-local (no cross-package facts). Plain *taking* of the
+// address (&s.f) outside an atomic call is not flagged — the pointer may
+// well feed a sync/atomic call elsewhere; flagging every escape would
+// outlaw the common "pass &s.counter to a helper" shape.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/optik-go/optik/internal/analysis"
+)
+
+// Analyzer is the mixed plain/atomic field-access detector.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "fields accessed via sync/atomic anywhere must never be " +
+		"plain-read or plain-written elsewhere in the package",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: find every field whose address feeds a sync/atomic call, and
+	// remember the selector nodes of those sanctioned accesses.
+	atomicUse := map[*types.Var]token.Pos{} // field → first atomic use
+	sanctioned := map[ast.Node]bool{}       // the &x.f selectors inside atomic calls
+	pass.Preorder(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := analysis.PkgFuncCall(info, call)
+		if !ok || path != "sync/atomic" || !isAtomicOpName(name) {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			field := fieldOf(info, sel)
+			if field == nil {
+				continue
+			}
+			if _, seen := atomicUse[field]; !seen {
+				atomicUse[field] = sel.Pos()
+			}
+			sanctioned[sel] = true
+		}
+		return true
+	})
+	if len(atomicUse) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access of those fields is a violation — selector
+	// reads and writes, and composite-literal field initializers. Bare
+	// address-taking is allowed (see package doc).
+	pass.Preorder(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if sel, ok := n.X.(*ast.SelectorExpr); ok {
+					// Address-taking: never a tearing access in itself.
+					sanctioned[sel] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if sanctioned[n] {
+				return true
+			}
+			field := fieldOf(info, n)
+			if field == nil {
+				return true
+			}
+			if pos, ok := atomicUse[field]; ok {
+				pass.Reportf(n.Pos(),
+					"plain access of field %s, which is accessed with sync/atomic at %s; use sync/atomic consistently",
+					field.Name(), pass.Fset.Position(pos))
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				id, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				field, ok := info.Uses[id].(*types.Var)
+				if !ok || !field.IsField() {
+					continue
+				}
+				if pos, ok := atomicUse[field]; ok {
+					pass.Reportf(kv.Pos(),
+						"composite literal writes field %s plainly, which is accessed with sync/atomic at %s",
+						field.Name(), pass.Fset.Position(pos))
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isAtomicOpName matches the function-style sync/atomic API
+// (LoadUint64, StoreInt32, AddUintptr, SwapPointer, CompareAndSwap...).
+func isAtomicOpName(name string) bool {
+	for _, prefix := range []string{"Load", "Store", "Add", "And", "Or", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

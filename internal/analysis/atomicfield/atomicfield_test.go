@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"github.com/optik-go/optik/internal/analysis/analysistest"
+	"github.com/optik-go/optik/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, ".", atomicfield.Analyzer, "a")
+}

@@ -1,0 +1,47 @@
+// Package a seeds atomicfield violations: the counter field is managed
+// with sync/atomic in one place and accessed plainly in others.
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	counter uint64
+	plain   uint64
+}
+
+func (s *stats) bump() {
+	atomic.AddUint64(&s.counter, 1) // establishes the atomic discipline
+}
+
+func (s *stats) readRacy() uint64 {
+	return s.counter // want `plain access of field counter`
+}
+
+func (s *stats) resetRacy() {
+	s.counter = 0 // want `plain access of field counter`
+	s.plain = 0   // fine: never touched atomically
+}
+
+func (s *stats) readSafe() uint64 {
+	return atomic.LoadUint64(&s.counter)
+}
+
+func newStats() *stats {
+	return &stats{
+		counter: 1, // want `composite literal writes field counter plainly`
+		plain:   2,
+	}
+}
+
+func addrEscape(s *stats) *uint64 {
+	return &s.counter // allowed: the pointer may feed sync/atomic elsewhere
+}
+
+type typed struct {
+	n atomic.Uint64
+}
+
+func (t *typed) ok() uint64 {
+	// Typed atomics cannot be mixed-accessed; nothing to flag.
+	return t.n.Load()
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// suppressPrefix is the escape hatch: a comment of the form
+//
+//	//lint:optik <analyzer>[,<analyzer>...] <reason>
+//
+// on (or immediately above) a line silences those analyzers' diagnostics
+// for that line. The reason is mandatory by convention and enforced by
+// review, not by machine; the fleet exists to make these rare.
+const suppressPrefix = "//lint:optik"
+
+// RunAnalyzers runs every analyzer over every package, applies //lint:optik
+// suppressions, and returns the surviving diagnostics in positional order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// runPackage runs the fleet over one package.
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := suppressions(pkg)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Sizes:     pkg.Sizes,
+			report: func(d Diagnostic) {
+				if !sup.covers(d) {
+					out = append(out, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: running %s: %v", pkg.Path, a.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// suppressionIndex records, per file line, which analyzers are silenced.
+type suppressionIndex map[string]map[int][]string
+
+func (s suppressionIndex) covers(d Diagnostic) bool {
+	for _, name := range s[d.Pos.Filename][d.Pos.Line] {
+		if name == d.Analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions scans a package's comments for //lint:optik directives.
+// A directive covers its own line and the line below it, so it works both
+// as a trailing comment and as a line of its own above the flagged code.
+func suppressions(pkg *Package) suppressionIndex {
+	idx := suppressionIndex{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, suppressPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				pos := pkg.Fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return idx
+}

@@ -1,0 +1,56 @@
+package fleet_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/optik-go/optik/internal/analysis"
+	"github.com/optik-go/optik/internal/analysis/fleet"
+)
+
+// TestRepoSelfCheck runs the whole analyzer fleet over the live repo
+// packages and requires zero diagnostics. This is the tier-1 shadow of
+// the CI `go vet -vettool=optik-vet` gate: a change that breaks an
+// OPTIK invariant fails `go test ./...` even before CI runs the real
+// vet driver.
+func TestRepoSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool; skipped in -short")
+	}
+	root := moduleRoot(t)
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, fleet.Analyzers)
+	if err != nil {
+		t.Fatalf("running fleet: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+	}
+	t.Logf("fleet of %d analyzers clean over %d packages", len(fleet.Analyzers), len(pkgs))
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

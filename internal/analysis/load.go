@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load resolves patterns with the go tool from dir and type-checks each
+// matched package from source, importing dependencies from compiled export
+// data (`go list -export` materializes it in the build cache, offline).
+// This is the standalone-runner and test path; `go vet -vettool` supplies
+// the same inputs through its config file instead (unitchecker.go).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	exports, targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []string
+		for _, gf := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, gf))
+		}
+		pkg, err := CheckPackage(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList resolves patterns plus their full dependency closure, building
+// export data for everything as a side effect, and returns the export-file
+// map and the (non-dep-only, non-std) target packages.
+func goList(dir string, patterns ...string) (map[string]string, []listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	exports := map[string]string{}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	return exports, targets, nil
+}
+
+// ListExportData returns the import-path → export-data-file map for the
+// dependency closure of patterns (used by analysistest to resolve std
+// imports of testdata packages).
+func ListExportData(dir string, patterns ...string) (map[string]string, error) {
+	exports, _, err := goList(dir, patterns...)
+	return exports, err
+}
+
+// ExportImporter returns a types.Importer that reads gc export data files
+// resolved by lookup (import path → export file path).
+func ExportImporter(fset *token.FileSet, lookup func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// CheckPackage parses files and type-checks them as package path, resolving
+// imports through imp.
+func CheckPackage(fset *token.FileSet, path string, files []string, imp types.Importer) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp, Sizes: TargetSizes()}
+	tpkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Fset:  fset,
+		Files: syntax,
+		Types: tpkg,
+		Info:  info,
+		Sizes: conf.Sizes,
+	}, nil
+}
+
+// TargetSizes returns the gc layout rules for the build target, so
+// padcheck's offsets match what the compiler will emit.
+func TargetSizes() types.Sizes {
+	arch := os.Getenv("GOARCH")
+	if arch == "" {
+		arch = runtime.GOARCH
+	}
+	if s := types.SizesFor("gc", arch); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", "amd64")
+}

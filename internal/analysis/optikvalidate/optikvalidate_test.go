@@ -1,0 +1,12 @@
+package optikvalidate_test
+
+import (
+	"testing"
+
+	"github.com/optik-go/optik/internal/analysis/analysistest"
+	"github.com/optik-go/optik/internal/analysis/optikvalidate"
+)
+
+func TestOptikValidate(t *testing.T) {
+	analysistest.Run(t, ".", optikvalidate.Analyzer, "a")
+}

@@ -1,0 +1,221 @@
+// Package padcheck machine-checks cache-line padding intent. The repo's
+// hot structs encode layout promises in their shape — PaddedTAS is "one
+// lock, one line", core.Striped's cells are "one counter cell per line",
+// a bucket is "one bucket, one line" — and those promises are enforced
+// today by hand-maintained `[CacheLineSize - unsafe.Sizeof(X{})]byte`
+// arithmetic that silently rots when a field is added in the wrong place.
+// padcheck recomputes the layout with the compiler's own sizing rules and
+// flags:
+//
+//  1. a Padded*-named struct whose size is not a multiple of 64 — its
+//     slices no longer give each element private lines;
+//  2. a pad-bearing struct (one containing a CacheLinePad, a blank
+//     byte-array pad, or a Padded* field) whose atomic fields would share
+//     a cache line with the atomic fields of an adjacent slice element —
+//     the false sharing the pad was added to prevent;
+//  3. a pad-bearing struct larger than one line in which two distinct
+//     atomic fields land on the same line — adjacent hot atomics inside
+//     one element.
+//
+// One-line structs (size ≤ 64, e.g. the hashmap bucket) deliberately pack
+// their atomics together, so rule 3 exempts them; their invariant is rule
+// 2's stride separation.
+package padcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/optik-go/optik/internal/analysis"
+)
+
+// cacheLine is the coherence granularity the repo pads to
+// (core.CacheLineSize).
+const cacheLine = 64
+
+// Analyzer is the padding/false-sharing layout checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "padcheck",
+	Doc: "structs that declare cache-line padding intent (CacheLinePad, " +
+		"blank byte-array pads, Padded* names) must actually isolate their " +
+		"atomic fields onto private lines",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		spec, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		if spec.TypeParams != nil {
+			return true // generic: no concrete layout to check
+		}
+		if _, ok := spec.Type.(*ast.StructType); !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[spec.Name]
+		if obj == nil {
+			return true
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok || st.NumFields() == 0 {
+			return true
+		}
+		check(pass, spec, obj.Name(), st)
+		return true
+	})
+	return nil
+}
+
+type span struct {
+	name string
+	off  int64
+	size int64
+}
+
+func check(pass *analysis.Pass, spec *ast.TypeSpec, name string, st *types.Struct) {
+	padded := strings.HasPrefix(name, "Padded")
+	size := pass.Sizes.Sizeof(st)
+
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := pass.Sizes.Offsetsof(fields)
+
+	hasPad := false
+	var hot []span // atomic leaves, precise offsets
+	for i, f := range fields {
+		if isPadMarker(f) {
+			hasPad = true
+		}
+		if _, fn := analysis.NamedOf(f.Type()); strings.HasPrefix(fn, "Padded") {
+			hasPad = true
+		}
+		hot = append(hot, atomicSpans(pass.Sizes, f.Type(), f.Name(), offsets[i])...)
+	}
+
+	// Rule 1: the Padded* naming contract.
+	if padded && size%cacheLine != 0 {
+		pass.Reportf(spec.Pos(),
+			"%s is %d bytes, not a multiple of the %d-byte cache line its Padded name promises",
+			name, size, cacheLine)
+	}
+	if !hasPad && !padded {
+		return
+	}
+
+	// Rule 2: adjacent slice elements must not share lines between their
+	// atomic fields (stride = struct size, the array element stride).
+	if bad := strideOverlap(hot, size); bad != nil && size > 0 {
+		pass.Reportf(spec.Pos(),
+			"adjacent %s values false-share: %s (offset %d) and %s of the next element (offset %d) land on one cache line (struct size %d)",
+			name, bad[0].name, bad[0].off, bad[1].name, bad[1].off+size, size)
+	}
+
+	// Rule 3: within a multi-line padded struct, two distinct atomic
+	// fields on one line defeat the padding.
+	if size > cacheLine {
+		for i := 0; i < len(hot); i++ {
+			for j := i + 1; j < len(hot); j++ {
+				if logicalName(hot[i]) == logicalName(hot[j]) {
+					continue // leaves of one field (array elements, nested struct): packing them is that field's own business
+				}
+				if linesOverlap(hot[i], hot[j], 0) {
+					pass.Reportf(spec.Pos(),
+						"fields %s (offset %d) and %s (offset %d) of padded struct %s share a cache line: false sharing under independent writers",
+						hot[i].name, hot[i].off, hot[j].name, hot[j].off, name)
+					return
+				}
+			}
+		}
+	}
+}
+
+// logicalName strips an array-element suffix: inline[2] → inline.
+func logicalName(s span) string {
+	if i := strings.IndexByte(s.name, '['); i >= 0 {
+		return s.name[:i]
+	}
+	return s.name
+}
+
+// strideOverlap reports the first pair of atomic spans that collide when
+// the whole struct repeats at the given stride, or nil.
+func strideOverlap(hot []span, stride int64) []span {
+	for _, a := range hot {
+		for _, b := range hot {
+			if linesOverlap(a, b, stride) {
+				return []span{a, b}
+			}
+		}
+	}
+	return nil
+}
+
+// linesOverlap reports whether span a and span b shifted by delta occupy a
+// common cache line.
+func linesOverlap(a, b span, delta int64) bool {
+	aFirst, aLast := a.off/cacheLine, (a.off+a.size-1)/cacheLine
+	bFirst, bLast := (b.off+delta)/cacheLine, (b.off+delta+b.size-1)/cacheLine
+	return aFirst <= bLast && bFirst <= aLast
+}
+
+// isPadMarker matches the repo's padding idioms: a field of a type named
+// CacheLinePad, or a blank field whose type is a byte array.
+func isPadMarker(f *types.Var) bool {
+	if _, name := analysis.NamedOf(f.Type()); name == "CacheLinePad" {
+		return true
+	}
+	if f.Name() != "_" {
+		return false
+	}
+	arr, ok := f.Type().Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	basic, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && (basic.Kind() == types.Byte || basic.Kind() == types.Uint8)
+}
+
+// atomicSpans returns the byte spans of every typed-atomic leaf reachable
+// inside t at the given base offset, labelled with the outermost field
+// name. Arrays contribute every element (large arrays are treated as one
+// opaque span to bound the work).
+func atomicSpans(sizes types.Sizes, t types.Type, label string, base int64) []span {
+	if analysis.IsAtomicType(t) {
+		return []span{{name: label, off: base, size: sizes.Sizeof(t)}}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		var out []span
+		fields := make([]*types.Var, u.NumFields())
+		for i := range fields {
+			fields[i] = u.Field(i)
+		}
+		offs := sizes.Offsetsof(fields)
+		for i, f := range fields {
+			out = append(out, atomicSpans(sizes, f.Type(), label, base+offs[i])...)
+		}
+		return out
+	case *types.Array:
+		if !analysis.ContainsAtomic(u.Elem()) {
+			return nil
+		}
+		n := u.Len()
+		if n > 64 {
+			return []span{{name: label, off: base, size: sizes.Sizeof(t)}}
+		}
+		elem := sizes.Sizeof(u.Elem())
+		// Array element stride equals the element size under gc alignment.
+		var out []span
+		for i := int64(0); i < n; i++ {
+			out = append(out, atomicSpans(sizes, u.Elem(), fmt.Sprintf("%s[%d]", label, i), base+i*elem)...)
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package padcheck_test
+
+import (
+	"testing"
+
+	"github.com/optik-go/optik/internal/analysis/analysistest"
+	"github.com/optik-go/optik/internal/analysis/padcheck"
+)
+
+func TestPadCheck(t *testing.T) {
+	analysistest.Run(t, ".", padcheck.Analyzer, "a")
+}

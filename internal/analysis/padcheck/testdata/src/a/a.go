@@ -1,0 +1,64 @@
+// Package a seeds padcheck violations alongside the correct idioms they
+// rot from. Offsets assume 64-bit gc layout, like the analyzer itself.
+package a
+
+import "sync/atomic"
+
+// CacheLinePad mirrors core.CacheLinePad (padcheck matches by type name).
+type CacheLinePad [64]byte
+
+// goodCell is the striped-counter idiom: one atomic per >=64-byte stride.
+type goodCell struct {
+	n atomic.Int64
+	_ CacheLinePad
+}
+
+// PaddedGood keeps the Padded* naming contract: exactly one line.
+type PaddedGood struct {
+	word atomic.Uint32
+	_    [60]byte
+}
+
+// PaddedRotted grew a field after the hand-written pad arithmetic was
+// sized, so the promise in the name is now a lie.
+type PaddedRotted struct { // want `PaddedRotted is 72 bytes, not a multiple of the 64-byte cache line`
+	word atomic.Uint32
+	_    [60]byte
+	oops uint64
+}
+
+// shortCell pads, but not enough: adjacent slice elements still share the
+// line the pad was supposed to reserve.
+type shortCell struct { // want `adjacent shortCell values false-share`
+	n atomic.Int64
+	_ [16]byte
+}
+
+// crowded is larger than a line and pad-bearing, yet parks two
+// independently-written atomics on one line.
+type crowded struct { // want `share a cache line: false sharing`
+	a atomic.Uint64
+	b atomic.Uint64
+	_ CacheLinePad
+}
+
+// unitLine is a one-line struct (bucket-style): atomics share its single
+// line by design, and the stride keeps elements apart. No diagnostics.
+type unitLine struct {
+	lock   atomic.Uint64
+	head   atomic.Uint64
+	pairs  [2]pair
+	_      [8]byte
+	unused uint64
+}
+
+type pair struct {
+	k atomic.Uint64
+	v atomic.Uint64
+}
+
+// unpadded structs are out of scope: no declared padding intent.
+type unpadded struct {
+	a atomic.Uint64
+	b atomic.Uint64
+}

@@ -1,0 +1,525 @@
+// Package qsbrguard checks qsbr critical-section hygiene. A borrowed qsbr
+// handle (qsbr.Pool.Acquire, or a handle-carrying helper like hashmap's
+// reclaimer) announces an epoch that blocks reclamation fleet-wide until
+// it is released. Two bug classes follow:
+//
+//  1. a path that returns without releasing leaks the pool slot — the
+//     handle stays busy forever, and with it an announced epoch that
+//     pins every later retirement in the domain;
+//  2. blocking while holding (channel operations, select without a
+//     default, time.Sleep, WaitGroup.Wait) stalls reclamation for as long
+//     as the block lasts, across every thread of the domain.
+//
+// Release-on-every-path is satisfied by a defer (the repo idiom:
+// `rc := reclaimer{pool: p}; defer rc.release()`) or by an explicit
+// release on each return path. Handles that escape the function (returned,
+// stored into a struct, sent away) transfer ownership and are not checked.
+//
+// Functions in *_test.go files and in the qsbr package itself (whose job
+// is manipulating parked handles) are exempt.
+package qsbrguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/optik-go/optik/internal/analysis"
+)
+
+// Analyzer is the qsbr handle-hygiene checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "qsbrguard",
+	Doc: "qsbr handles must be released on every path and never held " +
+		"across blocking operations",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "qsbr" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			analyzeFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// handleKind distinguishes the two acquisition shapes.
+type handleKind int
+
+const (
+	kindHandle  handleKind = iota // h := pool.Acquire()
+	kindCarrier                   // rc := reclaimer{pool: ...}
+)
+
+// handle is one tracked acquisition.
+type handle struct {
+	obj     types.Object // the local variable
+	kind    handleKind
+	acqStmt ast.Stmt // the statement that acquires
+	acqPos  token.Pos
+}
+
+func analyzeFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var handles []*handle
+
+	// Collect acquisitions: direct Acquire results and locally-constructed
+	// handle carriers. Only statements of the function's own body count —
+	// closures own their handles separately (and are not analyzed; the
+	// fleet keeps to directly-visible control flow).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return true
+			}
+			id, ok := st.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			if call, ok := st.Rhs[0].(*ast.CallExpr); ok && isAcquireCall(info, call) {
+				handles = append(handles, &handle{obj: obj, kind: kindHandle, acqStmt: st, acqPos: st.Pos()})
+				return true
+			}
+			if isCarrierLit(info, st.Rhs[0]) {
+				handles = append(handles, &handle{obj: obj, kind: kindCarrier, acqStmt: st, acqPos: st.Pos()})
+			}
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue // initialized decls handled above or skipped
+				}
+				for _, name := range vs.Names {
+					obj := info.Defs[name]
+					if obj != nil && isCarrierType(obj.Type()) {
+						handles = append(handles, &handle{obj: obj, kind: kindCarrier, acqStmt: st, acqPos: st.Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(handles) == 0 {
+		return
+	}
+
+	for _, h := range handles {
+		if escapes(info, fd.Body, h) {
+			continue
+		}
+		s := &scanner{pass: pass, info: info, h: h}
+		s.deferred = hasDeferredRelease(info, fd.Body, h)
+		held := s.scan(fd.Body.List, false)
+		if held && !s.deferred {
+			pass.Reportf(h.acqPos,
+				"qsbr handle acquired here is not released before the function returns; leaked slots stall reclamation fleet-wide")
+		}
+	}
+}
+
+// scanner walks one function linearly tracking whether h is held.
+type scanner struct {
+	pass     *analysis.Pass
+	info     *types.Info
+	h        *handle
+	deferred bool
+}
+
+// scan processes a statement list and returns whether the handle can still
+// be held afterwards (conservative: held unless every path released).
+func (s *scanner) scan(stmts []ast.Stmt, held bool) bool {
+	for _, st := range stmts {
+		held = s.scanStmt(st, held)
+	}
+	return held
+}
+
+func (s *scanner) scanStmt(st ast.Stmt, held bool) bool {
+	if st == s.h.acqStmt {
+		return true
+	}
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if s.isRelease(st.X) {
+			return false
+		}
+		if held {
+			s.checkBlockingExpr(st.X)
+		}
+		return s.noteUse(st, held)
+	case *ast.AssignStmt:
+		if held {
+			for _, r := range st.Rhs {
+				s.checkBlockingExpr(r)
+			}
+		}
+		for _, r := range st.Rhs {
+			if s.isRelease(r) {
+				return false
+			}
+		}
+		return s.noteUse(st, held)
+	case *ast.ReturnStmt:
+		if held && !s.deferred {
+			s.pass.Reportf(st.Pos(),
+				"qsbr handle may be held at this return: release it on every path or defer the release")
+		}
+		return held
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred releases were collected up front; goroutine bodies own
+		// their own handles.
+		return held
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = s.scanStmt(st.Init, held)
+		}
+		if held {
+			s.checkBlockingExpr(st.Cond)
+		}
+		thenHeld := s.scan(st.Body.List, held)
+		elseHeld := held
+		if st.Else != nil {
+			elseHeld = s.scanStmt(st.Else, held)
+		}
+		return thenHeld || elseHeld
+	case *ast.BlockStmt:
+		return s.scan(st.List, held)
+	case *ast.LabeledStmt:
+		return s.scanStmt(st.Stmt, held)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = s.scanStmt(st.Init, held)
+		}
+		if held && st.Cond != nil {
+			s.checkBlockingExpr(st.Cond)
+		}
+		bodyHeld := s.scan(st.Body.List, held)
+		return held || bodyHeld
+	case *ast.RangeStmt:
+		if held {
+			if t := s.info.TypeOf(st.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					s.blocking(st.Pos(), "range over a channel")
+				}
+			}
+			s.checkBlockingExpr(st.X)
+		}
+		bodyHeld := s.scan(st.Body.List, held)
+		return held || bodyHeld
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = s.scanStmt(st.Init, held)
+		}
+		if held && st.Tag != nil {
+			s.checkBlockingExpr(st.Tag)
+		}
+		return s.scanCases(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		return s.scanCases(st.Body, held)
+	case *ast.SelectStmt:
+		if held && !hasDefaultClause(st.Body) {
+			s.blocking(st.Pos(), "select without a default")
+		}
+		after := held
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if s.scan(cc.Body, held) {
+					after = true
+				}
+			}
+		}
+		return after
+	case *ast.SendStmt:
+		if held {
+			s.blocking(st.Pos(), "channel send")
+		}
+		return held
+	default:
+		return s.noteUse(st, held)
+	}
+}
+
+// scanCases scans switch/type-switch clause bodies; the handle counts as
+// held afterwards unless every clause (including a default) released it.
+func (s *scanner) scanCases(body *ast.BlockStmt, held bool) bool {
+	after := false
+	sawDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			sawDefault = true
+		}
+		if s.scan(cc.Body, held) {
+			after = true
+		}
+	}
+	if !sawDefault {
+		after = after || held
+	}
+	return after
+}
+
+// noteUse re-holds a carrier on any use after a release: the repo's
+// reclaimer re-acquires lazily on its next node-touching call.
+func (s *scanner) noteUse(st ast.Stmt, held bool) bool {
+	if held || s.h.kind != kindCarrier {
+		return held
+	}
+	used := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && s.info.Uses[id] == s.h.obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// isRelease matches the handle's release call: Pool.Release(h) for direct
+// handles, rc.release()/rc.Release() for carriers.
+func (s *scanner) isRelease(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isReleaseOf(s.info, call, s.h)
+}
+
+func isReleaseOf(info *types.Info, call *ast.CallExpr, h *handle) bool {
+	recv, name, ok := analysis.MethodCall(info, call)
+	if !ok {
+		return false
+	}
+	switch h.kind {
+	case kindHandle:
+		if name != "Release" || !isQsbrPool(info.TypeOf(recv)) || len(call.Args) < 1 {
+			return false
+		}
+		return usesObj(info, call.Args[0], h.obj)
+	case kindCarrier:
+		if name != "release" && name != "Release" {
+			return false
+		}
+		return usesObj(info, recv, h.obj)
+	}
+	return false
+}
+
+// checkBlockingExpr flags blocking operations inside one expression tree
+// (statement-level constructs — send, select, range — are handled by the
+// statement scan).
+func (s *scanner) checkBlockingExpr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.blocking(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if path, name, ok := analysis.PkgFuncCall(s.info, n); ok && path == "time" && name == "Sleep" {
+				s.blocking(n.Pos(), "time.Sleep")
+			}
+			if recv, name, ok := analysis.MethodCall(s.info, n); ok && name == "Wait" {
+				if pkg, tn := analysis.NamedOf(s.info.TypeOf(recv)); pkg == "sync" && tn == "WaitGroup" {
+					s.blocking(n.Pos(), "sync.WaitGroup.Wait")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (s *scanner) blocking(pos token.Pos, what string) {
+	s.pass.Reportf(pos, "%s while a qsbr handle is held stalls reclamation fleet-wide; release the handle first", what)
+}
+
+// hasDeferredRelease reports whether any defer in the body releases h.
+func hasDeferredRelease(info *types.Info, body *ast.BlockStmt, h *handle) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && isReleaseOf(info, d.Call, h) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// escapes reports whether the handle's ownership leaves the function:
+// returned, stored into anything but a plain local, sent on a channel, or
+// captured by a closure. Taking its address for a helper call (&rc) is the
+// normal borrowing idiom and does not escape.
+func escapes(info *types.Info, body *ast.BlockStmt, h *handle) bool {
+	esc := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if usesObj(info, r, h.obj) {
+					esc = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				if !usesObj(info, r, h.obj) {
+					continue
+				}
+				if n.Tok == token.DEFINE && r == ast.Expr(nil) {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && info.Defs[id] != nil {
+						continue // fresh local alias: still local ownership
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				// Stored into a field, map, slice, or pre-existing
+				// variable: conservatively treat as an ownership transfer
+				// unless the destination is the same object.
+				if i < len(n.Lhs) && usesObj(info, n.Lhs[i], h.obj) {
+					continue
+				}
+				esc = true
+			}
+		case *ast.SendStmt:
+			if usesObj(info, n.Value, h.obj) {
+				esc = true
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if usesObj(info, e, h.obj) {
+					esc = true
+				}
+			}
+		case *ast.FuncLit:
+			if usesObj(info, n, h.obj) {
+				esc = true
+			}
+			return false
+		}
+		return !esc
+	})
+	return esc
+}
+
+// usesObj reports whether the expression tree references obj.
+func usesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	if n == nil {
+		return false
+	}
+	used := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// isAcquireCall matches pool.Acquire() where pool is a qsbr.Pool.
+func isAcquireCall(info *types.Info, call *ast.CallExpr) bool {
+	recv, name, ok := analysis.MethodCall(info, call)
+	return ok && name == "Acquire" && isQsbrPool(info.TypeOf(recv))
+}
+
+// isQsbrPool matches (possibly a pointer to) type Pool of a package named
+// qsbr — name-based so analysistest stubs work.
+func isQsbrPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	pkg, name := analysis.NamedOf(t)
+	return pkg == "qsbr" && name == "Pool"
+}
+
+// isCarrierType matches handle-carrying helper types: a struct with a
+// qsbr.Pool field and a release/Release method (hashmap's reclaimer shape).
+func isCarrierType(t types.Type) bool {
+	d := analysis.Deref(t)
+	named, ok := d.(*types.Named)
+	if !ok {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	hasPool := false
+	for i := 0; i < st.NumFields(); i++ {
+		if isQsbrPool(st.Field(i).Type()) {
+			hasPool = true
+			break
+		}
+	}
+	if !hasPool {
+		return false
+	}
+	for _, methods := range []*types.Named{named} {
+		for i := 0; i < methods.NumMethods(); i++ {
+			switch methods.Method(i).Name() {
+			case "release", "Release":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isCarrierLit matches a composite literal (or &literal) of a carrier type.
+func isCarrierLit(info *types.Info, e ast.Expr) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(cl)
+	return t != nil && isCarrierType(t)
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package qsbrguard_test
+
+import (
+	"testing"
+
+	"github.com/optik-go/optik/internal/analysis/analysistest"
+	"github.com/optik-go/optik/internal/analysis/qsbrguard"
+)
+
+func TestQsbrGuard(t *testing.T) {
+	analysistest.Run(t, ".", qsbrguard.Analyzer, "a")
+}

@@ -1,0 +1,153 @@
+// Package a seeds qsbrguard violations next to the correct idioms they
+// degrade from: leaked handles and blocking while held.
+package a
+
+import (
+	"sync"
+	"time"
+
+	"qsbr"
+)
+
+func work() {}
+
+// good is the canonical borrow: defer covers every path.
+func good(p *qsbr.Pool) {
+	h := p.Acquire()
+	defer p.Release(h)
+	work()
+}
+
+// explicitOK releases on each path without a defer.
+func explicitOK(p *qsbr.Pool, cond bool) {
+	h := p.Acquire()
+	if cond {
+		p.Release(h)
+		return
+	}
+	work()
+	p.Release(h)
+}
+
+// leakOnReturn forgets the early path.
+func leakOnReturn(p *qsbr.Pool, cond bool) {
+	h := p.Acquire()
+	if cond {
+		return // want `qsbr handle may be held at this return`
+	}
+	p.Release(h)
+}
+
+// neverReleased drops the handle entirely.
+func neverReleased(p *qsbr.Pool) {
+	h := p.Acquire() // want `not released before the function returns`
+	_ = h
+	work()
+}
+
+// sleepy stalls reclamation for a millisecond, fleet-wide.
+func sleepy(p *qsbr.Pool) {
+	h := p.Acquire()
+	defer p.Release(h)
+	time.Sleep(time.Millisecond) // want `time.Sleep while a qsbr handle is held`
+}
+
+// sendsWhileHeld parks on a channel with an epoch announced.
+func sendsWhileHeld(p *qsbr.Pool, ch chan int) {
+	h := p.Acquire()
+	ch <- 1 // want `channel send while a qsbr handle is held`
+	p.Release(h)
+}
+
+// recvWhileHeld blocks on a receive with an epoch announced.
+func recvWhileHeld(p *qsbr.Pool, ch chan int) int {
+	h := p.Acquire()
+	defer p.Release(h)
+	v := <-ch // want `channel receive while a qsbr handle is held`
+	return v
+}
+
+// selectNoDefault can park indefinitely while held.
+func selectNoDefault(p *qsbr.Pool, a, b chan int) {
+	h := p.Acquire()
+	defer p.Release(h)
+	select { // want `select without a default while a qsbr handle is held`
+	case <-a:
+	case <-b:
+	}
+}
+
+// selectDefaultOK is the non-blocking cancellation probe the quiesce loop
+// uses; with a default clause it never parks.
+func selectDefaultOK(p *qsbr.Pool, cancel chan struct{}) bool {
+	h := p.Acquire()
+	defer p.Release(h)
+	select {
+	case <-cancel:
+		return false
+	default:
+	}
+	return true
+}
+
+// waitWhileHeld pins the epoch for as long as the group runs.
+func waitWhileHeld(p *qsbr.Pool, wg *sync.WaitGroup) {
+	h := p.Acquire()
+	defer p.Release(h)
+	wg.Wait() // want `sync.WaitGroup.Wait while a qsbr handle is held`
+}
+
+// recvBeforeAcquire blocks first, borrows after: fine.
+func recvBeforeAcquire(p *qsbr.Pool, ch chan int) {
+	<-ch
+	h := p.Acquire()
+	defer p.Release(h)
+	work()
+}
+
+// escapes transfers ownership to the caller; not this function's leak.
+func escapes(p *qsbr.Pool) *qsbr.Thread {
+	h := p.Acquire()
+	return h
+}
+
+// borrower mirrors hashmap's reclaimer: pool field plus a release method.
+type borrower struct {
+	pool *qsbr.Pool
+	th   *qsbr.Thread
+}
+
+func (b *borrower) release() {}
+
+func use(b *borrower) {}
+
+// carrierGood is the repo idiom: construct, defer release.
+func carrierGood(p *qsbr.Pool) {
+	rc := borrower{pool: p}
+	defer rc.release()
+	use(&rc)
+}
+
+// carrierLeak constructs a carrier and never releases it.
+func carrierLeak(p *qsbr.Pool) { // no defer, no release
+	rc := borrower{pool: p} // want `not released before the function returns`
+	use(&rc)
+}
+
+// carrierReuse releases mid-function, then re-borrows by using the
+// carrier again (it re-acquires lazily), and covers that with the defer.
+func carrierReuse(p *qsbr.Pool) {
+	rc := borrower{pool: p}
+	defer rc.release()
+	use(&rc)
+	rc.release() // quiesce point
+	use(&rc)     // re-acquires
+}
+
+// carrierQuiesceLeak re-borrows after a quiesce point with no defer.
+func carrierQuiesceLeak(p *qsbr.Pool) {
+	rc := borrower{pool: p} // want `not released before the function returns`
+	use(&rc)
+	rc.release()
+	use(&rc) // re-acquires, never released again
+}

@@ -1,0 +1,19 @@
+// Package qsbr is a testdata stub mirroring the shapes qsbrguard matches
+// on: Pool.Acquire/Release and the Thread handle.
+package qsbr
+
+// Thread is a borrowed reclamation handle.
+type Thread struct {
+	epoch uint64
+}
+
+// Pool hands out Threads.
+type Pool struct {
+	slots []Thread
+}
+
+// Acquire borrows a handle.
+func (p *Pool) Acquire() *Thread { return &Thread{} }
+
+// Release returns a handle.
+func (p *Pool) Release(t *Thread) {}

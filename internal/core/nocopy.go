@@ -1,0 +1,12 @@
+package core
+
+// noCopy makes `go vet` (copylocks) flag any by-value copy of a type that
+// holds one as a field — the sync package's convention. Zero-size, placed
+// first so it never perturbs a promised layout.
+type noCopy struct{}
+
+// Lock is a no-op used by `go vet -copylocks`.
+func (*noCopy) Lock() {}
+
+// Unlock is a no-op used by `go vet -copylocks`.
+func (*noCopy) Unlock() {}

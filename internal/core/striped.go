@@ -17,8 +17,9 @@ import (
 // cells one by one); on a quiescent counter it is exact, matching the
 // contract of the Len methods it backs.
 type Striped struct {
-	cells []stripedCell
-	mask  uint64
+	noCopy noCopy
+	cells  []stripedCell
+	mask   uint64
 }
 
 // stripedCell pads each counter word to a private cache line so concurrent

@@ -1,0 +1,14 @@
+package locks
+
+// noCopy makes `go vet` (copylocks) flag any by-value copy of a type that
+// holds one as a field — the sync package's convention. It is zero-size
+// and placed first, so it never perturbs the layout the padded types
+// promise. Named, not embedded: embedding would collide with the locks'
+// own promoted Lock/Unlock methods.
+type noCopy struct{}
+
+// Lock is a no-op used by `go vet -copylocks`.
+func (*noCopy) Lock() {}
+
+// Unlock is a no-op used by `go vet -copylocks`.
+func (*noCopy) Unlock() {}

@@ -14,12 +14,14 @@ import (
 
 // PaddedTAS is a test-and-set lock padded to a full cache line.
 type PaddedTAS struct {
+	noCopy noCopy
 	TAS
 	_ [core.CacheLineSize - unsafe.Sizeof(TAS{})]byte
 }
 
 // PaddedTicket is a fair ticket lock padded to a full cache line.
 type PaddedTicket struct {
+	noCopy noCopy
 	Ticket
 	_ [core.CacheLineSize - unsafe.Sizeof(Ticket{})]byte
 }

@@ -1,0 +1,13 @@
+package qsbr
+
+// noCopy makes `go vet` (copylocks) flag any by-value copy of a type that
+// holds one as a field — the sync package's convention. A copied Thread
+// would fork the announcement/retired-list state the domain tracks by
+// pointer; a copied Pool would share slots behind two descriptors.
+type noCopy struct{}
+
+// Lock is a no-op used by `go vet -copylocks`.
+func (*noCopy) Lock() {}
+
+// Unlock is a no-op used by `go vet -copylocks`.
+func (*noCopy) Unlock() {}

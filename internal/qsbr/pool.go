@@ -33,6 +33,7 @@ type poolSlot struct {
 // Acquire/Release pairs bracket the node-touching part of an operation;
 // both are a handful of atomic operations on an uncontended slot.
 type Pool struct {
+	noCopy noCopy
 	domain *Domain
 	slots  []poolSlot
 }

@@ -175,6 +175,7 @@ type retiredObject struct {
 // Thread is a per-goroutine participant: it buffers retirements, announces
 // quiescent states, and reuses reclaimed objects through a local free list.
 type Thread struct {
+	noCopy    noCopy
 	domain    *Domain
 	announced atomic.Uint64
 	// slot is non-nil for pool-managed handles (see pool.go); it lets
