@@ -6,7 +6,7 @@
 //	optik-bench [flags] <figure>
 //
 // where <figure> is one of: fig5, fig7, fig9, fig10, fig11, fig12, stacks,
-// resize, churn, server, net, all.
+// resize, churn, server, net, ordered, all.
 //
 // Flags:
 //
@@ -24,13 +24,15 @@
 //	          the table quiesces and recycles its nodes on its own when
 //	          traffic idles, instead of relying on the workload's
 //	          phase-flip Quiesce calls
-//	-shards   comma-separated shard counts the server figure sweeps
-//	          (default 1,4,16; the 1-shard row is the unsharded baseline)
+//	-shards   comma-separated shard counts the server and ordered figures
+//	          sweep (default 1,4,16; the 1-shard row is the unsharded
+//	          baseline)
 //	-batch    percentage of the server figure's requests issued as 16-key
 //	          batches through MGet/MSet/MDel (default 20)
-//	-net      drive the net figure against an already-running optik-server
-//	          at this address; empty (the default) starts a private
-//	          loopback server per cell
+//	-net      drive the net figure (or the ordered figure's net series)
+//	          against an already-running optik-server at this address;
+//	          empty (the default) starts a private loopback server per
+//	          cell (the ordered figure needs optik-server -ordered)
 //	-pipelines comma-separated wire pipeline depths the net figure sweeps
 //	          (default 1,16,64,256)
 //
@@ -41,6 +43,7 @@
 //	optik-bench -threads 4,16 -shards 1,8 -batch 50 server
 //	optik-bench -threads 4 -pipelines 1,16,64 net
 //	optik-bench -threads 4 -net 127.0.0.1:7979 net
+//	optik-bench -threads 4,16 -shards 1,8 ordered
 package main
 
 import (
@@ -61,12 +64,12 @@ func main() {
 	jsonFlag := flag.String("json", "", "write machine-readable results (JSON) to this file")
 	churnPeakFlag := flag.Int("churn-peak", 0, "peak element count for the churn figure (0 = default 100000)")
 	janitorFlag := flag.Bool("janitor", false, "enable the resizable table's background janitor in the resize/churn figures")
-	shardsFlag := flag.String("shards", "1,4,16", "comma-separated shard counts for the server figure")
+	shardsFlag := flag.String("shards", "1,4,16", "comma-separated shard counts for the server and ordered figures")
 	batchFlag := flag.Int("batch", 20, "percentage of server-figure requests issued as 16-key batches")
 	netFlag := flag.String("net", "", "drive the net figure against an already-running optik-server at this address (empty = private loopback server per cell)")
 	pipelinesFlag := flag.String("pipelines", "1,16,64,256", "comma-separated wire pipeline depths for the net figure")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|churn|server|net|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|churn|server|net|ordered|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -110,18 +113,19 @@ func main() {
 
 	figure := strings.ToLower(flag.Arg(0))
 	runners := map[string]func(figures.RunOpts){
-		"fig5":   figures.Fig5,
-		"fig7":   figures.Fig7,
-		"fig9":   figures.Fig9,
-		"fig10":  figures.Fig10,
-		"fig11":  figures.Fig11,
-		"fig12":  figures.Fig12,
-		"stacks": figures.Stacks,
-		"resize": figures.FigResize,
-		"churn":  figures.FigChurn,
-		"server": figures.FigServer,
-		"net":    figures.FigNet,
-		"all":    figures.All,
+		"fig5":    figures.Fig5,
+		"fig7":    figures.Fig7,
+		"fig9":    figures.Fig9,
+		"fig10":   figures.Fig10,
+		"fig11":   figures.Fig11,
+		"fig12":   figures.Fig12,
+		"stacks":  figures.Stacks,
+		"resize":  figures.FigResize,
+		"churn":   figures.FigChurn,
+		"server":  figures.FigServer,
+		"net":     figures.FigNet,
+		"ordered": figures.FigOrdered,
+		"all":     figures.All,
 	}
 	run, ok := runners[figure]
 	if !ok {

@@ -6,19 +6,27 @@
 // Usage:
 //
 //	optik-server [-addr :7979] [-shards 0] [-shard-buckets 1024]
-//	             [-batch 512] [-coalesce 256] [-maxconns 0]
+//	             [-batch 512] [-coalesce 256] [-maxconns 0] [-ordered]
 //
 // Flags:
 //
 //	-addr          listen address (default :7979)
 //	-shards        index shards, rounded up to a power of two
 //	               (default 0 = one per core)
-//	-shard-buckets per-shard floor bucket count (default 1024)
+//	-shard-buckets per-shard floor bucket count (default 1024; hash
+//	               store only)
 //	-batch         pipelined requests executed per reply flush
 //	               (default 512)
 //	-coalesce      max keys per coalesced run of pipelined same-kind
 //	               scalar commands (default 256, 0 disables)
 //	-maxconns      concurrent connection cap (default 0 = unlimited)
+//	-ordered       back the server with the range-partitioned skip-list
+//	               store instead of the hash store: keys must be decimal
+//	               uint64s, and the ordered command family (SCAN, RANGE,
+//	               MIN, MAX) comes alive
+//	-keymax        largest expected key of the ordered store — bounds its
+//	               range partition (0 = full key space; ignored without
+//	               -ordered)
 //
 // Try it with netcat:
 //
@@ -49,6 +57,8 @@ func main() {
 	coalesce := flag.Int("coalesce", server.DefaultCoalesce,
 		"max keys per coalesced run of pipelined same-kind scalar commands (0 disables)")
 	maxConns := flag.Int("maxconns", 0, "concurrent connection cap (0 = unlimited)")
+	ordered := flag.Bool("ordered", false, "back the server with the range-partitioned skip-list store (decimal keys, SCAN/RANGE/MIN/MAX)")
+	keyMax := flag.Uint64("keymax", 0, "largest expected key of the ordered store (0 = full key space; ignored without -ordered)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: optik-server [flags]")
@@ -56,18 +66,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	st := store.NewStrings(store.WithShards(*shards), store.WithShardBuckets(*shardBuckets))
-	defer st.Close()
-	srv := server.New(st, server.WithPipeline(*batch), server.WithCoalesce(*coalesce),
-		server.WithMaxConns(*maxConns))
+	sopts := []server.Option{server.WithPipeline(*batch), server.WithCoalesce(*coalesce),
+		server.WithMaxConns(*maxConns)}
+	var srv *server.Server
+	var shardCount int
+	var closeStore func()
+	if *ordered {
+		stOpts := []store.Option{store.WithShards(*shards)}
+		if *keyMax > 0 {
+			stOpts = append(stOpts, store.WithKeyMax(*keyMax))
+		}
+		st := store.NewSortedStrings(stOpts...)
+		srv = server.NewOrdered(st, sopts...)
+		shardCount = st.Index().Shards()
+		closeStore = st.Close
+	} else {
+		st := store.NewStrings(store.WithShards(*shards), store.WithShardBuckets(*shardBuckets))
+		srv = server.New(st, sopts...)
+		shardCount = st.Index().Shards()
+		closeStore = st.Close
+	}
+	defer closeStore()
 
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "optik-server:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("optik-server: serving %d shards on %s (batch %d, coalesce %d, maxconns %d)\n",
-		st.Index().Shards(), bound, *batch, *coalesce, *maxConns)
+	fmt.Printf("optik-server: serving %d %s shards on %s (batch %d, coalesce %d, maxconns %d)\n",
+		shardCount, storeKind(*ordered), bound, *batch, *coalesce, *maxConns)
 
 	// SIGINT/SIGTERM drain the server before the store's scheduler stops.
 	sig := make(chan os.Signal, 1)
@@ -82,4 +109,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "optik-server:", err)
 		os.Exit(1)
 	}
+}
+
+// storeKind labels the startup banner by backing store.
+func storeKind(ordered bool) string {
+	if ordered {
+		return "ordered"
+	}
+	return "hash"
 }

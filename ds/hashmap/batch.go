@@ -26,8 +26,8 @@ func (r *Resizable) UpsertBatch(keys, vals []uint64) int {
 	for _, k := range keys {
 		ds.CheckKey(k)
 	}
-	rc := reclaimer{pool: r.pool}
-	defer rc.release()
+	rc := reclaimer{Pool: r.pool}
+	defer rc.Release()
 	r.help(&rc)
 	inserted := 0
 	for i, k := range keys {
@@ -49,8 +49,8 @@ func (r *Resizable) UpsertBatchEach(keys, vals, old []uint64, replaced []bool) i
 	for _, k := range keys {
 		ds.CheckKey(k)
 	}
-	rc := reclaimer{pool: r.pool}
-	defer rc.release()
+	rc := reclaimer{Pool: r.pool}
+	defer rc.Release()
 	r.help(&rc)
 	inserted := 0
 	for i, k := range keys {
@@ -68,8 +68,8 @@ func (r *Resizable) DeleteBatch(keys []uint64) int {
 	for _, k := range keys {
 		ds.CheckKey(k)
 	}
-	rc := reclaimer{pool: r.pool}
-	defer rc.release()
+	rc := reclaimer{Pool: r.pool}
+	defer rc.Release()
 	r.help(&rc)
 	deleted := 0
 	for _, k := range keys {
@@ -89,8 +89,8 @@ func (r *Resizable) DeleteBatchEach(keys, old []uint64, found []bool) int {
 	for _, k := range keys {
 		ds.CheckKey(k)
 	}
-	rc := reclaimer{pool: r.pool}
-	defer rc.release()
+	rc := reclaimer{Pool: r.pool}
+	defer rc.Release()
 	r.help(&rc)
 	deleted := 0
 	for i, k := range keys {

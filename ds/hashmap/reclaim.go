@@ -29,62 +29,22 @@ import "github.com/optik-go/optik/internal/qsbr"
 //
 // The split mirrors the paper's decoupling claim: the concurrency control
 // (OPTIK validation) does not care which reclamation scheme runs under it.
+//
+// The lifecycle carrier itself (lazy handle borrow, alloc/retire/release)
+// is qsbr.Reclaimer, shared with the skip-list shards behind
+// store.Ordered — exactly one node-lifecycle implementation exists. This
+// alias keeps the table code on the short local name; the only
+// table-shaped part left here is the typed allocation helper below.
+type reclaimer = qsbr.Reclaimer
 
-// reclaimer borrows a qsbr handle lazily — only operations that actually
-// touch chain nodes pay for it; the inline-slot fast paths never do. The
-// zero value with a nil pool (the fixed Slab table) allocates from the
-// heap and retires to the garbage collector.
-type reclaimer struct {
-	pool  *qsbr.Pool
-	th    *qsbr.Thread
-	tried bool
-}
-
-// handle returns the borrowed qsbr handle, acquiring one on first use.
-// Returns nil for heap-backed reclaimers and when the pool is exhausted
-// (every slot borrowed by a descheduled goroutine) — the caller then falls
-// back to plain allocation for this operation.
-func (rc *reclaimer) handle() *qsbr.Thread {
-	if rc == nil || rc.pool == nil {
-		return nil
-	}
-	if !rc.tried {
-		rc.tried = true
-		rc.th = rc.pool.Acquire()
-	}
-	return rc.th
-}
-
-// alloc returns a chain node: recycled from the qsbr free list when one is
-// available, freshly allocated otherwise. The caller owns the node until
-// it links it; stale readers from the node's previous life may still scan
-// it, which is why the caller must store key/val/next through the atomics
-// before linking.
-func (rc *reclaimer) alloc() *node {
-	if th := rc.handle(); th != nil {
-		if v := th.Alloc(); v != nil {
-			return v.(*node)
-		}
+// allocNode returns a chain node: recycled from the qsbr free list when
+// one is available, freshly allocated otherwise. The caller owns the node
+// until it links it; stale readers from the node's previous life may
+// still scan it, which is why the caller must store key/val/next through
+// the atomics before linking.
+func allocNode(rc *reclaimer) *node {
+	if v := rc.Alloc(); v != nil {
+		return v.(*node)
 	}
 	return new(node)
-}
-
-// retire hands an unlinked node to the reclamation scheme. Without a
-// handle the node simply drops to the garbage collector — it is never
-// reused, so validated readers stay safe either way.
-func (rc *reclaimer) retire(n *node) {
-	if th := rc.handle(); th != nil {
-		th.Retire(n)
-	}
-}
-
-// release returns the borrowed handle to the pool (running the amortized
-// reclamation sweep when enough retirements accumulated). Safe to call on
-// a reclaimer that never acquired; a released reclaimer can be used again.
-func (rc *reclaimer) release() {
-	if rc != nil && rc.th != nil {
-		rc.pool.Release(rc.th)
-		rc.th = nil
-		rc.tried = false
-	}
 }

@@ -2,6 +2,7 @@ package hashmap
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"github.com/optik-go/optik/ds"
 	"github.com/optik-go/optik/internal/backoff"
@@ -265,8 +266,8 @@ func (r *Resizable) Search(key uint64) (uint64, bool) {
 // qsbr free list when a retired one is available.
 func (r *Resizable) Insert(key, val uint64) bool {
 	ds.CheckKey(key)
-	rc := reclaimer{pool: r.pool}
-	defer rc.release()
+	rc := reclaimer{Pool: r.pool}
+	defer rc.Release()
 	r.help(&rc)
 	return r.insert(&rc, key, val)
 }
@@ -340,8 +341,8 @@ retry:
 // as an operation for the maintenance scheduler's activity signal.
 func (r *Resizable) Upsert(key, val uint64) (uint64, bool) {
 	ds.CheckKey(key)
-	rc := reclaimer{pool: r.pool}
-	defer rc.release()
+	rc := reclaimer{Pool: r.pool}
+	defer rc.Release()
 	r.help(&rc)
 	return r.upsert(&rc, key, val)
 }
@@ -422,8 +423,8 @@ retry:
 // the node eligible for recycling the moment the version bump publishes.
 func (r *Resizable) Delete(key uint64) (uint64, bool) {
 	ds.CheckKey(key)
-	rc := reclaimer{pool: r.pool}
-	defer rc.release()
+	rc := reclaimer{Pool: r.pool}
+	defer rc.Release()
 	r.help(&rc)
 	return r.delete(&rc, key)
 }
@@ -485,7 +486,7 @@ retry:
 			pred.next.Store(cur.next.Load())
 		}
 		b.lock.Unlock()
-		rc.retire(cur)
+		rc.Retire(cur)
 		r.noteDelete(key)
 		return val, true
 	}
@@ -538,6 +539,46 @@ func (r *Resizable) Resizes() int { return int(r.resizes.Load()) }
 // allocation-regression tests.
 func (r *Resizable) ReclaimStats() (retired, reclaimed, reused uint64) {
 	return r.pool.Domain().Stats()
+}
+
+// ActivitySample implements Maintainer: a hash of the root slab pointer,
+// the migration cursor and the monotone op count, so any update — an
+// insert, a delete, a value replacement, or migration progress — changes
+// the sample. The old per-field comparison compared the striped element
+// *sum*, which perfectly balanced traffic (equal inserts and deletes, the
+// steady state of any full cache) leaves unchanged; the op count advances
+// on every successful update, so "unchanged since last sample" genuinely
+// means untouched. Hash-combining can in principle collide two distinct
+// states into a false idle verdict — safe per the Maintainer contract
+// (quiescing is merely unnecessary work) and requiring an exact 64-bit
+// collision between consecutive samples.
+func (r *Resizable) ActivitySample() uint64 {
+	t := r.root.Load()
+	h := uint64(uintptr(unsafe.Pointer(t)))
+	h = (h ^ uint64(t.cursor.Load())) * 0x9E3779B97F4A7C15
+	h = (h ^ uint64(r.count.Ops())) * 0x9E3779B97F4A7C15
+	return h
+}
+
+// MaintainIdle implements Maintainer: the full maintenance pass for a
+// table nothing touched since the last sample — quiesce any migration
+// home (cancellably) and sweep the reclamation pool so retirements below
+// the release batch threshold still reach the free lists.
+func (r *Resizable) MaintainIdle(cancel <-chan struct{}) {
+	r.quiesce(cancel)
+	r.pool.Sweep()
+}
+
+// MaintainBusy implements Maintainer: a busy table drives its own resizes
+// on the backs of its updates, so the scheduler only lends a bounded hand
+// when a migration is actually in flight.
+func (r *Resizable) MaintainBusy() {
+	if r.root.Load().next.Load() == nil {
+		return
+	}
+	rc := reclaimer{Pool: r.pool}
+	defer rc.Release()
+	r.help(&rc)
 }
 
 // help migrates up to migrateQuantum claims of the root slab if a resize
@@ -636,8 +677,8 @@ func (r *Resizable) Quiesce() { r.quiesce(nil) }
 // maintenance never outlives a Stop even when traffic keeps the table out
 // of band indefinitely.
 func (r *Resizable) quiesce(cancel <-chan struct{}) {
-	rc := reclaimer{pool: r.pool}
-	defer rc.release()
+	rc := reclaimer{Pool: r.pool}
+	defer rc.Release()
 	var bo backoff.Backoff
 	var last *rtable
 	helps := 0
@@ -663,7 +704,7 @@ func (r *Resizable) quiesce(cancel <-chan struct{}) {
 				// so nodes retired early in the drain feed the allocations
 				// later in it instead of piling up unreclaimed.
 				if helps++; helps%64 == 0 {
-					rc.release()
+					rc.Release()
 				}
 			} else {
 				bo.Wait()
@@ -735,7 +776,7 @@ func (b *bucket) moveAll(next *rtable, rc *reclaimer) {
 	}
 	for cur := b.head.Load(); cur != nil; cur = cur.next.Load() {
 		insertMoved(next, cur.key.Load(), cur.val.Load(), rc)
-		rc.retire(cur)
+		rc.Retire(cur)
 	}
 }
 

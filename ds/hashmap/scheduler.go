@@ -35,13 +35,16 @@ import (
 //     times a second instead of a hundred times; a busy one is sampled at
 //     the base rate.
 //
-// Register and Unregister may be called at any time, including while the
-// scheduler is mid-pass; Stop halts the goroutine and waits for it. The
-// per-table StartJanitor/WithJanitor API (janitor.go) remains as a thin
-// wrapper that runs a private one-table scheduler.
+// The scheduler is structure-agnostic: anything implementing Maintainer —
+// Resizable tables, the skip-list shards behind store.Ordered — registers
+// and shares the one goroutine. Register and Unregister may be called at
+// any time, including while the scheduler is mid-pass; Stop halts the
+// goroutine and waits for it. The per-table StartJanitor/WithJanitor API
+// (janitor.go) remains as a thin wrapper that runs a private one-table
+// scheduler.
 type Scheduler struct {
 	mu      sync.Mutex
-	entries map[*Resizable]*schedEntry
+	entries map[Maintainer]*schedEntry
 	stop    chan struct{}
 	done    chan struct{}
 	wake    chan struct{}
@@ -53,15 +56,33 @@ type Scheduler struct {
 	interval atomic.Int64
 }
 
-// schedEntry is one registered table plus its last activity sample. Two
-// equal consecutive samples mean no update touched the table in between
-// (searches leave no trace, by design — reads alone never need
-// maintenance).
+// Maintainer is what a structure exposes to share the maintenance
+// goroutine. The scheduler samples activity each poll; two equal
+// consecutive samples earn the full idle pass, anything else gets the
+// bounded busy hand.
+type Maintainer interface {
+	// ActivitySample condenses the structure's write-visible state into
+	// one word: it MUST change whenever an update touched the structure
+	// since the previous call (reads may leave no trace — reads alone
+	// never need maintenance). A spurious "unchanged" verdict must be
+	// safe for MaintainIdle, merely unnecessary; implementations that
+	// hash several fields together accept a collision-induced false idle
+	// on those terms.
+	ActivitySample() uint64
+	// MaintainIdle runs the full maintenance pass — quiesce migrations
+	// home, sweep the reclamation pool — aborting promptly when cancel
+	// closes, so maintenance never outlives a Stop.
+	MaintainIdle(cancel <-chan struct{})
+	// MaintainBusy lends a bounded hand to a structure with traffic (for
+	// the hash table: advance an in-flight migration by one quantum). It
+	// must not block on the structure going idle.
+	MaintainBusy()
+}
+
+// schedEntry is one registered structure plus its last activity sample.
 type schedEntry struct {
-	r      *Resizable
-	root   *rtable
-	cursor int64
-	ops    int64
+	m      Maintainer
+	sample uint64
 	seen   bool
 }
 
@@ -79,7 +100,7 @@ func NewScheduler(base time.Duration) *Scheduler {
 		base = DefaultJanitorInterval
 	}
 	s := &Scheduler{
-		entries: make(map[*Resizable]*schedEntry),
+		entries: make(map[Maintainer]*schedEntry),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		wake:    make(chan struct{}, 1),
@@ -90,13 +111,13 @@ func NewScheduler(base time.Duration) *Scheduler {
 	return s
 }
 
-// Register adds r to the scheduler's maintenance rounds and resets the
-// poll interval to the base (a fresh table deserves prompt attention).
-// Registering a table twice, or on a stopped scheduler, is a no-op.
-func (s *Scheduler) Register(r *Resizable) {
+// Register adds m to the scheduler's maintenance rounds and resets the
+// poll interval to the base (a fresh structure deserves prompt attention).
+// Registering a structure twice, or on a stopped scheduler, is a no-op.
+func (s *Scheduler) Register(m Maintainer) {
 	s.mu.Lock()
-	if _, ok := s.entries[r]; !ok && !s.stopped {
-		s.entries[r] = &schedEntry{r: r}
+	if _, ok := s.entries[m]; !ok && !s.stopped {
+		s.entries[m] = &schedEntry{m: m}
 	}
 	s.mu.Unlock()
 	select {
@@ -105,12 +126,12 @@ func (s *Scheduler) Register(r *Resizable) {
 	}
 }
 
-// Unregister removes r from the maintenance rounds. The table keeps
+// Unregister removes m from the maintenance rounds. The structure keeps
 // working — migration still advances on its updates and Quiesce remains
 // available — it just gets no background attention.
-func (s *Scheduler) Unregister(r *Resizable) {
+func (s *Scheduler) Unregister(m Maintainer) {
 	s.mu.Lock()
-	delete(s.entries, r)
+	delete(s.entries, m)
 	s.mu.Unlock()
 }
 
@@ -130,7 +151,8 @@ func (s *Scheduler) Stop() {
 	<-s.done
 }
 
-// Tables returns how many tables are registered (racy; for monitoring).
+// Tables returns how many structures are registered (racy; for
+// monitoring).
 func (s *Scheduler) Tables() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -197,27 +219,22 @@ func (s *Scheduler) pass() bool {
 	return active
 }
 
-// service runs one maintenance round for one table and reports whether the
-// table was active since its last sample. A spurious idle verdict is safe
-// (quiescing is always correct, merely unnecessary) and with the op-count
-// signal requires an exact 2^31-operation wrap between samples; the stop
-// channel keeps even a wrong verdict from outliving the scheduler.
+// service runs one maintenance round for one structure and reports whether
+// it was active since its last sample. A spurious idle verdict is safe by
+// the Maintainer contract (the idle pass is always correct, merely
+// unnecessary); the stop channel keeps even a wrong verdict from outliving
+// the scheduler.
 func (s *Scheduler) service(e *schedEntry) bool {
-	r := e.r
-	t := r.root.Load()
-	idle := e.seen && e.root == t && e.cursor == t.cursor.Load() && e.ops == r.count.Ops()
+	cur := e.m.ActivitySample()
+	idle := e.seen && e.sample == cur
 	if idle {
-		r.quiesce(s.stop)
-		r.pool.Sweep()
-	} else if t.next.Load() != nil {
-		rc := reclaimer{pool: r.pool}
-		r.help(&rc)
-		rc.release()
+		e.m.MaintainIdle(s.stop)
+	} else {
+		e.m.MaintainBusy()
 	}
 	// Snapshot the post-maintenance state: the scheduler's own helping
-	// moves the cursor, and sampling before it would make the scheduler
-	// read its own work as traffic and never conclude idle.
-	t = r.root.Load()
-	e.root, e.cursor, e.ops, e.seen = t, t.cursor.Load(), r.count.Ops(), true
+	// moves the sample, and reusing the pre-maintenance one would make the
+	// scheduler read its own work as traffic and never conclude idle.
+	e.sample, e.seen = e.m.ActivitySample(), true
 	return !idle
 }

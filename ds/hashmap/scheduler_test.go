@@ -3,6 +3,7 @@ package hashmap
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -11,7 +12,7 @@ import (
 // service tests: no goroutine, no timer, just the sampling state.
 func newTestScheduler() *Scheduler {
 	return &Scheduler{
-		entries: make(map[*Resizable]*schedEntry),
+		entries: make(map[Maintainer]*schedEntry),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		wake:    make(chan struct{}, 1),
@@ -29,7 +30,7 @@ func newTestScheduler() *Scheduler {
 func TestSchedulerBalancedTrafficReadsActive(t *testing.T) {
 	m := NewResizable(64)
 	s := newTestScheduler()
-	e := &schedEntry{r: m}
+	e := &schedEntry{m: m}
 
 	if !s.service(e) {
 		t.Fatal("first sample must read active (nothing seen yet)")
@@ -67,7 +68,7 @@ func TestSchedulerValueUpdatesReadActive(t *testing.T) {
 	m := NewResizable(8)
 	m.Insert(7, 1)
 	s := newTestScheduler()
-	e := &schedEntry{r: m}
+	e := &schedEntry{m: m}
 	s.service(e)
 	s.service(e) // settle to idle
 	if _, replaced := m.Upsert(7, 2); !replaced {
@@ -199,5 +200,75 @@ func TestSchedulerLifecycle(t *testing.T) {
 	s.Register(m)
 	if got := s.Tables(); got != 0 {
 		t.Fatalf("stopped scheduler accepted a registration (Tables = %d)", got)
+	}
+}
+
+// stubMaintainer is a minimal non-table Maintainer: the scheduler must
+// drive anything implementing the interface (the skip-list shards behind
+// store.Ordered ride the same goroutine), choosing the idle or busy pass
+// purely from the activity sample.
+type stubMaintainer struct {
+	sample atomic.Uint64
+	idles  atomic.Int64
+	busies atomic.Int64
+}
+
+func (m *stubMaintainer) ActivitySample() uint64       { return m.sample.Load() }
+func (m *stubMaintainer) MaintainIdle(<-chan struct{}) { m.idles.Add(1) }
+func (m *stubMaintainer) MaintainBusy()                { m.busies.Add(1) }
+
+// TestSchedulerDrivesAnyMaintainer pins the structure-agnostic contract:
+// an unchanged sample earns MaintainIdle, a changed one MaintainBusy, and
+// the post-maintenance re-sample keeps the scheduler's own pass from
+// reading as traffic.
+func TestSchedulerDrivesAnyMaintainer(t *testing.T) {
+	m := &stubMaintainer{}
+	s := newTestScheduler()
+	e := &schedEntry{m: m}
+
+	if !s.service(e) {
+		t.Fatal("first sample must read active (nothing seen yet)")
+	}
+	if got := m.busies.Load(); got != 1 {
+		t.Fatalf("busies = %d after first service, want 1", got)
+	}
+	if s.service(e) {
+		t.Fatal("unchanged sample read as active")
+	}
+	if got := m.idles.Load(); got != 1 {
+		t.Fatalf("idles = %d after idle service, want 1", got)
+	}
+	m.sample.Add(1)
+	if !s.service(e) {
+		t.Fatal("changed sample read as idle")
+	}
+	if got := m.busies.Load(); got != 2 {
+		t.Fatalf("busies = %d after activity, want 2", got)
+	}
+}
+
+// TestSchedulerMixedFleet registers a Resizable table and a stub in one
+// scheduler: both are serviced, neither starves the other, and Tables
+// counts them together.
+func TestSchedulerMixedFleet(t *testing.T) {
+	s := NewScheduler(time.Millisecond)
+	defer s.Stop()
+	r := NewResizable(8)
+	m := &stubMaintainer{}
+	s.Register(r)
+	s.Register(m)
+	if got := s.Tables(); got != 2 {
+		t.Fatalf("Tables = %d, want 2", got)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for m.idles.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.idles.Load() == 0 {
+		t.Fatal("stub maintainer never reached an idle pass")
+	}
+	s.Unregister(m)
+	if got := s.Tables(); got != 1 {
+		t.Fatalf("Tables = %d after Unregister, want 1", got)
 	}
 }

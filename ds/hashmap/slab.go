@@ -203,7 +203,7 @@ func (b *bucket) put(key, val uint64, free int, pred, cur *node, rc *reclaimer) 
 		b.inline[free].key.Store(key)
 		return
 	}
-	n := rc.alloc()
+	n := allocNode(rc)
 	n.key.Store(key)
 	n.val.Store(val)
 	n.next.Store(cur)

@@ -98,8 +98,8 @@ restart:
 // the version validates its scan.
 func (t *SlabReuse) Insert(key, val uint64) bool {
 	ds.CheckKey(key)
-	rc := reclaimer{pool: t.pool}
-	defer rc.release()
+	rc := reclaimer{Pool: t.pool}
+	defer rc.Release()
 	b := t.bucket(key)
 	var bo backoff.Backoff
 retry:
@@ -152,8 +152,8 @@ retry:
 // frozen chain).
 func (t *SlabReuse) Delete(key uint64) (uint64, bool) {
 	ds.CheckKey(key)
-	rc := reclaimer{pool: t.pool}
-	defer rc.release()
+	rc := reclaimer{Pool: t.pool}
+	defer rc.Release()
 	b := t.bucket(key)
 	var bo backoff.Backoff
 retry:
@@ -202,7 +202,7 @@ retry:
 			pred.next.Store(cur.next.Load())
 		}
 		b.lock.Unlock()
-		rc.retire(cur)
+		rc.Retire(cur)
 		return val, true
 	}
 }

@@ -7,15 +7,22 @@ import (
 	"github.com/optik-go/optik/ds"
 	"github.com/optik-go/optik/internal/backoff"
 	"github.com/optik-go/optik/internal/core"
+	"github.com/optik-go/optik/internal/qsbr"
 )
 
 // oNode is a node of the OPTIK-based skip list. One OPTIK lock protects
 // the whole tower — §5.3's deliberate granularity trade-off: version
 // validation can fail because an *unrelated* level of the same predecessor
 // changed (a false conflict), in exchange for radically simpler validation.
+//
+// val is atomic because Upsert replaces it in place under the node's own
+// lock while lock-free searches read it. key and topLevel stay plain: on a
+// pool-backed list they are only rewritten during recycling, when qsbr
+// guarantees no pinned traversal can still reach the node; on a GC-backed
+// list they are written once before publication.
 type oNode struct {
 	key         uint64
-	val         uint64
+	val         atomic.Uint64
 	lock        core.Lock
 	marked      atomic.Bool
 	fullyLinked atomic.Bool
@@ -27,31 +34,53 @@ type oNode struct {
 // version of every predecessor; insertions link *eagerly* — each level is
 // physically linked immediately after its predecessor's single-CAS
 // validate-and-lock, and a failed level restarts the parse and continues
-// from the level that failed. Deletions lock the victim (whose lock, as in
-// the fine-grained OPTIK list, is never released) and then all
+// from the level that failed. Deletions lock the victim (whose lock is
+// never released while the node stays in circulation) and then all
 // predecessors before unlinking.
 //
 // The FineValidate flag selects between the paper's two variants:
 // "optik1" revalidates a failed level with the Herlihy-style fine-grained
 // check before giving up on it; "optik2" restarts immediately and is the
 // more scalable variant under contention.
+//
+// A list built with NewOptikPool additionally recycles its towers through
+// the shared qsbr lifecycle (the same qsbr.Reclaimer carrier the resizable
+// hash table's chain nodes use): deleted towers are retired, reclaimed
+// once no pinned operation can reach them, and handed back out by the next
+// insert. Unlike the hash table — whose readers are protected by version
+// validation alone — the skip list's traversals dereference plain fields
+// (key, topLevel), so on a pool-backed list EVERY operation pins a qsbr
+// handle for its duration: the pin's announced epoch blocks reclamation of
+// anything the traversal can reach. The paper variants (NewOptik1/2) keep
+// a nil pool, where every pin is a no-op and unlinked towers drop to the
+// garbage collector — identical code path, zero behavior change.
 type Optik struct {
 	head         *oNode
 	tail         *oNode
 	fineValidate bool
+	// pool hands out qsbr handles for tower recycling; nil means
+	// GC-reclaimed (the paper variants).
+	pool *qsbr.Pool
 }
 
 var _ ds.Set = (*Optik)(nil)
 
 // NewOptik1 returns the variant that performs fine-grained validation when
 // a version check fails ("optik1" in Figure 11).
-func NewOptik1() *Optik { return newOptik(true) }
+func NewOptik1() *Optik { return newOptik(true, nil) }
 
 // NewOptik2 returns the variant that restarts immediately on a version
 // check failure ("optik2" in Figure 11).
-func NewOptik2() *Optik { return newOptik(false) }
+func NewOptik2() *Optik { return newOptik(false, nil) }
 
-func newOptik(fine bool) *Optik {
+// NewOptikPool returns an optik2-variant list whose towers are recycled
+// through pool's quiescent-state domain — the ordered-index counterpart of
+// the resizable hash table's chain-node recycling. Several lists may share
+// one pool (store.Ordered runs all its shards on one domain); pass nil for
+// GC reclamation.
+func NewOptikPool(pool *qsbr.Pool) *Optik { return newOptik(false, pool) }
+
+func newOptik(fine bool, pool *qsbr.Pool) *Optik {
 	tail := &oNode{key: tailKey, topLevel: MaxLevel}
 	tail.fullyLinked.Store(true)
 	head := &oNode{key: headKey, topLevel: MaxLevel}
@@ -59,7 +88,48 @@ func newOptik(fine bool) *Optik {
 		head.next[l].Store(tail)
 	}
 	head.fullyLinked.Store(true)
-	return &Optik{head: head, tail: tail, fineValidate: fine}
+	return &Optik{head: head, tail: tail, fineValidate: fine, pool: pool}
+}
+
+// Pool returns the reclamation pool backing the list (nil for the
+// GC-reclaimed paper variants). store.Ordered uses it to sweep shards from
+// the shared maintenance scheduler.
+func (s *Optik) Pool() *qsbr.Pool { return s.pool }
+
+// ReclaimStats reports the lifetime tower reclamation counters of the
+// list's qsbr domain (all zero for GC-backed lists). Racy snapshot; for
+// monitoring and the recycling tests.
+func (s *Optik) ReclaimStats() (retired, reclaimed, reused uint64) {
+	if s.pool == nil {
+		return 0, 0, 0
+	}
+	return s.pool.Domain().Stats()
+}
+
+// allocNode returns a tower for key→val: recycled from the qsbr free list
+// when one is available, freshly allocated otherwise. A recycled tower is
+// reset field by field; its lock — left held forever by the deleter that
+// retired it — is released by advancing the version, so any parse still
+// holding a snapshot from the node's previous life keeps failing
+// validation (the version is monotone across lives, belt to the qsbr
+// suspenders). next pointers above topLevel keep stale values; no
+// traversal reads a level ≥ the node's own topLevel.
+func allocONode(rc *qsbr.Reclaimer, key, val uint64, topLevel int) *oNode {
+	if v := rc.Alloc(); v != nil {
+		n := v.(*oNode)
+		n.key = key
+		n.val.Store(val)
+		n.topLevel = topLevel
+		n.marked.Store(false)
+		n.fullyLinked.Store(false)
+		if n.lock.GetVersion().IsLocked() {
+			n.lock.Unlock()
+		}
+		return n
+	}
+	n := &oNode{key: key, topLevel: topLevel}
+	n.val.Store(val)
+	return n
 }
 
 // find parses the list, recording per level the predecessor, its version
@@ -84,6 +154,13 @@ func (s *Optik) find(key uint64, preds *[MaxLevel]*oNode, predVs *[MaxLevel]core
 // plain reads; a node is present iff reached at level 0 and not marked.
 func (s *Optik) Search(key uint64) (uint64, bool) {
 	ds.CheckKey(key)
+	rc := qsbr.Reclaimer{Pool: s.pool}
+	defer rc.Release()
+	rc.Pin()
+	return s.search(key)
+}
+
+func (s *Optik) search(key uint64) (uint64, bool) {
 	pred := s.head
 	var cur *oNode
 	for level := MaxLevel - 1; level >= 0; level-- {
@@ -97,7 +174,7 @@ func (s *Optik) Search(key uint64) (uint64, bool) {
 		}
 	}
 	if cur.key == key && !cur.marked.Load() {
-		return cur.val, true
+		return cur.val.Load(), true
 	}
 	return 0, false
 }
@@ -140,6 +217,30 @@ func (s *Optik) acquireLevel(pred, succ *oNode, predv core.Version, level int, d
 // partially inserted node from being deleted mid-linking.
 func (s *Optik) Insert(key, val uint64) bool {
 	ds.CheckKey(key)
+	rc := qsbr.Reclaimer{Pool: s.pool}
+	defer rc.Release()
+	rc.Pin()
+	_, _, inserted := s.insert(&rc, key, val, false)
+	return inserted
+}
+
+// Upsert adds key→val if absent, or replaces the present value in place —
+// one critical section on the node's own tower lock, no delete/re-insert
+// round trip. Returns the previous value and whether a replacement
+// happened.
+func (s *Optik) Upsert(key, val uint64) (uint64, bool) {
+	ds.CheckKey(key)
+	rc := qsbr.Reclaimer{Pool: s.pool}
+	defer rc.Release()
+	rc.Pin()
+	old, replaced, _ := s.insert(&rc, key, val, true)
+	return old, replaced
+}
+
+// insert is the shared Insert/Upsert loop: parse, handle a present key
+// (fail, or replace under the node's lock), otherwise link a new tower
+// eagerly level by level. Returns (old value, replaced, inserted).
+func (s *Optik) insert(rc *qsbr.Reclaimer, key, val uint64, upsert bool) (uint64, bool, bool) {
 	topLevel := randomLevel()
 	var preds, succs [MaxLevel]*oNode
 	var predVs [MaxLevel]core.Version
@@ -155,11 +256,34 @@ func (s *Optik) Insert(key, val uint64) bool {
 					bo.Wait()
 					continue
 				}
-				return false
+				if !upsert {
+					if n != nil {
+						// Allocated on an earlier iteration but never
+						// published: straight back to the free list.
+						rc.Free(n)
+					}
+					return 0, false, false
+				}
+				v := found.lock.GetVersion()
+				if v.IsLocked() || !found.lock.TryLockVersion(v) {
+					// An inserter is using the node as predecessor, or a
+					// deleter owns it (in which case marked flips and the
+					// next parse waits the unlink out).
+					bo.Wait()
+					continue
+				}
+				// Lockable implies unmarked: deleters hold the lock forever.
+				old := found.val.Load()
+				found.val.Store(val)
+				found.lock.Unlock()
+				if n != nil {
+					rc.Free(n)
+				}
+				return old, true, false
 			}
 		}
 		if n == nil {
-			n = &oNode{key: key, val: val, topLevel: topLevel}
+			n = allocONode(rc, key, val, topLevel)
 		}
 		restartParse := false
 		level := startLevel
@@ -206,20 +330,30 @@ func (s *Optik) Insert(key, val uint64) bool {
 			continue
 		}
 		n.fullyLinked.Store(true)
-		return true
+		return 0, false, true
 	}
 }
 
 // Delete removes key, returning its value, if present. The victim's OPTIK
 // lock is acquired with a single validate-and-lock CAS and never released
-// — any parse that cached the dead node as a predecessor fails its
-// validation forever after. All predecessor levels are locked before the
-// top-down unlink; setting the marked flag is the linearization point.
+// while the node remains in circulation — any parse that cached the dead
+// node as a predecessor fails its validation until the tower is recycled
+// (and the recycling reset keeps the version monotone, so even then no
+// stale snapshot can validate). All predecessor levels are locked before
+// the top-down unlink; setting the marked flag is the linearization point.
 func (s *Optik) Delete(key uint64) (uint64, bool) {
 	ds.CheckKey(key)
+	rc := qsbr.Reclaimer{Pool: s.pool}
+	defer rc.Release()
+	rc.Pin()
+	return s.delete(&rc, key)
+}
+
+func (s *Optik) delete(rc *qsbr.Reclaimer, key uint64) (uint64, bool) {
 	var preds, succs [MaxLevel]*oNode
 	var predVs [MaxLevel]core.Version
 	var victim *oNode
+	var val uint64
 	owned := false
 	var bo backoff.Backoff
 	for {
@@ -249,6 +383,9 @@ func (s *Optik) Delete(key uint64) (uint64, bool) {
 				return 0, false
 			}
 			victim.marked.Store(true) // linearization point
+			// The victim's lock is held (forever) from here on, so its
+			// value is frozen: read it once at acquisition.
+			val = victim.val.Load()
 			owned = true
 		}
 		// Lock every predecessor level (distinct nodes once), descending
@@ -283,9 +420,10 @@ func (s *Optik) Delete(key uint64) (uint64, bool) {
 		for level := topLevel - 1; level >= 0; level-- {
 			preds[level].next[level].Store(victim.next[level].Load())
 		}
-		val := victim.val
 		unlockOPreds(&preds, highestLocked)
-		// victim.lock stays acquired forever.
+		// victim.lock stays acquired until the tower is recycled; the
+		// retirement hands it to qsbr (or the GC, without a pool).
+		rc.Retire(victim)
 		return val, true
 	}
 }
@@ -310,8 +448,145 @@ func revertOPreds(preds *[MaxLevel]*oNode, highestLocked int) {
 	}
 }
 
+// ScanRange copies the live entries with from <= key <= to, in ascending
+// key order, into keys/vals (which must be the same length), returning how
+// many were filled — the ordered-index primitive behind the wire's
+// SCAN/RANGE. The page is not an atomic snapshot: each entry was present
+// at the instant it was visited. The level-0 walk's position is a node
+// pointer, not an index, so concurrent unlinks ahead of or behind the
+// cursor neither skip nor repeat keys that stay present throughout (the
+// iterator invariant test pins this); accepted keys are strictly
+// ascending by construction.
+func (s *Optik) ScanRange(from, to uint64, keys, vals []uint64) int {
+	ds.CheckKey(from)
+	ds.CheckKey(to)
+	if len(keys) == 0 || from > to {
+		return 0
+	}
+	rc := qsbr.Reclaimer{Pool: s.pool}
+	defer rc.Release()
+	rc.Pin()
+	// Descend to the level-0 predecessor of from.
+	pred := s.head
+	for level := MaxLevel - 1; level >= 0; level-- {
+		cur := pred.next[level].Load()
+		for cur.key < from {
+			pred = cur
+			cur = pred.next[level].Load()
+		}
+	}
+	n := 0
+	for cur := pred.next[0].Load(); n < len(keys) && cur.key <= to; cur = cur.next[0].Load() {
+		// cur.key >= from is not guaranteed for the first hop (a concurrent
+		// insert can slot a smaller key behind the descent's predecessor),
+		// so filter explicitly.
+		if cur.key >= from && !cur.marked.Load() {
+			keys[n] = cur.key
+			vals[n] = cur.val.Load()
+			n++
+		}
+	}
+	return n
+}
+
+// Min returns the smallest live key and its value. ok is false on an
+// empty list.
+func (s *Optik) Min() (key, val uint64, ok bool) {
+	rc := qsbr.Reclaimer{Pool: s.pool}
+	defer rc.Release()
+	rc.Pin()
+	for cur := s.head.next[0].Load(); cur != s.tail; cur = cur.next[0].Load() {
+		if !cur.marked.Load() {
+			return cur.key, cur.val.Load(), true
+		}
+	}
+	return 0, 0, false
+}
+
+// Max returns the largest live key and its value. ok is false on an empty
+// list. The descent rides the top levels to the last tower, so Max is a
+// parse, not a level-0 walk; a marked last node (mid-unlink) retries.
+func (s *Optik) Max() (key, val uint64, ok bool) {
+	rc := qsbr.Reclaimer{Pool: s.pool}
+	defer rc.Release()
+	rc.Pin()
+	var bo backoff.Backoff
+	for {
+		pred := s.head
+		for level := MaxLevel - 1; level >= 0; level-- {
+			cur := pred.next[level].Load()
+			for cur.key < tailKey {
+				pred = cur
+				cur = pred.next[level].Load()
+			}
+		}
+		if pred == s.head {
+			return 0, 0, false
+		}
+		if !pred.marked.Load() {
+			return pred.key, pred.val.Load(), true
+		}
+		// The last tower is mid-unlink; its predecessor takes over as the
+		// maximum the moment the unlink lands.
+		bo.Wait()
+	}
+}
+
+// SearchBatch looks up keys[i] into vals[i]/found[i], pinning one qsbr
+// handle for the whole batch instead of one per key — the batched-store
+// shape (store.Ordered routes shard batches here).
+func (s *Optik) SearchBatch(keys, vals []uint64, found []bool) {
+	rc := qsbr.Reclaimer{Pool: s.pool}
+	defer rc.Release()
+	rc.Pin()
+	for i, k := range keys {
+		ds.CheckKey(k)
+		vals[i], found[i] = s.search(k)
+	}
+}
+
+// UpsertBatchEach upserts keys[i]→vals[i], recording the replaced value
+// and whether a replacement happened per key, and returns how many keys
+// were newly inserted. One qsbr pin covers the whole batch.
+func (s *Optik) UpsertBatchEach(keys, vals, old []uint64, replaced []bool) int {
+	rc := qsbr.Reclaimer{Pool: s.pool}
+	defer rc.Release()
+	rc.Pin()
+	inserted := 0
+	for i, k := range keys {
+		ds.CheckKey(k)
+		var ins bool
+		old[i], replaced[i], ins = s.insert(&rc, k, vals[i], true)
+		if ins {
+			inserted++
+		}
+	}
+	return inserted
+}
+
+// DeleteBatchEach deletes keys[i], recording the removed value and whether
+// the key was present, and returns how many were removed. One qsbr pin
+// covers the whole batch.
+func (s *Optik) DeleteBatchEach(keys, old []uint64, found []bool) int {
+	rc := qsbr.Reclaimer{Pool: s.pool}
+	defer rc.Release()
+	rc.Pin()
+	removed := 0
+	for i, k := range keys {
+		ds.CheckKey(k)
+		old[i], found[i] = s.delete(&rc, k)
+		if found[i] {
+			removed++
+		}
+	}
+	return removed
+}
+
 // Len counts unmarked elements at level 0 (not linearizable).
 func (s *Optik) Len() int {
+	rc := qsbr.Reclaimer{Pool: s.pool}
+	defer rc.Release()
+	rc.Pin()
 	n := 0
 	for cur := s.head.next[0].Load(); cur != s.tail; cur = cur.next[0].Load() {
 		if !cur.marked.Load() {

@@ -151,3 +151,58 @@ func carrierQuiesceLeak(p *qsbr.Pool) {
 	rc.release()
 	use(&rc) // re-acquires, never released again
 }
+
+// reclaimer mirrors the exported qsbr.Reclaimer shape the skip list
+// borrows: exported Pool field, guaranteed Pin, Retire for unlinked
+// towers, Release covering both.
+type reclaimer struct {
+	Pool *qsbr.Pool
+	th   *qsbr.Thread
+}
+
+func (rc *reclaimer) Pin()            {}
+func (rc *reclaimer) Retire(node any) {}
+func (rc *reclaimer) Release()        {}
+
+type tower struct{}
+
+// towerRetireGood is the skip-list delete shape: pin an epoch, unlink,
+// retire the victim tower, with the defer covering every retry path.
+func towerRetireGood(p *qsbr.Pool, victim *tower) {
+	rc := reclaimer{Pool: p}
+	defer rc.Release()
+	rc.Pin()
+	work() // the unlink
+	rc.Retire(victim)
+}
+
+// towerRetireLeak pins and retires but never releases: the slot stays
+// busy and its announced epoch pins every later retirement fleet-wide.
+func towerRetireLeak(p *qsbr.Pool, victim *tower) {
+	rc := reclaimer{Pool: p} // want `not released before the function returns`
+	rc.Pin()
+	work()
+	rc.Retire(victim)
+}
+
+// towerRetireEarlyReturn forgets the not-found path: the pinned epoch
+// leaks exactly when the delete had nothing to retire.
+func towerRetireEarlyReturn(p *qsbr.Pool, victim *tower, found bool) {
+	rc := reclaimer{Pool: p}
+	rc.Pin()
+	if !found {
+		return // want `qsbr handle may be held at this return`
+	}
+	rc.Retire(victim)
+	rc.Release()
+}
+
+// towerRetireBlocked parks on a channel between the unlink and the
+// retirement, stalling reclamation with the pin announced.
+func towerRetireBlocked(p *qsbr.Pool, victim *tower, ch chan int) {
+	rc := reclaimer{Pool: p}
+	defer rc.Release()
+	rc.Pin()
+	<-ch // want `channel receive while a qsbr handle is held`
+	rc.Retire(victim)
+}

@@ -878,6 +878,124 @@ func runNetCell(o RunOpts, cfg workload.ServerConfig, v netVariant) workload.Ser
 	})
 }
 
+// FigOrdered runs the ordered-index scenario (beyond the paper: its
+// skip list is the building block, the range-partitioned store is the
+// system): a zipfian GET/SET/DEL stream with a 10% fraction of range
+// scans, swept across thread counts × shard counts, plus one
+// over-the-wire series driving the same mix through optik-server's
+// ordered protocol (scans as RANGE commands). The 1-shard row is the
+// single skip list behind the store API; separation between rows is
+// what range partitioning buys when scans and point ops contend. The
+// reclamation columns are the acceptance signal: towers retire and get
+// reused with zero caller-side quiescing — the scheduler's idle sweeps
+// alone drain them.
+func FigOrdered(o RunOpts) {
+	o = o.Normalize()
+	shards := normalizeShards(o.Shards)
+	const initial = 65536
+	cfg := workload.OrderedConfig{
+		Duration:    o.Duration,
+		InitialSize: initial,
+		SetPct:      8,
+		DelPct:      2,
+		ScanPct:     10,
+		ScanWidth:   64,
+	}
+	wlLabel := fmt.Sprintf("zipf get80/set8/del2/scan10x64 init %d", initial)
+	fmt.Fprintf(o.Out, "# Ordered — store.Ordered, %s (Mops/s)\n", wlLabel)
+	fmt.Fprintf(o.Out, "%-8s", "threads")
+	for _, sh := range shards {
+		fmt.Fprintf(o.Out, "%16s", orderedImplName(sh))
+	}
+	fmt.Fprintf(o.Out, "%16s\n", "ordered-net")
+	for _, th := range o.Threads {
+		fmt.Fprintf(o.Out, "%-8d", th)
+		for _, sh := range shards {
+			c := cfg
+			c.Threads = th
+			res := workload.RunOrdered(c, orderedFactory(sh, initial))
+			fmt.Fprintf(o.Out, "%16.3f", res.Mops)
+			o.Record.add(Row{
+				Figure: "Ordered", Workload: wlLabel, Impl: orderedImplName(sh), Threads: th,
+				Mops: res.Mops, NodesRetired: res.TowersRetired, NodesReused: res.TowersReused,
+				MaxProcs: res.MaxProcs,
+			})
+		}
+		c := cfg
+		c.Threads = th
+		res := runOrderedNetCell(o, c)
+		fmt.Fprintf(o.Out, "%16.3f\n", res.Mops)
+		o.Record.add(Row{
+			Figure: "Ordered", Workload: wlLabel, Impl: "ordered-net", Threads: th,
+			Mops: res.Mops, MaxProcs: res.MaxProcs,
+		})
+	}
+	fmt.Fprintln(o.Out)
+	th := o.Threads[len(o.Threads)-1]
+	fmt.Fprintf(o.Out, "# Ordered latency — per-op ns by request kind, %d threads\n", th)
+	for _, sh := range shards {
+		c := cfg
+		c.Threads = th
+		c.SampleLatency = true
+		res := workload.RunOrdered(c, orderedFactory(sh, initial))
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", orderedImplName(sh), "all", res.Latency)
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", orderedImplName(sh), "get", res.GetLatency)
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", orderedImplName(sh), "set", res.SetLatency)
+		fmt.Fprintf(o.Out, "%-16s %-8s %s\n", orderedImplName(sh), "scan", res.ScanLatency)
+		fmt.Fprintf(o.Out, "%-16s hit rate %.1f%%, %.1f entries/scan, towers retired %d reclaimed %d reused %d (no caller quiesce)\n",
+			orderedImplName(sh), 100*res.HitRate, scanDensity(res), res.TowersRetired, res.TowersReclaimed, res.TowersReused)
+		o.Record.add(Row{
+			Figure: "Ordered latency", Workload: wlLabel, Impl: orderedImplName(sh), Threads: th,
+			Mops: res.Mops, P50Ns: res.Latency.P50, P99Ns: res.Latency.P99, MaxNs: res.Latency.Max,
+			MaxProcs: res.MaxProcs,
+		})
+	}
+	fmt.Fprintln(o.Out)
+}
+
+// orderedImplName labels a shard-count series of the ordered figure.
+func orderedImplName(shards int) string { return fmt.Sprintf("ordered-%dsh", shards) }
+
+// scanDensity is the average page fill of a run's scans.
+func scanDensity(res workload.OrderedResult) float64 {
+	if res.Scans == 0 {
+		return 0
+	}
+	return float64(res.Scanned) / float64(res.Scans)
+}
+
+// orderedFactory builds the ordered figure's in-process store: the key
+// ceiling matches the workload's 2×initial key range, so the range
+// partition splits the populated space, not a mostly-empty one.
+func orderedFactory(shards, initial int) func() workload.OrderedTarget {
+	return func() workload.OrderedTarget {
+		return store.NewOrdered(store.WithShards(shards), store.WithKeyMax(uint64(2*initial)))
+	}
+}
+
+// runOrderedNetCell runs one over-the-wire ordered cell, bringing up a
+// private loopback ordered server unless RunOpts names an external one
+// (which must itself be ordered: optik-server -ordered).
+func runOrderedNetCell(o RunOpts, cfg workload.OrderedConfig) workload.OrderedResult {
+	addr := o.NetAddr
+	if addr == "" {
+		st := store.NewSortedStrings(store.WithKeyMax(uint64(2 * cfg.InitialSize)))
+		srv := server.NewOrdered(st)
+		bound, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			panic("figures: ordered loopback server: " + err.Error())
+		}
+		defer func() {
+			srv.Close()
+			st.Close()
+		}()
+		addr = bound.String()
+	}
+	return workload.RunOrdered(cfg, func() workload.OrderedTarget {
+		return workload.NewOrderedNetTarget(addr)
+	})
+}
+
 // Stacks regenerates the §5.5 stack comparison (not a numbered figure in
 // the paper; reported as "behave similarly").
 func Stacks(o RunOpts) {
@@ -914,4 +1032,5 @@ func All(o RunOpts) {
 	FigChurn(o)
 	FigServer(o)
 	FigNet(o)
+	FigOrdered(o)
 }

@@ -211,6 +211,14 @@ func (t *Thread) Alloc() any {
 	return nil
 }
 
+// Free pushes obj straight onto the free list, skipping the retire/epoch
+// round trip. Only legal for objects that were never published to the
+// shared structure (no reader can hold a reference): the allocate-then-
+// lose-the-race path of optimistic inserts.
+func (t *Thread) Free(obj any) {
+	t.free = append(t.free, obj)
+}
+
 // Retire marks obj unreachable from the shared structure as of the current
 // epoch. The object will be recycled once every registered thread passes a
 // quiescent state.

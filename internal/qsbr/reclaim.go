@@ -1,0 +1,134 @@
+// Reclaimer is the structure-agnostic node-lifecycle carrier. It began
+// life as ds/hashmap's private reclaimer, shaped around overflow-chain
+// nodes; promoting it here is what lets the skip-list towers and the hash
+// chains share ONE lifecycle implementation (alloc from a free list,
+// retire on unlink, amortized sweep on release) instead of each structure
+// growing its own copy.
+//
+// Two borrowing modes cover the two protection stories in the repo:
+//
+//   - Handle: the lazy, best-effort borrow the hash table uses. Only
+//     operations that actually touch nodes pay for the Acquire; when the
+//     pool is exhausted the operation falls back to plain allocation and
+//     GC reclamation — safe there because the table's OPTIK version
+//     validation carries correctness on its own.
+//   - Pin: the guaranteed borrow for structures whose READERS depend on
+//     epoch protection (the skip list: recycled towers overwrite plain
+//     fields, so a traversal must hold an announced epoch for its whole
+//     walk). Pin falls back to registering a fresh thread in the domain
+//     when every pool slot is borrowed, so it only returns nil when there
+//     is no pool at all (the GC-reclaimed paper variants).
+//
+// The Pool field is exported on purpose: qsbrguard recognizes carriers by
+// their composite-literal construction (`qsbr.Reclaimer{Pool: p}` ...
+// `defer rc.Release()`), so construction must stay a literal, not a
+// constructor call the analyzer cannot see through.
+
+package qsbr
+
+// Reclaimer borrows a qsbr handle lazily — only operations that actually
+// touch nodes pay for it. The zero value with a nil Pool allocates from
+// the heap and retires to the garbage collector.
+type Reclaimer struct {
+	Pool *Pool
+	th   *Thread
+	// tried records that a pool Acquire already ran (and possibly
+	// failed), so one exhausted probe is not repeated per node.
+	tried bool
+	// registered marks a Pin fallback handle that was freshly registered
+	// in the domain rather than borrowed; Release unregisters it.
+	registered bool
+}
+
+// Handle returns the borrowed qsbr handle, acquiring one on first use.
+// Returns nil for heap-backed reclaimers and when the pool is exhausted
+// (every slot borrowed by a descheduled goroutine) — the caller then falls
+// back to plain allocation for this operation.
+func (rc *Reclaimer) Handle() *Thread {
+	if rc == nil || rc.Pool == nil {
+		return nil
+	}
+	if !rc.tried {
+		rc.tried = true
+		rc.th = rc.Pool.Acquire()
+	}
+	return rc.th
+}
+
+// Pin returns a guaranteed handle whose announced epoch protects every
+// shared object the caller reaches until Release: first a pool borrow,
+// then — when the pool is exhausted — a freshly registered domain thread.
+// Registration orders with concurrent sweeps through the domain mutex, so
+// an object the pinned caller can reach is never handed out for reuse
+// before Release. Returns nil only when the reclaimer has no pool (the
+// heap-backed zero value), where recycling never happens and traversals
+// need no protection.
+func (rc *Reclaimer) Pin() *Thread {
+	if th := rc.Handle(); th != nil {
+		return th
+	}
+	if rc == nil || rc.Pool == nil {
+		return nil
+	}
+	rc.th = rc.Pool.Domain().Register()
+	rc.registered = true
+	return rc.th
+}
+
+// Alloc returns a recycled object from the handle's free list, or nil when
+// none is available (the caller then allocates normally and must fully
+// reset a recycled object before publishing it — stale readers from its
+// previous life are fenced off by the structure's own validation).
+func (rc *Reclaimer) Alloc() any {
+	if th := rc.Handle(); th != nil {
+		return th.Alloc()
+	}
+	return nil
+}
+
+// Retire hands an unlinked object to the reclamation scheme. Without a
+// handle the object simply drops to the garbage collector — it is never
+// reused, so validated readers stay safe either way.
+func (rc *Reclaimer) Retire(obj any) {
+	if th := rc.Handle(); th != nil {
+		th.Retire(obj)
+	}
+}
+
+// Free returns a never-published object straight to the free list: no
+// reader can have seen it, so it skips the retire/epoch round trip
+// entirely (an insert that lost its race allocates, finds the key taken,
+// and hands the node back). Without a handle the object drops to the GC.
+func (rc *Reclaimer) Free(obj any) {
+	if th := rc.Handle(); th != nil {
+		th.Free(obj)
+	}
+}
+
+// Release returns the borrowed handle (running the amortized reclamation
+// sweep when enough retirements accumulated) or unregisters a Pin
+// fallback handle. Safe to call on a reclaimer that never acquired; a
+// released reclaimer can be used again.
+func (rc *Reclaimer) Release() {
+	if rc == nil || rc.th == nil {
+		rc.resetTried()
+		return
+	}
+	if rc.registered {
+		// Push pending retirements through one quiescent pass first so the
+		// common case leaves nothing for the domain's orphan list.
+		rc.th.Quiescent()
+		rc.Pool.Domain().Unregister(rc.th)
+	} else {
+		rc.Pool.Release(rc.th)
+	}
+	rc.th = nil
+	rc.tried = false
+	rc.registered = false
+}
+
+func (rc *Reclaimer) resetTried() {
+	if rc != nil {
+		rc.tried = false
+	}
+}

@@ -34,16 +34,30 @@ func (x *Xorshift) Seed(seed uint64) {
 
 // Next returns the next 64-bit value in the sequence.
 func (x *Xorshift) Next() uint64 {
-	s := x.state
+	s := Step(x.state)
+	x.state = s
+	return Mix(s)
+}
+
+// Step advances a xorshift64* state by one step, repairing a zero state to
+// the fixed seed (the xorshift state must never be zero). Exposed for
+// callers that keep their state in an atomic word instead of an Xorshift —
+// the skip lists' per-goroutine level cells — so every generator in the
+// repo runs the same sequence.
+func Step(s uint64) uint64 {
 	if s == 0 {
 		s = 0x9E3779B97F4A7C15
 	}
 	s ^= s >> 12
 	s ^= s << 25
 	s ^= s >> 27
-	x.state = s
-	return s * 0x2545F4914F6CDD1D
+	return s
 }
+
+// Mix finalizes a stepped state into the output word (the * of
+// xorshift64*): the multiply scrambles the low bits, which the raw state
+// leaves weak.
+func Mix(s uint64) uint64 { return s * 0x2545F4914F6CDD1D }
 
 // Intn returns a value in [0, n). n must be positive.
 func (x *Xorshift) Intn(n uint64) uint64 {

@@ -1,0 +1,143 @@
+// The server/store boundary. The server used to be hard-wired to the
+// hash-routed store.Strings; the ordered index gives it a second store
+// with the same point-op surface plus range queries, so the store-side
+// dependency is now an interface. The two implementations differ in
+// exactly two places:
+//
+//   - key: how a wire key maps into the uint64 index space. The hash
+//     backend hashes arbitrary bytes (FNV-1a) and can never fail; the
+//     ordered backend parses a decimal uint64 — hashing would destroy the
+//     order SCAN/RANGE serve — and rejects anything else, which the
+//     dispatcher turns into a soft per-request error.
+//   - the ordered family: SCAN/RANGE/MIN/MAX exist only where the index
+//     can answer them; the dispatcher discovers support by interface
+//     assertion and answers -ERR on the hash backend.
+//
+// Everything else — the coalescer, the reply framing, the pipeline
+// machinery — is shared verbatim, which is the point: range queries ride
+// the existing ingest path instead of forking it.
+package server
+
+import (
+	"fmt"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/store"
+)
+
+// backend is the store surface the server drives. The *Hashed family
+// matches store.Strings' method set; key maps a wire key into the index's
+// key space (false = the key is not representable, a soft error).
+type backend interface {
+	key(arg []byte) (uint64, bool)
+	GetHashed(k uint64) (string, bool)
+	SetHashed(k uint64, val string) bool
+	DelHashed(k uint64) bool
+	MGetHashed(keys []uint64, vals []string, found []bool)
+	MSetHashed(keys []uint64, vals []string, replaced []bool) int
+	MDelHashed(keys []uint64, found []bool) int
+	Len() int
+	Quiesce()
+	// statsPrefix renders the store-side lines of the STATS reply; the
+	// server appends its own connection/command counters after it.
+	statsPrefix() string
+}
+
+// orderedBackend is the extra surface of a backend whose index is sorted.
+type orderedBackend interface {
+	Scan(from, to uint64, keys []uint64, vals []string) int
+	Min() (uint64, string, bool)
+	Max() (uint64, string, bool)
+}
+
+// stringsBackend adapts store.Strings (the promoted methods cover the
+// whole *Hashed family).
+type stringsBackend struct {
+	*store.Strings
+}
+
+func (b stringsBackend) key(arg []byte) (uint64, bool) {
+	return store.HashKeyBytes(arg), true
+}
+
+func (b stringsBackend) statsPrefix() string {
+	idx := b.Index()
+	retired, reclaimed, reused := idx.ReclaimStats()
+	return fmt.Sprintf(
+		"len:%d\nshards:%d\nbuckets:%d\nresizes:%d\n"+
+			"nodes_retired:%d\nnodes_reclaimed:%d\nnodes_reused:%d\n"+
+			"values_allocated:%d\nvalues_free:%d\n",
+		idx.Len(), idx.Shards(), idx.Buckets(), idx.Resizes(),
+		retired, reclaimed, reused,
+		b.Values().Allocated(), b.Values().FreeLen())
+}
+
+// sortedBackend adapts store.SortedStrings; its index methods take the
+// key directly (no hash), so the adapters are renames.
+type sortedBackend struct {
+	st *store.SortedStrings
+}
+
+var _ orderedBackend = sortedBackend{}
+
+// key parses a decimal uint64 in the index key range. Overflow, non-digit
+// bytes, and the two sentinel values are all rejected.
+func (b sortedBackend) key(arg []byte) (uint64, bool) {
+	if len(arg) == 0 || len(arg) > 20 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range arg {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (^uint64(0)-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	if n < ds.MinKey || n > ds.MaxKey {
+		return 0, false
+	}
+	return n, true
+}
+
+func (b sortedBackend) GetHashed(k uint64) (string, bool) { return b.st.Get(k) }
+func (b sortedBackend) SetHashed(k uint64, val string) bool {
+	return b.st.Set(k, val)
+}
+func (b sortedBackend) DelHashed(k uint64) bool { return b.st.Del(k) }
+func (b sortedBackend) MGetHashed(keys []uint64, vals []string, found []bool) {
+	b.st.MGet(keys, vals, found)
+}
+func (b sortedBackend) MSetHashed(keys []uint64, vals []string, replaced []bool) int {
+	return b.st.MSet(keys, vals, replaced)
+}
+func (b sortedBackend) MDelHashed(keys []uint64, found []bool) int {
+	return b.st.MDel(keys, found)
+}
+func (b sortedBackend) Len() int { return b.st.Len() }
+func (b sortedBackend) Quiesce() { b.st.Quiesce() }
+
+func (b sortedBackend) Scan(from, to uint64, keys []uint64, vals []string) int {
+	return b.st.Scan(from, to, keys, vals)
+}
+func (b sortedBackend) Min() (uint64, string, bool) { return b.st.Min() }
+func (b sortedBackend) Max() (uint64, string, bool) { return b.st.Max() }
+
+// statsPrefix keeps the nodes_* names (they count retired/reclaimed/
+// reused index nodes — towers here, chain nodes on the hash backend) so
+// stats consumers read both backends with one parser; ordered:1 is the
+// discriminator, and the hash-only buckets/resizes lines are absent.
+func (b sortedBackend) statsPrefix() string {
+	idx := b.st.Index()
+	retired, reclaimed, reused := idx.ReclaimStats()
+	return fmt.Sprintf(
+		"len:%d\nshards:%d\nordered:1\n"+
+			"nodes_retired:%d\nnodes_reclaimed:%d\nnodes_reused:%d\n"+
+			"values_allocated:%d\nvalues_free:%d\n",
+		idx.Len(), idx.Shards(),
+		retired, reclaimed, reused,
+		b.st.Values().Allocated(), b.st.Values().FreeLen())
+}

@@ -371,6 +371,124 @@ func (c *Client) ReclaimStats() (retired, reclaimed, reused uint64) {
 	return uint64(s["nodes_retired"]), uint64(s["nodes_reclaimed"]), uint64(s["nodes_reused"])
 }
 
+// readBulkUint reads a bulk reply that must hold a decimal uint64.
+func (c *Client) readBulkUint() uint64 {
+	kind, _, payload := c.readReply()
+	if kind != '$' {
+		panic("server client: expected bulk reply, got type " + string(kind))
+	}
+	v, ok := parseUint(payload)
+	if !ok {
+		panic("server client: non-numeric bulk " + string(payload))
+	}
+	return v
+}
+
+// Scan issues one SCAN page against an ordered server: entries from
+// cursor upward (0 starts a scan), optionally restricted to keys whose
+// decimal form starts with prefix (empty = all), at most count entries
+// (0 = server default). It returns the next cursor (0 = exhausted) and
+// the page. Values come back as strings because an ordered store's
+// values are arbitrary; the uint64-valued benchmark path uses Range.
+func (c *Client) Scan(cursor uint64, prefix string, count int) (uint64, []uint64, []string) {
+	c.appendCommand("SCAN", cursor)
+	if prefix != "" {
+		c.out = append(c.out[:len(c.out)-2], " PREFIX "...)
+		c.out = append(c.out, prefix...)
+		c.out = append(c.out, crlf...)
+	}
+	if count > 0 {
+		c.out = append(c.out[:len(c.out)-2], " COUNT "...)
+		c.out = strconv.AppendInt(c.out, int64(count), 10)
+		c.out = append(c.out, crlf...)
+	}
+	c.flush()
+	kind, n, _ := c.readReply()
+	if kind != '*' || n < 1 || n%2 != 1 {
+		panic("server client: bad SCAN reply header")
+	}
+	next := c.readBulkUint()
+	pairs := int(n) / 2
+	keys := make([]uint64, pairs)
+	vals := make([]string, pairs)
+	for i := 0; i < pairs; i++ {
+		keys[i] = c.readBulkUint()
+		kind, blen, payload := c.readReply()
+		if kind != '$' || blen < 0 {
+			panic("server client: bad SCAN value")
+		}
+		vals[i] = string(payload)
+	}
+	return next, keys, vals
+}
+
+// ScanAll drives the SCAN cursor loop to completion, returning every
+// entry under prefix (empty = the whole store) in ascending key order,
+// paging by count (0 = server default).
+func (c *Client) ScanAll(prefix string, count int) ([]uint64, []string) {
+	var keys []uint64
+	var vals []string
+	cursor := uint64(0)
+	for {
+		next, k, v := c.Scan(cursor, prefix, count)
+		keys = append(keys, k...)
+		vals = append(vals, v...)
+		if next == 0 {
+			return keys, vals
+		}
+		cursor = next
+	}
+}
+
+// Range fills keys/vals (same length; at most that many entries are
+// requested, capped by the server at its page max) with the entries in
+// [min, max] ascending, returning how many arrived. Values must be
+// decimal uint64s — this is the benchmark-shaped path; use Scan for
+// string values.
+func (c *Client) Range(min, max uint64, keys, vals []uint64) int {
+	c.appendCommand("RANGE", min, max)
+	c.out = append(c.out[:len(c.out)-2], " LIMIT "...)
+	c.out = strconv.AppendInt(c.out, int64(len(keys)), 10)
+	c.out = append(c.out, crlf...)
+	c.flush()
+	kind, n, _ := c.readReply()
+	if kind != '*' || n%2 != 0 || int(n)/2 > len(keys) {
+		panic("server client: bad RANGE reply header")
+	}
+	pairs := int(n) / 2
+	for i := 0; i < pairs; i++ {
+		keys[i] = c.readBulkUint()
+		vals[i] = c.readBulkUint()
+	}
+	return pairs
+}
+
+// Min returns the smallest key and its value; ok is false when the store
+// is empty.
+func (c *Client) Min() (uint64, string, bool) { return c.endpoint("MIN") }
+
+// Max returns the largest key and its value; ok is false when the store
+// is empty.
+func (c *Client) Max() (uint64, string, bool) { return c.endpoint("MAX") }
+
+func (c *Client) endpoint(cmd string) (uint64, string, bool) {
+	c.appendCommand(cmd)
+	c.flush()
+	kind, n, _ := c.readReply()
+	if kind != '*' || (n != 0 && n != 2) {
+		panic("server client: bad " + cmd + " reply header")
+	}
+	if n == 0 {
+		return 0, "", false
+	}
+	k := c.readBulkUint()
+	kind, blen, payload := c.readReply()
+	if kind != '$' || blen < 0 {
+		panic("server client: bad " + cmd + " value")
+	}
+	return k, string(payload), true
+}
+
 // Stats fetches and parses the STATS reply into a name→value map.
 func (c *Client) Stats() map[string]int64 {
 	c.appendCommand("STATS")

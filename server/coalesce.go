@@ -28,8 +28,6 @@ package server
 
 import (
 	"bufio"
-
-	"github.com/optik-go/optik/store"
 )
 
 // runKind classifies a staged run by command family.
@@ -228,18 +226,39 @@ func (s *Server) drainDel(co *coalescer, w *bufio.Writer, out []byte) ([]byte, e
 	return out, nil
 }
 
-// stageKeys hashes every key view into the run's hash stream.
-func (co *coalescer) stageKeys(keys [][]byte) {
+// stageKeys maps every key view through the backend into the run's key
+// stream. On an unrepresentable key (ordered backend, non-decimal bytes)
+// the request's keys are rolled back and false returned: the run keeps
+// only fully staged requests, so the dispatcher can answer a per-request
+// error without corrupting the reply accounting.
+func (s *Server) stageKeys(co *coalescer, keys [][]byte) bool {
+	base := len(co.hashes)
 	for _, k := range keys {
-		co.hashes = append(co.hashes, store.HashKeyBytes(k))
+		h, ok := s.st.key(k)
+		if !ok {
+			co.hashes = co.hashes[:base]
+			return false
+		}
+		co.hashes = append(co.hashes, h)
 	}
+	return true
 }
 
-// stagePairs hashes every even arg as a key and copies every odd arg as
-// its value (the same one string copy per value the scalar SET pays).
-func (co *coalescer) stagePairs(args [][]byte) {
+// stagePairs maps every even arg as a key and copies every odd arg as its
+// value (the same one string copy per value the scalar SET pays). Same
+// rollback contract as stageKeys.
+func (s *Server) stagePairs(co *coalescer, args [][]byte) bool {
+	baseH, baseV := len(co.hashes), len(co.vals)
 	for i := 0; i < len(args); i += 2 {
-		co.hashes = append(co.hashes, store.HashKeyBytes(args[i]))
+		h, ok := s.st.key(args[i])
+		if !ok {
+			co.hashes = co.hashes[:baseH]
+			clear(co.vals[baseV:])
+			co.vals = co.vals[:baseV]
+			return false
+		}
+		co.hashes = append(co.hashes, h)
 		co.vals = append(co.vals, string(args[i+1]))
 	}
+	return true
 }

@@ -1,0 +1,223 @@
+// The ordered command family: SCAN, RANGE, MIN, MAX (docs/PROTOCOL.md has
+// the grammar). All four are coalescer barriers — they drain any staged
+// run first, like LEN or STATS — because their replies depend on global
+// index order, which a half-applied staged run would make unanswerable in
+// arrival-order semantics.
+//
+// SCAN pages with a STABLE cursor: the cursor is a resumption KEY (the
+// smallest key the next page may contain), not a position. A positional
+// cursor breaks under churn — deletions ahead of it skip entries,
+// insertions repeat them — while a resumption key inherits the skip list's
+// own guarantee: keys are returned in strictly ascending order, so "give
+// me keys >= c" neither skips nor repeats anything that stays present
+// across the pages (the store's cursor-invariant test pins exactly this).
+package server
+
+import (
+	"bufio"
+	"strconv"
+
+	"github.com/optik-go/optik/ds"
+)
+
+const (
+	// defaultScanCount is the page size when SCAN/RANGE carry no
+	// COUNT/LIMIT.
+	defaultScanCount = 128
+	// maxScanCount caps a requested page, bounding one reply's memory.
+	maxScanCount = 4096
+)
+
+// appendBulkUint frames a uint64 as a decimal bulk string.
+func appendBulkUint(dst []byte, v uint64) []byte {
+	var tmp [20]byte
+	b := strconv.AppendUint(tmp[:0], v, 10)
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(len(b)), 10)
+	dst = append(dst, crlf...)
+	dst = append(dst, b...)
+	return append(dst, crlf...)
+}
+
+// clampKeyRange pulls an arbitrary wire uint64 pair into the index key
+// space (RANGE 0 18446744073709551615 means "everything").
+func clampKeyRange(min, max uint64) (uint64, uint64) {
+	if min < ds.MinKey {
+		min = ds.MinKey
+	}
+	if max > ds.MaxKey {
+		max = ds.MaxKey
+	}
+	return min, max
+}
+
+// prefixRanges appends the key ranges whose decimal representation starts
+// with the digits of prefix, in ascending key order: value v with d
+// trailing digits spans [v·10^d, (v+1)·10^d − 1], one range per digit
+// count until 10^d·v overflows the key space. The ranges are disjoint and
+// ascending (each is a full power-of-ten slice above the previous), so a
+// scan visiting them in order emits globally ascending keys and the
+// resumption cursor stays valid across them.
+func prefixRanges(v uint64, dst [][2]uint64) [][2]uint64 {
+	if v == 0 {
+		// Decimal representations have no leading zeros; only the key 0
+		// itself would match, and 0 is outside the key range.
+		return dst
+	}
+	for scale := uint64(1); ; scale *= 10 {
+		if v > ds.MaxKey/scale {
+			break
+		}
+		lo := v * scale
+		hi := lo + (scale - 1)
+		if hi < lo || hi > ds.MaxKey {
+			hi = ds.MaxKey
+		}
+		if lo < ds.MinKey {
+			lo = ds.MinKey
+		}
+		dst = append(dst, [2]uint64{lo, hi})
+		if scale > ds.MaxKey/10 {
+			break
+		}
+	}
+	return dst
+}
+
+// scanScratch sizes the reply page buffers.
+func scanScratch(n int) ([]uint64, []string) {
+	return make([]uint64, n), make([]string, n)
+}
+
+// executeScan answers SCAN cursor [PREFIX p] [COUNT n]: a flat array
+// whose first element is the next cursor (0 = exhausted) followed by
+// key/value pairs.
+func (s *Server) executeScan(ob orderedBackend, rest [][]byte, w *bufio.Writer, out []byte) ([]byte, error) {
+	if len(rest) < 1 || len(rest)%2 != 1 {
+		return arity(out, "scan")
+	}
+	cursor, ok := parseUint(rest[0])
+	if !ok {
+		return appendError(out, "ERR invalid cursor"), nil
+	}
+	count := defaultScanCount
+	var ranges [][2]uint64
+	for i := 1; i < len(rest); i += 2 {
+		switch {
+		case cmdEq(rest[i], "COUNT"):
+			n, ok := parseUint(rest[i+1])
+			if !ok || n == 0 {
+				return appendError(out, "ERR invalid COUNT"), nil
+			}
+			if n > maxScanCount {
+				n = maxScanCount
+			}
+			count = int(n)
+		case cmdEq(rest[i], "PREFIX"):
+			p := rest[i+1]
+			v, ok := parseUint(p)
+			if !ok || len(p) > 0 && p[0] == '0' {
+				return appendError(out, "ERR invalid PREFIX"), nil
+			}
+			ranges = prefixRanges(v, ranges[:0])
+		default:
+			return appendError(out, "ERR syntax error in SCAN"), nil
+		}
+	}
+	if ranges == nil {
+		ranges = append(ranges, [2]uint64{ds.MinKey, ds.MaxKey})
+	}
+
+	keys, vals := scanScratch(count)
+	filled := 0
+	exhausted := true
+	for _, r := range ranges {
+		lo, hi := r[0], r[1]
+		if cursor > lo {
+			lo = cursor
+		}
+		if lo > hi {
+			continue
+		}
+		filled += ob.Scan(lo, hi, keys[filled:], vals[filled:])
+		if filled == count {
+			// The page is full; unless this range (and every later one) is
+			// truly done, more may remain.
+			exhausted = keys[filled-1] == hi && r == ranges[len(ranges)-1]
+			break
+		}
+	}
+	next := uint64(0)
+	if filled > 0 && !exhausted && keys[filled-1] < ds.MaxKey {
+		next = keys[filled-1] + 1
+	}
+	out = appendArrayHeader(out, 1+2*filled)
+	out = appendBulkUint(out, next)
+	var err error
+	for i := 0; i < filled; i++ {
+		out = appendBulkUint(out, keys[i])
+		out = appendBulk(out, vals[i])
+		if out, err = s.spill(w, out); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// executeRange answers RANGE min max [LIMIT n]: a flat array of key/value
+// pairs for min <= key <= max, ascending, at most n pairs (default 128,
+// cap 4096). Unlike SCAN it carries no cursor — callers page by reissuing
+// with min = lastKey+1.
+func (s *Server) executeRange(ob orderedBackend, rest [][]byte, w *bufio.Writer, out []byte) ([]byte, error) {
+	if len(rest) != 2 && len(rest) != 4 {
+		return arity(out, "range")
+	}
+	lo, ok1 := parseUint(rest[0])
+	hi, ok2 := parseUint(rest[1])
+	if !ok1 || !ok2 {
+		return appendError(out, "ERR invalid range bound"), nil
+	}
+	limit := defaultScanCount
+	if len(rest) == 4 {
+		if !cmdEq(rest[2], "LIMIT") {
+			return appendError(out, "ERR syntax error in RANGE"), nil
+		}
+		n, ok := parseUint(rest[3])
+		if !ok || n == 0 {
+			return appendError(out, "ERR invalid LIMIT"), nil
+		}
+		if n > maxScanCount {
+			n = maxScanCount
+		}
+		limit = int(n)
+	}
+	lo, hi = clampKeyRange(lo, hi)
+	filled := 0
+	var keys []uint64
+	var vals []string
+	if lo <= hi {
+		keys, vals = scanScratch(limit)
+		filled = ob.Scan(lo, hi, keys, vals)
+	}
+	out = appendArrayHeader(out, 2*filled)
+	var err error
+	for i := 0; i < filled; i++ {
+		out = appendBulkUint(out, keys[i])
+		out = appendBulk(out, vals[i])
+		if out, err = s.spill(w, out); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// executeEndpoint answers MIN and MAX: a two-element [key, value] array,
+// or an empty array on an empty store.
+func executeEndpoint(out []byte, k uint64, v string, ok bool) []byte {
+	if !ok {
+		return appendArrayHeader(out, 0)
+	}
+	out = appendArrayHeader(out, 2)
+	out = appendBulkUint(out, k)
+	return appendBulk(out, v)
+}

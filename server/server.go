@@ -62,12 +62,13 @@ func WithCoalesce(n int) Option {
 // DefaultCoalesce is the default WithCoalesce run bound (in keys).
 const DefaultCoalesce = 256
 
-// Server serves a store.Strings over the wire protocol in
-// docs/PROTOCOL.md. Construct with New, then ListenAndServe (blocking) or
-// Start (background); Close shuts the listener and every connection down
-// and waits for the handlers to drain.
+// Server serves a store over the wire protocol in docs/PROTOCOL.md:
+// a hash-routed store.Strings (New) or an ordered store.SortedStrings
+// (NewOrdered), which additionally answers SCAN/RANGE/MIN/MAX. Construct,
+// then ListenAndServe (blocking) or Start (background); Close shuts the
+// listener and every connection down and waits for the handlers to drain.
 type Server struct {
-	st   *store.Strings
+	st   backend
 	opts options
 
 	mu    sync.Mutex
@@ -90,6 +91,18 @@ type Server struct {
 // stops serving but leaves st (and its maintenance scheduler) to the
 // caller.
 func New(st *store.Strings, opts ...Option) *Server {
+	return newServer(stringsBackend{st}, opts)
+}
+
+// NewOrdered returns a server for an ordered store. Keys on the wire must
+// be decimal uint64s (the order is the point; hashing would destroy it) —
+// any other key draws a per-request error — and the ordered command
+// family (SCAN, RANGE, MIN, MAX) is served. Ownership contract as in New.
+func NewOrdered(st *store.SortedStrings, opts ...Option) *Server {
+	return newServer(sortedBackend{st: st}, opts)
+}
+
+func newServer(b backend, opts []Option) *Server {
 	o := options{pipeline: 512, bufSize: 16384, coalesce: DefaultCoalesce}
 	for _, opt := range opts {
 		opt(&o)
@@ -103,7 +116,7 @@ func New(st *store.Strings, opts ...Option) *Server {
 	if o.coalesce < 0 {
 		o.coalesce = 0
 	}
-	return &Server{st: st, opts: o, conns: make(map[net.Conn]struct{})}
+	return &Server{st: b, opts: o, conns: make(map[net.Conn]struct{})}
 }
 
 // Listen binds addr ("host:port"; ":0" picks a free port) without serving
@@ -370,7 +383,7 @@ func (s *Server) dispatch(co *coalescer, req *request, w *bufio.Writer, out []by
 		if err != nil {
 			return out, err
 		}
-		return s.execute(req, out)
+		return s.execute(req, w, out)
 	}
 	if co.kind != kind && co.kind != runNone {
 		var err error
@@ -379,11 +392,24 @@ func (s *Server) dispatch(co *coalescer, req *request, w *bufio.Writer, out []by
 		}
 	}
 	n := len(rest)
+	staged := false
 	if kind == runWrite {
 		n = len(rest) / 2
-		co.stagePairs(rest)
+		staged = s.stagePairs(co, rest)
 	} else {
-		co.stageKeys(rest)
+		staged = s.stageKeys(co, rest)
+	}
+	if !staged {
+		// A key the backend cannot represent (the ordered backend takes
+		// decimal uint64s only): soft per-request error, with the staged
+		// run's replies drained first so arrival order holds. Nothing of
+		// this request was staged (the stage rolls back), so the
+		// connection stays fully usable.
+		out, err := s.drain(co, w, out)
+		if err != nil {
+			return out, err
+		}
+		return appendError(out, "ERR invalid key"), nil
 	}
 	co.stage(kind, n, multi)
 	if co.keys() >= s.opts.coalesce {
@@ -393,11 +419,36 @@ func (s *Server) dispatch(co *coalescer, req *request, w *bufio.Writer, out []by
 }
 
 // execute answers one barrier command (every command outside the three
-// coalescable families), appending its reply to out.
-func (s *Server) execute(req *request, out []byte) ([]byte, error) {
+// coalescable families), appending its reply to out. The ordered family
+// spills through w mid-reply — a 4096-entry page can outgrow any buffer
+// budget — which is why execute takes the writer.
+func (s *Server) execute(req *request, w *bufio.Writer, out []byte) ([]byte, error) {
 	args := req.args
 	cmd, rest := args[0], args[1:]
 	switch {
+	case cmdEq(cmd, "SCAN"), cmdEq(cmd, "RANGE"), cmdEq(cmd, "MIN"), cmdEq(cmd, "MAX"):
+		ob, ok := s.st.(orderedBackend)
+		if !ok {
+			return appendError(out, "ERR ordered commands require an ordered store (optik-server -ordered)"), nil
+		}
+		switch {
+		case cmdEq(cmd, "SCAN"):
+			return s.executeScan(ob, rest, w, out)
+		case cmdEq(cmd, "RANGE"):
+			return s.executeRange(ob, rest, w, out)
+		case cmdEq(cmd, "MIN"):
+			if len(rest) != 0 {
+				return arity(out, "min")
+			}
+			k, v, ok := ob.Min()
+			return executeEndpoint(out, k, v, ok), nil
+		default:
+			if len(rest) != 0 {
+				return arity(out, "max")
+			}
+			k, v, ok := ob.Max()
+			return executeEndpoint(out, k, v, ok), nil
+		}
 	case cmdEq(cmd, "LEN"):
 		if len(rest) != 0 {
 			return arity(out, "len")
@@ -465,20 +516,13 @@ func cmdEq(b []byte, upper string) bool {
 	return true
 }
 
-// statsText renders the STATS reply: one "name:value" per line. See
-// docs/PROTOCOL.md for the field list and stability contract.
+// statsText renders the STATS reply: the backend's store-side lines, then
+// the server's connection and command counters. See docs/PROTOCOL.md for
+// the field list and stability contract.
 func (s *Server) statsText() string {
-	idx := s.st.Index()
-	retired, reclaimed, reused := idx.ReclaimStats()
-	return fmt.Sprintf(
-		"len:%d\nshards:%d\nbuckets:%d\nresizes:%d\n"+
-			"nodes_retired:%d\nnodes_reclaimed:%d\nnodes_reused:%d\n"+
-			"values_allocated:%d\nvalues_free:%d\n"+
-			"conns:%d\naccepted:%d\nrejected:%d\ncommands:%d\n"+
+	return s.st.statsPrefix() + fmt.Sprintf(
+		"conns:%d\naccepted:%d\nrejected:%d\ncommands:%d\n"+
 			"coalesced_batches:%d\ncoalesced_keys:%d\n",
-		idx.Len(), idx.Shards(), idx.Buckets(), idx.Resizes(),
-		retired, reclaimed, reused,
-		s.st.Values().Allocated(), s.st.Values().FreeLen(),
 		s.active.Load(), s.accepted.Load(), s.rejected.Load(), s.commands.Load(),
 		s.coalescedBatches.Load(), s.coalescedKeys.Load())
 }

@@ -1,0 +1,679 @@
+// The ordered index: the same lift the package applies to the resizable
+// hash table (store.Store), applied to the OPTIK skip list of §5.3 —
+// shards behind a router, batched multi-key operations, one shared
+// maintenance scheduler — but the router is a RANGE partition, not a hash.
+// Hashing would scatter adjacent keys across shards and turn every range
+// scan into a full-fleet merge; partitioning the key space into contiguous
+// slices keeps a scan's locality (one shard, or a few adjacent ones) and
+// makes cross-shard scans a concatenation instead of a merge sort.
+//
+// The trade against the hash store is explicit: a skewed key distribution
+// concentrates load on the shards owning the hot slice, where the hash
+// router would spread it. WithKeyMax exists for exactly that reason — tell
+// the store the real key ceiling and the partition stretches over the used
+// space instead of dedicating almost every shard to keys that never occur.
+//
+// Reclamation differs from the hash fleet too, deliberately: the hash
+// shards each own a private qsbr pool (their readers revalidate buckets,
+// so domains never interact), while the ordered shards share ONE domain
+// and pool. Skip-list traversals dereference plain fields under an epoch
+// pin, every operation borrows a handle, and a shared pool lets a burst on
+// one shard reuse towers retired on another — same memory, fewer cold
+// allocations — at no extra coordination cost, since handle slots are
+// already per-thread-affine.
+package store
+
+import (
+	"runtime"
+
+	"github.com/optik-go/optik/ds"
+	"github.com/optik-go/optik/ds/hashmap"
+	"github.com/optik-go/optik/ds/skiplist"
+	"github.com/optik-go/optik/internal/core"
+	"github.com/optik-go/optik/internal/qsbr"
+)
+
+// WithKeyMax declares the largest key the ordered store will hold
+// (default ds.MaxKey). The range partition divides [0, max] evenly across
+// the shards, so a store holding small keys should declare its real
+// ceiling or every key lands on shard 0. Keys above max are still legal —
+// they all route to the last shard. Ignored by the hash-routed New.
+func WithKeyMax(max uint64) Option {
+	return func(o *options) { o.keyMax = max }
+}
+
+// orderedShard pairs one skip list with its activity counter; it is the
+// unit registered on the shared maintenance scheduler.
+type orderedShard struct {
+	list *skiplist.Optik
+	// count tracks successful updates: AddOp per insert/delete/replace
+	// (the op half feeds ActivitySample, the net half a cheap Len — the
+	// skip list's own Len is an O(n) walk).
+	count *core.Striped
+}
+
+var _ hashmap.Maintainer = (*orderedShard)(nil)
+
+// ActivitySample implements hashmap.Maintainer: the monotone op count
+// moves on every successful update, so an unchanged sample means the
+// shard was untouched since the last poll.
+func (sh *orderedShard) ActivitySample() uint64 { return uint64(sh.count.Ops()) }
+
+// MaintainIdle implements hashmap.Maintainer: with the shard idle, sweep
+// the (shared) pool so towers retired here reclaim even if no future
+// operation ever borrows a handle. The sweep is domain-wide — sibling
+// shards benefit too — and cheap when nothing is pending.
+func (sh *orderedShard) MaintainIdle(cancel <-chan struct{}) {
+	sh.list.Pool().Sweep()
+}
+
+// MaintainBusy implements hashmap.Maintainer: a busy skip-list shard needs
+// no help — there is no migration to advance, and the operations' own
+// handle borrows drive the reclamation epoch.
+func (sh *orderedShard) MaintainBusy() {}
+
+// Ordered is a sharded ordered key-value store over uint64 keys: point
+// operations with the same surface as Store, plus the ordered family —
+// Scan, Min, Max — that a hash store cannot serve. All methods are safe
+// for concurrent use. Keys follow the library's range
+// ([ds.MinKey, ds.MaxKey]).
+type Ordered struct {
+	shards []*orderedShard
+	// shift maps a key to its slice of the partition: shard = key>>shift,
+	// clamped to the last shard (the clamp absorbs both keys above the
+	// declared ceiling and a ceiling that is not a multiple of the shard
+	// count).
+	shift uint
+	pool  *qsbr.Pool
+	sched *hashmap.Scheduler
+}
+
+var _ ds.Set = (*Ordered)(nil)
+
+// NewOrdered returns an ordered store. WithShards, WithMaintenanceInterval
+// and WithoutMaintenance mean what they do for New; WithKeyMax bounds the
+// range partition; WithShardBuckets does not apply.
+func NewOrdered(opts ...Option) *Ordered {
+	o := options{
+		keyMax:      ds.MaxKey,
+		maintenance: true,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.shards <= 0 {
+		o.shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < o.shards && n < maxShards {
+		n <<= 1
+	}
+	var shift uint
+	for shift < 64 && o.keyMax>>shift >= uint64(n) {
+		shift++
+	}
+	domain := qsbr.NewDomain()
+	s := &Ordered{
+		shards: make([]*orderedShard, n),
+		shift:  shift,
+		pool:   qsbr.NewPool(domain, 0),
+	}
+	for i := range s.shards {
+		s.shards[i] = &orderedShard{
+			list:  skiplist.NewOptikPool(s.pool),
+			count: core.NewStriped(0),
+		}
+	}
+	if o.maintenance {
+		s.sched = hashmap.NewScheduler(o.interval)
+		for _, sh := range s.shards {
+			s.sched.Register(sh)
+		}
+	}
+	return s
+}
+
+// Close stops the shared maintenance scheduler; the shards stay usable.
+// Idempotent.
+func (s *Ordered) Close() {
+	if s.sched != nil {
+		s.sched.Stop()
+	}
+}
+
+// shardID routes a key to its partition slice.
+func (s *Ordered) shardID(key uint64) int {
+	id := int(key >> s.shift)
+	if id >= len(s.shards) {
+		id = len(s.shards) - 1
+	}
+	return id
+}
+
+func (s *Ordered) shardFor(key uint64) *orderedShard {
+	return s.shards[s.shardID(key)]
+}
+
+// Get returns the value stored under key, if present. Lock-free.
+func (s *Ordered) Get(key uint64) (uint64, bool) {
+	return s.shardFor(key).list.Search(key)
+}
+
+// Set stores key→val, inserting or replacing in place, and returns the
+// previous value and whether one was replaced.
+func (s *Ordered) Set(key, val uint64) (uint64, bool) {
+	sh := s.shardFor(key)
+	old, replaced := sh.list.Upsert(key, val)
+	if replaced {
+		sh.count.AddOp(key, 0)
+	} else {
+		sh.count.AddOp(key, 1)
+	}
+	return old, replaced
+}
+
+// Del removes key, returning its value, if present.
+func (s *Ordered) Del(key uint64) (uint64, bool) {
+	sh := s.shardFor(key)
+	val, ok := sh.list.Delete(key)
+	if ok {
+		sh.count.AddOp(key, -1)
+	}
+	return val, ok
+}
+
+// Search implements ds.Set (alias of Get).
+func (s *Ordered) Search(key uint64) (uint64, bool) { return s.Get(key) }
+
+// Insert implements ds.Set: strict insert-if-absent.
+func (s *Ordered) Insert(key, val uint64) bool {
+	sh := s.shardFor(key)
+	if !sh.list.Insert(key, val) {
+		return false
+	}
+	sh.count.AddOp(key, 1)
+	return true
+}
+
+// Delete implements ds.Set (alias of Del).
+func (s *Ordered) Delete(key uint64) (uint64, bool) { return s.Del(key) }
+
+// Len sums the shard counters: O(shards × stripes), independent of the
+// element count — the skip lists' own O(n) walks never run. Same
+// non-linearizable contract as every Len in the library.
+func (s *Ordered) Len() int {
+	n := int64(0)
+	for _, sh := range s.shards {
+		n += sh.count.Net()
+	}
+	return int(n)
+}
+
+// Shards returns the shard count.
+func (s *Ordered) Shards() int { return len(s.shards) }
+
+// ReclaimStats reports the shared domain's lifetime tower reclamation
+// counters (racy snapshot; for monitoring).
+func (s *Ordered) ReclaimStats() (retired, reclaimed, reused uint64) {
+	return s.pool.Domain().Stats()
+}
+
+// Quiesce drains pending tower retirements deterministically: with no
+// concurrent operations, every retired tower is on the free list when it
+// returns. Operators normally never call it — the scheduler's idle sweeps
+// do the same work — but tests and workload phase transitions want the
+// determinism. Bounded, so it terminates under concurrent traffic too
+// (where "fully drained" is a moving target).
+func (s *Ordered) Quiesce() {
+	for i := 0; i < 4; i++ {
+		retired, reclaimed, _ := s.pool.Domain().Stats()
+		if retired == reclaimed {
+			return
+		}
+		s.pool.Sweep()
+	}
+}
+
+// Scan copies the live entries with from <= key <= to, ascending, into
+// keys/vals (same length), returning how many were filled. The range
+// partition makes this a concatenation: shards are visited in partition
+// order and each contributes its slice of the window already sorted, so
+// no merge is needed. Cursoring works by resumption key — call again with
+// from = lastKey+1 — which survives any amount of concurrent churn
+// because the position is a key, not an index (see the skip list's
+// ScanRange for the no-skip/no-repeat argument).
+func (s *Ordered) Scan(from, to uint64, keys, vals []uint64) int {
+	ds.CheckKey(from)
+	ds.CheckKey(to)
+	if from > to || len(keys) == 0 {
+		return 0
+	}
+	n := 0
+	for si := s.shardID(from); si <= s.shardID(to); si++ {
+		n += s.shards[si].list.ScanRange(from, to, keys[n:], vals[n:])
+		if n == len(keys) {
+			break
+		}
+	}
+	return n
+}
+
+// Min returns the smallest live key and its value; ok is false on an
+// empty store. Shards are probed in partition order, so the first hit is
+// the global minimum.
+func (s *Ordered) Min() (key, val uint64, ok bool) {
+	for _, sh := range s.shards {
+		if k, v, ok := sh.list.Min(); ok {
+			return k, v, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Max returns the largest live key and its value; ok is false on an
+// empty store.
+func (s *Ordered) Max() (key, val uint64, ok bool) {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		if k, v, ok := s.shards[i].list.Max(); ok {
+			return k, v, true
+		}
+	}
+	return 0, 0, false
+}
+
+// orderedRoute computes every key's shard id into sc.ids and the
+// touched-shard bitset — the ordered counterpart of Store.route, with the
+// partition function in place of the hash.
+func (s *Ordered) orderedRoute(keys []uint64, sc *batchScratch) ([]uint8, shardSet) {
+	if cap(sc.ids) < len(keys) {
+		sc.ids = make([]uint8, len(keys))
+	}
+	ids := sc.ids[:len(keys)]
+	var touched shardSet
+	for i, k := range keys {
+		id := uint8(s.shardID(k))
+		ids[i] = id
+		touched.add(int(id))
+	}
+	return ids, touched
+}
+
+// MGet looks up every keys[i], storing the value into vals[i] and
+// presence into found[i]; vals and found must be at least len(keys) long.
+// Each touched shard is visited once under a single qsbr pin.
+func (s *Ordered) MGet(keys, vals []uint64, found []bool) {
+	if len(s.shards) == 1 {
+		s.shards[0].list.SearchBatch(keys, vals, found)
+		return
+	}
+	sc := scratchPool.Get().(*batchScratch)
+	ids, touched := s.orderedRoute(keys, sc)
+	for si := range s.shards {
+		if !touched.has(si) {
+			continue
+		}
+		sh := s.shards[si]
+		for i, k := range keys {
+			if ids[i] == uint8(si) {
+				vals[i], found[i] = sh.list.Search(k)
+			}
+		}
+	}
+	scratchPool.Put(sc)
+}
+
+// MSetEach applies Set(keys[i], vals[i]) for every i with per-key
+// results — old[i] the replaced value, replaced[i] whether one existed —
+// and returns the fresh-insert count. Within one shard keys apply in
+// arrival order (duplicates route to the same shard), exactly as
+// sequential Sets.
+func (s *Ordered) MSetEach(keys, vals, old []uint64, replaced []bool) int {
+	sc := scratchPool.Get().(*batchScratch)
+	ids, touched := s.orderedRoute(keys, sc)
+	if cap(sc.subOld) < len(keys) {
+		sc.subOld = make([]uint64, len(keys))
+		sc.subFound = make([]bool, len(keys))
+	}
+	inserted := 0
+	subKeys, subVals := sc.subKeys, sc.subVals
+	for si := range s.shards {
+		if !touched.has(si) {
+			continue
+		}
+		subKeys, subVals = subKeys[:0], subVals[:0]
+		for i, k := range keys {
+			if ids[i] == uint8(si) {
+				subKeys = append(subKeys, k)
+				subVals = append(subVals, vals[i])
+			}
+		}
+		sh := s.shards[si]
+		subOld, subRepl := sc.subOld[:len(subKeys)], sc.subFound[:len(subKeys)]
+		ins := sh.list.UpsertBatchEach(subKeys, subVals, subOld, subRepl)
+		inserted += ins
+		for j, k := range subKeys {
+			if subRepl[j] {
+				sh.count.AddOp(k, 0)
+			} else {
+				sh.count.AddOp(k, 1)
+			}
+		}
+		j := 0
+		for i := range keys {
+			if ids[i] == uint8(si) {
+				old[i], replaced[i] = subOld[j], subRepl[j]
+				j++
+			}
+		}
+	}
+	sc.subKeys, sc.subVals = subKeys, subVals
+	scratchPool.Put(sc)
+	return inserted
+}
+
+// MSet applies Set(keys[i], vals[i]) for every i, returning how many keys
+// were newly inserted.
+func (s *Ordered) MSet(keys, vals []uint64) int {
+	sc := scratchPool.Get().(*batchScratch)
+	ids, touched := s.orderedRoute(keys, sc)
+	if cap(sc.subOld) < len(keys) {
+		sc.subOld = make([]uint64, len(keys))
+		sc.subFound = make([]bool, len(keys))
+	}
+	inserted := 0
+	subKeys, subVals := sc.subKeys, sc.subVals
+	for si := range s.shards {
+		if !touched.has(si) {
+			continue
+		}
+		subKeys, subVals = subKeys[:0], subVals[:0]
+		for i, k := range keys {
+			if ids[i] == uint8(si) {
+				subKeys = append(subKeys, k)
+				subVals = append(subVals, vals[i])
+			}
+		}
+		sh := s.shards[si]
+		subOld, subRepl := sc.subOld[:len(subKeys)], sc.subFound[:len(subKeys)]
+		inserted += sh.list.UpsertBatchEach(subKeys, subVals, subOld, subRepl)
+		for j, k := range subKeys {
+			if subRepl[j] {
+				sh.count.AddOp(k, 0)
+			} else {
+				sh.count.AddOp(k, 1)
+			}
+		}
+	}
+	sc.subKeys, sc.subVals = subKeys, subVals
+	scratchPool.Put(sc)
+	return inserted
+}
+
+// MDelEach deletes every keys[i] with per-key results — old[i] the
+// removed value, found[i] presence — returning the hit count.
+func (s *Ordered) MDelEach(keys, old []uint64, found []bool) int {
+	sc := scratchPool.Get().(*batchScratch)
+	ids, touched := s.orderedRoute(keys, sc)
+	if cap(sc.subOld) < len(keys) {
+		sc.subOld = make([]uint64, len(keys))
+		sc.subFound = make([]bool, len(keys))
+	}
+	deleted := 0
+	sub := sc.subKeys
+	for si := range s.shards {
+		if !touched.has(si) {
+			continue
+		}
+		sub = sub[:0]
+		for i, k := range keys {
+			if ids[i] == uint8(si) {
+				sub = append(sub, k)
+			}
+		}
+		sh := s.shards[si]
+		subOld, subFound := sc.subOld[:len(sub)], sc.subFound[:len(sub)]
+		deleted += sh.list.DeleteBatchEach(sub, subOld, subFound)
+		for j, k := range sub {
+			if subFound[j] {
+				sh.count.AddOp(k, -1)
+			}
+		}
+		j := 0
+		for i := range keys {
+			if ids[i] == uint8(si) {
+				old[i], found[i] = subOld[j], subFound[j]
+				j++
+			}
+		}
+	}
+	sc.subKeys = sub
+	scratchPool.Put(sc)
+	return deleted
+}
+
+// MDel deletes every key, returning how many were present.
+func (s *Ordered) MDel(keys []uint64) int {
+	sc := scratchPool.Get().(*batchScratch)
+	ids, touched := s.orderedRoute(keys, sc)
+	if cap(sc.subOld) < len(keys) {
+		sc.subOld = make([]uint64, len(keys))
+		sc.subFound = make([]bool, len(keys))
+	}
+	deleted := 0
+	sub := sc.subKeys
+	for si := range s.shards {
+		if !touched.has(si) {
+			continue
+		}
+		sub = sub[:0]
+		for i, k := range keys {
+			if ids[i] == uint8(si) {
+				sub = append(sub, k)
+			}
+		}
+		sh := s.shards[si]
+		subOld, subFound := sc.subOld[:len(sub)], sc.subFound[:len(sub)]
+		deleted += sh.list.DeleteBatchEach(sub, subOld, subFound)
+		for j, k := range sub {
+			if subFound[j] {
+				sh.count.AddOp(k, -1)
+			}
+		}
+	}
+	sc.subKeys = sub
+	scratchPool.Put(sc)
+	return deleted
+}
+
+// SortedStrings maps uint64 keys to string values with range queries: an
+// Ordered index from keys to value handles in a Values arena — the
+// ordered face of Strings. The arena's validation hash IS the key (keys
+// already live in [ds.MinKey, ds.MaxKey], clear of the clamp sentinels),
+// so the read path is the same optimistic load-validate-retry as Strings.
+//
+// Arbitrary string KEYS are deliberately not supported: hashing a string
+// key would destroy the ordering this store exists to serve. Callers with
+// naturally ordered identifiers (scores, timestamps, sequence numbers)
+// encode them as uint64s; everything else belongs in Strings.
+type SortedStrings struct {
+	index  *Ordered
+	values *Values
+}
+
+// NewSortedStrings returns an ordered string store; the options configure
+// the underlying index exactly as in NewOrdered.
+func NewSortedStrings(opts ...Option) *SortedStrings {
+	return &SortedStrings{index: NewOrdered(opts...), values: NewValues()}
+}
+
+// Index exposes the underlying ordered index for stats aggregation.
+func (s *SortedStrings) Index() *Ordered { return s.index }
+
+// Values exposes the underlying arena for stats aggregation.
+func (s *SortedStrings) Values() *Values { return s.values }
+
+// Close stops the index's maintenance scheduler.
+func (s *SortedStrings) Close() { s.index.Close() }
+
+// Quiesce drains the index's pending tower retirements.
+func (s *SortedStrings) Quiesce() { s.index.Quiesce() }
+
+// Len returns the live key count.
+func (s *SortedStrings) Len() int { return s.index.Len() }
+
+// Set stores key→value, returning true if it replaced an existing value.
+func (s *SortedStrings) Set(key uint64, value string) bool {
+	ds.CheckKey(key)
+	slot := s.values.Put(key, value)
+	old, replaced := s.index.Set(key, slot)
+	if replaced {
+		s.values.Release(old)
+	}
+	return replaced
+}
+
+// Get returns the value stored under key: optimistic read, validate the
+// pair still belongs to the key, retry on recycling conflict.
+func (s *SortedStrings) Get(key uint64) (string, bool) {
+	for {
+		slot, ok := s.index.Get(key)
+		if !ok {
+			return "", false
+		}
+		if val, ok := s.values.Load(slot, key); ok {
+			return val, true
+		}
+	}
+}
+
+// Del removes key, reporting whether it was present.
+func (s *SortedStrings) Del(key uint64) bool {
+	old, ok := s.index.Del(key)
+	if !ok {
+		return false
+	}
+	s.values.Release(old)
+	return true
+}
+
+// MGet looks up every keys[i] into vals[i]/found[i] (at least len(keys)
+// long); the index pass is shard-batched.
+func (s *SortedStrings) MGet(keys []uint64, vals []string, found []bool) {
+	sc := grabStrScratch(len(keys))
+	defer strScratchPool.Put(sc)
+	slots := sc.slots[:len(keys)]
+	s.index.MGet(keys, slots, found)
+	for i, k := range keys {
+		if !found[i] {
+			vals[i] = ""
+			continue
+		}
+		if v, ok := s.values.Load(slots[i], k); ok {
+			vals[i] = v
+		} else {
+			vals[i], found[i] = s.Get(k)
+		}
+	}
+}
+
+// MSet stores vals[i] under keys[i], recording into replaced[i] whether a
+// value was overwritten, and returns the fresh-insert count. Duplicate
+// keys apply in order, exactly as sequential Sets.
+func (s *SortedStrings) MSet(keys []uint64, vals []string, replaced []bool) int {
+	sc := grabStrScratch(len(keys))
+	defer strScratchPool.Put(sc)
+	slots, old := sc.slots[:len(keys)], sc.old[:len(keys)]
+	for i, k := range keys {
+		ds.CheckKey(k)
+		slots[i] = s.values.Put(k, vals[i])
+	}
+	inserted := s.index.MSetEach(keys, slots, old, replaced)
+	rel := slots[:0]
+	for i := range keys {
+		if replaced[i] {
+			rel = append(rel, old[i])
+		}
+	}
+	s.values.ReleaseBatch(rel)
+	return inserted
+}
+
+// MDel removes every keys[i], recording presence into found[i], and
+// returns the hit count.
+func (s *SortedStrings) MDel(keys []uint64, found []bool) int {
+	sc := grabStrScratch(len(keys))
+	defer strScratchPool.Put(sc)
+	old := sc.old[:len(keys)]
+	deleted := s.index.MDelEach(keys, old, found)
+	rel := sc.slots[:0]
+	for i := range keys {
+		if found[i] {
+			rel = append(rel, old[i])
+		}
+	}
+	s.values.ReleaseBatch(rel)
+	return deleted
+}
+
+// Scan copies live entries with from <= key <= to, ascending, into
+// keys/vals (same length), returning how many were filled. An entry whose
+// value slot recycles between the index scan and the arena load is
+// re-read through Get; if the key was deleted meanwhile it is dropped
+// from the page (the page reflects each entry at its visit instant, same
+// as the index's own contract).
+func (s *SortedStrings) Scan(from, to uint64, keys []uint64, vals []string) int {
+	sc := grabStrScratch(len(keys))
+	defer strScratchPool.Put(sc)
+	slots := sc.slots[:len(keys)]
+	n := s.index.Scan(from, to, keys, slots)
+	w := 0
+	for i := 0; i < n; i++ {
+		v, ok := s.values.Load(slots[i], keys[i])
+		if !ok {
+			v, ok = s.Get(keys[i])
+		}
+		if !ok {
+			continue // deleted between index scan and load
+		}
+		keys[w], vals[w] = keys[i], v
+		w++
+	}
+	return w
+}
+
+// Min returns the smallest live key and its value; ok is false on an
+// empty store.
+func (s *SortedStrings) Min() (uint64, string, bool) {
+	for {
+		k, slot, ok := s.index.Min()
+		if !ok {
+			return 0, "", false
+		}
+		if v, ok := s.values.Load(slot, k); ok {
+			return k, v, true
+		}
+		// Slot recycled mid-read; the key may have moved or gone. Retry
+		// through the scalar path, falling back to a fresh Min if the key
+		// vanished entirely.
+		if v, ok := s.Get(k); ok {
+			return k, v, true
+		}
+	}
+}
+
+// Max returns the largest live key and its value; ok is false on an
+// empty store.
+func (s *SortedStrings) Max() (uint64, string, bool) {
+	for {
+		k, slot, ok := s.index.Max()
+		if !ok {
+			return 0, "", false
+		}
+		if v, ok := s.values.Load(slot, k); ok {
+			return k, v, true
+		}
+		if v, ok := s.Get(k); ok {
+			return k, v, true
+		}
+	}
+}

@@ -63,6 +63,9 @@ type options struct {
 	shardBuckets int
 	interval     time.Duration
 	maintenance  bool
+	// keyMax bounds the range partition of the ordered store (see
+	// WithKeyMax); the hash-routed New ignores it.
+	keyMax uint64
 }
 
 // Option configures New.
