@@ -102,6 +102,7 @@ func (s *Server) executeScan(ob orderedBackend, rest [][]byte, w *bufio.Writer, 
 	}
 	count := defaultScanCount
 	var ranges [][2]uint64
+	prefixed := false
 	for i := 1; i < len(rest); i += 2 {
 		switch {
 		case cmdEq(rest[i], "COUNT"):
@@ -119,10 +120,18 @@ func (s *Server) executeScan(ob orderedBackend, rest [][]byte, w *bufio.Writer, 
 			if !ok || len(p) > 0 && p[0] == '0' {
 				return appendError(out, "ERR invalid PREFIX"), nil
 			}
+			prefixed = true
 			ranges = prefixRanges(v, ranges[:0])
 		default:
 			return appendError(out, "ERR syntax error in SCAN"), nil
 		}
+	}
+	if prefixed && len(ranges) == 0 {
+		// The prefix matches no representable key (e.g. a value above
+		// ds.MaxKey): an empty page with cursor 0, not the full-range
+		// default below.
+		out = appendArrayHeader(out, 1)
+		return appendBulkUint(out, 0), nil
 	}
 	if ranges == nil {
 		ranges = append(ranges, [2]uint64{ds.MinKey, ds.MaxKey})

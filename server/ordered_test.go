@@ -156,6 +156,12 @@ func TestOrderedServerScanPrefix(t *testing.T) {
 	if len(keys) != 2 || keys[0] != 2 || keys[1] != 21 {
 		t.Fatalf("PREFIX 2 = %v", keys)
 	}
+	// A PREFIX above the key ceiling matches no representable key: an
+	// empty page with cursor 0, not the full-range default.
+	next, keys, vals := c.Scan(0, "18446744073709551615", 0)
+	if next != 0 || len(keys) != 0 || len(vals) != 0 {
+		t.Fatalf("overflow PREFIX = cursor %d, %d keys, want empty", next, len(keys))
+	}
 }
 
 // TestOrderedServerInvalidKey pins the soft-error contract: a

@@ -308,17 +308,33 @@ func (s *Ordered) MGet(keys, vals []uint64, found []bool) {
 	}
 	sc := scratchPool.Get().(*batchScratch)
 	ids, touched := s.orderedRoute(keys, sc)
+	if cap(sc.subOld) < len(keys) {
+		sc.subOld = make([]uint64, len(keys))
+		sc.subFound = make([]bool, len(keys))
+	}
+	sub := sc.subKeys
 	for si := range s.shards {
 		if !touched.has(si) {
 			continue
 		}
-		sh := s.shards[si]
+		sub = sub[:0]
 		for i, k := range keys {
 			if ids[i] == uint8(si) {
-				vals[i], found[i] = sh.list.Search(k)
+				sub = append(sub, k)
+			}
+		}
+		sh := s.shards[si]
+		subVals, subFound := sc.subOld[:len(sub)], sc.subFound[:len(sub)]
+		sh.list.SearchBatch(sub, subVals, subFound)
+		j := 0
+		for i := range keys {
+			if ids[i] == uint8(si) {
+				vals[i], found[i] = subVals[j], subFound[j]
+				j++
 			}
 		}
 	}
+	sc.subKeys = sub
 	scratchPool.Put(sc)
 }
 
@@ -618,25 +634,41 @@ func (s *SortedStrings) MDel(keys []uint64, found []bool) int {
 // Scan copies live entries with from <= key <= to, ascending, into
 // keys/vals (same length), returning how many were filled. An entry whose
 // value slot recycles between the index scan and the arena load is
-// re-read through Get; if the key was deleted meanwhile it is dropped
-// from the page (the page reflects each entry at its visit instant, same
-// as the index's own contract).
+// re-read through Get; if the key was deleted meanwhile it is dropped and
+// the index scan resumes past the last visited key to refill the freed
+// slots. A short return therefore always means the range is exhausted,
+// never that churn shrank the page — paging callers (the server's SCAN
+// cursor) treat a short page as end-of-range, so a churn-shrunk page
+// would silently skip every key between the lost entries and the range
+// end.
 func (s *SortedStrings) Scan(from, to uint64, keys []uint64, vals []string) int {
 	sc := grabStrScratch(len(keys))
 	defer strScratchPool.Put(sc)
-	slots := sc.slots[:len(keys)]
-	n := s.index.Scan(from, to, keys, slots)
 	w := 0
-	for i := 0; i < n; i++ {
-		v, ok := s.values.Load(slots[i], keys[i])
-		if !ok {
-			v, ok = s.Get(keys[i])
+	for w < len(keys) {
+		kbuf := keys[w:]
+		slots := sc.slots[:len(kbuf)]
+		n := s.index.Scan(from, to, kbuf, slots)
+		if n == 0 {
+			break
 		}
-		if !ok {
-			continue // deleted between index scan and load
+		// Read before compaction below may overwrite kbuf[n-1] in place.
+		last := kbuf[n-1]
+		for i := 0; i < n; i++ {
+			v, ok := s.values.Load(slots[i], kbuf[i])
+			if !ok {
+				v, ok = s.Get(kbuf[i])
+			}
+			if !ok {
+				continue // deleted between index scan and load
+			}
+			keys[w], vals[w] = kbuf[i], v
+			w++
 		}
-		keys[w], vals[w] = keys[i], v
-		w++
+		if n < len(kbuf) || last >= to {
+			break // the index itself ran out of keys in range
+		}
+		from = last + 1
 	}
 	return w
 }

@@ -438,3 +438,76 @@ func TestSortedStringsConcurrent(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestSortedStringsScanShortPageMeansExhausted pins the refill contract
+// paging callers depend on: a Scan page shorter than the buffer means the
+// range is exhausted, even when entries vanish between the index scan and
+// the arena load. The pager below interprets a short page exactly as the
+// server's SCAN does — stop — so a churn-shrunk page would skip every
+// stable key behind it and fail the seen-exactly-once check.
+func TestSortedStringsScanShortPageMeansExhausted(t *testing.T) {
+	s := NewSortedStrings(WithShards(4), WithKeyMax(1<<16))
+	defer s.Close()
+
+	stable := map[uint64]bool{}
+	for k := uint64(8); k <= 1<<14; k += 8 {
+		s.Set(k, "stable")
+		stable[k] = true
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.NewXorshift(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := r.Intn(1<<14) + 1
+				if k%8 == 0 {
+					k++ // never touch a stable key
+				}
+				if r.Intn(2) == 0 {
+					s.Set(k, "churn")
+				} else {
+					s.Del(k)
+				}
+			}
+		}(uint64(w + 31))
+	}
+
+	page := make([]uint64, 64)
+	pageV := make([]string, 64)
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for pass := 0; time.Now().Before(deadline); pass++ {
+		seen := map[uint64]int{}
+		from := uint64(ds.MinKey)
+		for {
+			n := s.Scan(from, 1<<14, page, pageV)
+			for i := 0; i < n; i++ {
+				if stable[page[i]] {
+					seen[page[i]]++
+				}
+			}
+			if n < len(page) {
+				break // short page = range exhausted, the contract under test
+			}
+			if page[n-1] >= 1<<14 {
+				break
+			}
+			from = page[n-1] + 1
+		}
+		for k := range stable {
+			if c := seen[k]; c != 1 {
+				t.Fatalf("pass %d: stable key %d seen %d times across short-page cursor", pass, k, c)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
