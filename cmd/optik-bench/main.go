@@ -35,6 +35,11 @@
 //	          cell (the ordered figure needs optik-server -ordered)
 //	-pipelines comma-separated wire pipeline depths the net figure sweeps
 //	          (default 1,16,64,256)
+//	-conns    comma-separated connection populations the conns figure
+//	          sweeps (default 64,1024,4096; populations above ~1k need a
+//	          raised ulimit -n — the nightly adds 10000)
+//	-active   comma-separated active-connection percentages the conns
+//	          figure sweeps per population (default 100,5)
 //
 // Example:
 //
@@ -44,6 +49,7 @@
 //	optik-bench -threads 4 -pipelines 1,16,64 net
 //	optik-bench -threads 4 -net 127.0.0.1:7979 net
 //	optik-bench -threads 4,16 -shards 1,8 ordered
+//	optik-bench -duration 1s -conns 64,1024 -active 100,5 conns
 package main
 
 import (
@@ -68,8 +74,10 @@ func main() {
 	batchFlag := flag.Int("batch", 20, "percentage of server-figure requests issued as 16-key batches")
 	netFlag := flag.String("net", "", "drive the net figure against an already-running optik-server at this address (empty = private loopback server per cell)")
 	pipelinesFlag := flag.String("pipelines", "1,16,64,256", "comma-separated wire pipeline depths for the net figure")
+	connsFlag := flag.String("conns", "64,1024,4096", "comma-separated connection populations for the conns figure")
+	activeFlag := flag.String("active", "100,5", "comma-separated active-connection percentages for the conns figure")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|churn|server|net|ordered|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|churn|server|net|ordered|conns|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -93,17 +101,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "optik-bench: -pipelines:", err)
 		os.Exit(2)
 	}
+	connCounts, err := parseThreads(*connsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optik-bench: -conns:", err)
+		os.Exit(2)
+	}
+	activePcts, err := parseThreads(*activeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optik-bench: -active:", err)
+		os.Exit(2)
+	}
 	opts := figures.RunOpts{
-		Threads:   threads,
-		Duration:  *durationFlag,
-		Reps:      *repsFlag,
-		Out:       os.Stdout,
-		ChurnPeak: *churnPeakFlag,
-		Janitor:   *janitorFlag,
-		Shards:    shards,
-		BatchPct:  *batchFlag,
-		NetAddr:   *netFlag,
-		Pipelines: pipelines,
+		Threads:    threads,
+		Duration:   *durationFlag,
+		Reps:       *repsFlag,
+		Out:        os.Stdout,
+		ChurnPeak:  *churnPeakFlag,
+		Janitor:    *janitorFlag,
+		Shards:     shards,
+		BatchPct:   *batchFlag,
+		NetAddr:    *netFlag,
+		Pipelines:  pipelines,
+		Conns:      connCounts,
+		ActivePcts: activePcts,
 	}
 	var rec *figures.Recorder
 	if *jsonFlag != "" {
@@ -125,6 +145,7 @@ func main() {
 		"server":  figures.FigServer,
 		"net":     figures.FigNet,
 		"ordered": figures.FigOrdered,
+		"conns":   figures.FigConns,
 		"all":     figures.All,
 	}
 	run, ok := runners[figure]

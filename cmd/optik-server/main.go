@@ -6,7 +6,9 @@
 // Usage:
 //
 //	optik-server [-addr :7979] [-shards 0] [-shard-buckets 1024]
-//	             [-batch 512] [-coalesce 256] [-maxconns 0] [-ordered]
+//	             [-batch 512] [-coalesce 256] [-maxconns 0]
+//	             [-connmode goroutine] [-idle-grace 5s] [-shed-water 0]
+//	             [-ordered]
 //
 // Flags:
 //
@@ -20,6 +22,16 @@
 //	-coalesce      max keys per coalesced run of pipelined same-kind
 //	               scalar commands (default 256, 0 disables)
 //	-maxconns      concurrent connection cap (default 0 = unlimited)
+//	-connmode      connection mode: goroutine (default; one goroutine
+//	               per conn) or poller (a shared epoll poller plus a
+//	               small worker pool serves every conn — linux only,
+//	               falls back to goroutine elsewhere)
+//	-idle-grace    how long a conn may sit idle before its buffers are
+//	               returned to the pool (default 5s; buffers come back
+//	               on the next readable byte)
+//	-shed-water    population high-water mark above which the server
+//	               sheds idle-longest conns with -ERR busy retry
+//	               (default: 90% of -maxconns when that is set)
 //	-ordered       back the server with the range-partitioned skip-list
 //	               store instead of the hash store: keys must be decimal
 //	               uint64s, and the ordered command family (SCAN, RANGE,
@@ -57,6 +69,9 @@ func main() {
 	coalesce := flag.Int("coalesce", server.DefaultCoalesce,
 		"max keys per coalesced run of pipelined same-kind scalar commands (0 disables)")
 	maxConns := flag.Int("maxconns", 0, "concurrent connection cap (0 = unlimited)")
+	connMode := flag.String("connmode", "goroutine", "connection mode: goroutine (one goroutine per conn) or poller (shared epoll poller; linux only)")
+	idleGrace := flag.Duration("idle-grace", 0, "idle grace before a conn's buffers return to the pool (0 = default 5s)")
+	shedWater := flag.Int("shed-water", 0, "shed idle conns above this population (0 = default: 90% of -maxconns)")
 	ordered := flag.Bool("ordered", false, "back the server with the range-partitioned skip-list store (decimal keys, SCAN/RANGE/MIN/MAX)")
 	keyMax := flag.Uint64("keymax", 0, "largest expected key of the ordered store (0 = full key space; ignored without -ordered)")
 	flag.Parse()
@@ -66,8 +81,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	mode, err := server.ParseConnMode(*connMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optik-server:", err)
+		os.Exit(2)
+	}
+	if mode == server.ConnModePoller && !server.PollerSupported() {
+		fmt.Fprintln(os.Stderr, "optik-server: -connmode poller is not supported on this platform; falling back to goroutine")
+		mode = server.ConnModeGoroutine
+	}
+
 	sopts := []server.Option{server.WithPipeline(*batch), server.WithCoalesce(*coalesce),
-		server.WithMaxConns(*maxConns)}
+		server.WithMaxConns(*maxConns), server.WithConnMode(mode)}
+	if *idleGrace > 0 {
+		sopts = append(sopts, server.WithIdleGrace(*idleGrace))
+	}
+	if *shedWater > 0 {
+		sopts = append(sopts, server.WithShedWater(*shedWater))
+	}
 	var srv *server.Server
 	var shardCount int
 	var closeStore func()
@@ -93,8 +124,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "optik-server:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("optik-server: serving %d %s shards on %s (batch %d, coalesce %d, maxconns %d)\n",
-		shardCount, storeKind(*ordered), bound, *batch, *coalesce, *maxConns)
+	fmt.Printf("optik-server: serving %d %s shards on %s (batch %d, coalesce %d, maxconns %d, connmode %s)\n",
+		shardCount, storeKind(*ordered), bound, *batch, *coalesce, *maxConns, mode)
 
 	// SIGINT/SIGTERM drain the server before the store's scheduler stops.
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,12 @@
+package bufguard_test
+
+import (
+	"testing"
+
+	"github.com/optik-go/optik/internal/analysis/analysistest"
+	"github.com/optik-go/optik/internal/analysis/bufguard"
+)
+
+func TestBufGuard(t *testing.T) {
+	analysistest.Run(t, ".", bufguard.Analyzer, "a")
+}

@@ -7,6 +7,7 @@ package fleet
 import (
 	"github.com/optik-go/optik/internal/analysis"
 	"github.com/optik-go/optik/internal/analysis/atomicfield"
+	"github.com/optik-go/optik/internal/analysis/bufguard"
 	"github.com/optik-go/optik/internal/analysis/optikvalidate"
 	"github.com/optik-go/optik/internal/analysis/padcheck"
 	"github.com/optik-go/optik/internal/analysis/qsbrguard"
@@ -15,6 +16,7 @@ import (
 // Analyzers is the full fleet, in reporting order.
 var Analyzers = []*analysis.Analyzer{
 	atomicfield.Analyzer,
+	bufguard.Analyzer,
 	optikvalidate.Analyzer,
 	padcheck.Analyzer,
 	qsbrguard.Analyzer,

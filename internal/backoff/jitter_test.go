@@ -1,0 +1,60 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitteredWindowGrowth checks the window doubles from Base to Max and
+// every draw lands in [window/2, window].
+func TestJitteredWindowGrowth(t *testing.T) {
+	j := Jittered{Base: 2 * time.Millisecond, Max: 16 * time.Millisecond}
+	j.Seed(1)
+	want := []time.Duration{2, 4, 8, 16, 16, 16}
+	for i, w := range want {
+		window := w * time.Millisecond
+		d := j.Next()
+		if d < window/2 || d > window {
+			t.Fatalf("draw %d: got %v, want within [%v, %v]", i, d, window/2, window)
+		}
+	}
+}
+
+// TestJitteredReset checks Reset shrinks the window back to Base.
+func TestJitteredReset(t *testing.T) {
+	j := Jittered{Base: time.Millisecond, Max: 64 * time.Millisecond}
+	j.Seed(7)
+	for i := 0; i < 8; i++ {
+		j.Next()
+	}
+	j.Reset()
+	if d := j.Next(); d > time.Millisecond {
+		t.Fatalf("after Reset, draw %v exceeds Base window", d)
+	}
+}
+
+// TestJitteredDefaults checks the zero value is usable and bounded.
+func TestJitteredDefaults(t *testing.T) {
+	var j Jittered
+	for i := 0; i < 20; i++ {
+		d := j.Next()
+		if d <= 0 || d > DefaultMax {
+			t.Fatalf("zero-value draw %v outside (0, %v]", d, DefaultMax)
+		}
+	}
+}
+
+// TestJitteredDistinctStreams checks two unseeded instances do not draw
+// identical sequences — synchronized retries would defeat the jitter.
+func TestJitteredDistinctStreams(t *testing.T) {
+	var a, b Jittered
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Next() != b.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two unseeded Jittered instances drew identical sequences")
+	}
+}

@@ -54,6 +54,13 @@ type RunOpts struct {
 	// Pipelines are the wire pipeline depths the net figure sweeps
 	// (default 1, 16, 64, 256; depth d issues d-command pipelines per flush).
 	Pipelines []int
+	// Conns are the connection populations the conns figure sweeps
+	// (default 64, 1024, 4096; the nightly adds 10000 — mind ulimit -n).
+	Conns []int
+	// ActivePcts are the active-connection percentages the conns figure
+	// sweeps per population (default 100, 5: all-active parity check and
+	// the mostly-idle C10K shape).
+	ActivePcts []int
 }
 
 // Row is one measured data point in the shape the -json output emits, so
@@ -82,6 +89,15 @@ type Row struct {
 	// MaxProcs is set by the server/net rows: GOMAXPROCS at measurement
 	// time, so rows from differently-sized runners never join silently.
 	MaxProcs int `json:"maxprocs,omitempty"`
+	// ConnMode is set by the conns rows: which connection-driving mode the
+	// server ran ("goroutine" or "poller"). It rides in the impl name too,
+	// so the bench-diff join never compares across modes.
+	ConnMode string `json:"connmode,omitempty"`
+	// BuffersResident is the conns rows' RSS proxy: bytes of pooled
+	// connection buffers checked out server-side at the sample point.
+	BuffersResident int64 `json:"buffers_resident,omitempty"`
+	// ConnsShed counts connections the server shed during the run.
+	ConnsShed int64 `json:"conns_shed,omitempty"`
 }
 
 // Recorder accumulates rows for machine-readable output. The figure
@@ -993,6 +1009,93 @@ func runOrderedNetCell(o RunOpts, cfg workload.OrderedConfig) workload.OrderedRe
 	}
 	return workload.RunOrdered(cfg, func() workload.OrderedTarget {
 		return workload.NewOrderedNetTarget(addr)
+	})
+}
+
+// FigConns runs the connection-scaling scenario (beyond the paper: OPTIK's
+// pay-only-on-contention principle applied to connections): a population of
+// N connections with an active fraction issuing pipelined bursts, swept
+// across N × active% × conn mode. The all-active column is the throughput
+// parity check (the poller must not tax busy connections); the mostly-idle
+// column is the C10K story — buffers_resident is the memory the idle
+// population pins, and the poller's idle-grace release should hold it near
+// the active fraction's working set while goroutine mode pays for every
+// conn that ever spoke. Populations above ~1k need a raised ulimit -n.
+func FigConns(o RunOpts) {
+	o = o.Normalize()
+	conns := o.Conns
+	if len(conns) == 0 {
+		conns = []int{64, 1024, 4096}
+	}
+	pcts := o.ActivePcts
+	if len(pcts) == 0 {
+		pcts = []int{100, 5}
+	}
+	modes := []server.ConnMode{server.ConnModeGoroutine}
+	if server.PollerSupported() {
+		modes = append(modes, server.ConnModePoller)
+	}
+	// The idle grace must fit inside the measured window for the idle
+	// release to be observable at the sample point.
+	grace := o.Duration / 4
+	if grace < 10*time.Millisecond {
+		grace = 10 * time.Millisecond
+	}
+	if grace > 250*time.Millisecond {
+		grace = 250 * time.Millisecond
+	}
+	fmt.Fprintf(o.Out, "# Conns — connection scaling, pipelined MGET/MSET bursts, idle grace %s (Mops/s; resident KiB)\n", grace)
+	fmt.Fprintf(o.Out, "%-10s %-8s", "conns", "active")
+	for _, m := range modes {
+		fmt.Fprintf(o.Out, "%16s %14s", connsImplName(m), "resident KiB")
+	}
+	fmt.Fprintln(o.Out)
+	for _, n := range conns {
+		for _, pct := range pcts {
+			fmt.Fprintf(o.Out, "%-10d %-8s", n, fmt.Sprintf("%d%%", pct))
+			for _, m := range modes {
+				res := runConnsCell(o, m, grace, n, pct)
+				fmt.Fprintf(o.Out, "%16.3f %14d", res.Mops, res.BuffersResident/1024)
+				o.Record.add(Row{
+					Figure:   "Conns",
+					Workload: fmt.Sprintf("conns %d active %d%%", n, pct),
+					Impl:     connsImplName(m),
+					Threads:  res.Active,
+					Mops:     res.Mops,
+					P50Ns:    res.Latency.P50, P99Ns: res.Latency.P99, MaxNs: res.Latency.Max,
+					MaxProcs: res.MaxProcs,
+					ConnMode: m.String(), BuffersResident: res.BuffersResident, ConnsShed: res.Shed,
+				})
+			}
+			fmt.Fprintln(o.Out)
+		}
+	}
+	fmt.Fprintln(o.Out)
+}
+
+// connsImplName labels a conn-mode series; the mode is part of the JSON
+// join key so bench-diff never compares the poller against goroutine rows.
+func connsImplName(m server.ConnMode) string { return "conns-" + m.String() }
+
+// runConnsCell runs one conns figure cell against a private loopback
+// server configured for the mode under test.
+func runConnsCell(o RunOpts, mode server.ConnMode, grace time.Duration, conns, activePct int) workload.ConnsResult {
+	st := store.NewStrings(store.WithShardBuckets(1024))
+	srv := server.New(st, server.WithConnMode(mode), server.WithIdleGrace(grace))
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		panic("figures: conns loopback server: " + err.Error())
+	}
+	defer func() {
+		srv.Close()
+		st.Close()
+	}()
+	return workload.RunConns(workload.ConnsConfig{
+		Addr:          bound.String(),
+		Conns:         conns,
+		ActivePct:     activePct,
+		Duration:      o.Duration,
+		SampleLatency: true,
 	})
 }
 

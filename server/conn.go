@@ -1,0 +1,363 @@
+// connState is the per-connection protocol engine, shared verbatim by both
+// conn modes: goroutine-per-conn (runLoop, the portable default — one
+// goroutine blocks on the socket) and the shared poller (poller_linux.go —
+// epoll workers call the same step/flushBatch/readFailed methods whenever
+// the socket turns readable). There is exactly ONE implementation of
+// parse → coalesce → dispatch → flush; the modes differ only in who drives
+// it and when buffers are resident.
+//
+// Lifecycle: a connection starts parked with no buffers — an idle conn
+// costs its registration, per the OPTIK principle of paying only when
+// there is work. Buffers are acquired from the tiered pools (bufpool.go)
+// on the first readable byte and released at teardown (goroutine mode) or
+// additionally after an idle grace period (poller mode). The parked/busy/
+// shed state word coordinates the owner (handler goroutine or poller
+// worker) with the load shedder: the shedder may claim only a parked conn,
+// so it never writes concurrently with the protocol engine.
+
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Connection lifecycle states (connState.state).
+const (
+	connParked int32 = iota // no request in flight; the shedder may claim it
+	connBusy                // the handler/worker owns the conn
+	connShed                // the shedder claimed it; the owner exits quietly
+)
+
+// busyReply is the overload reply: written to a rejected accept or into a
+// shed idle connection, ahead of a FIN. Clients back off and redial (the
+// server.Client does this itself; see docs/PROTOCOL.md "Overload").
+var busyReply = []byte("-ERR busy retry\r\n")
+
+// connPoller is what a poller-registered connection knows how to do beyond
+// the shared engine; satisfied by pollConn (linux). It keeps server.go
+// portable: non-linux builds never construct one.
+type connPoller interface {
+	// shed tears the connection down after the shedder claimed it (the
+	// state is already connShed): busy reply, FIN, unregister, close.
+	shed()
+}
+
+// blockableReader is a byte source that can switch between nonblocking
+// (poller workers must not stall on a half-arrived frame) and blocking
+// (frames larger than the read buffer stream through the runtime poller).
+type blockableReader interface {
+	io.Reader
+	setBlocking(bool)
+}
+
+// connState carries one connection through either conn mode.
+type connState struct {
+	srv *Server
+	nc  net.Conn
+
+	// Protocol engine state; nil/empty while buffers are not resident.
+	r       *bufio.Reader
+	w       *bufio.Writer
+	out     []byte
+	co      *coalescer
+	req     request
+	pending int
+
+	src     io.Reader // what r reads: prefixReader (goroutine) or rawReader (poller)
+	pre     prefixReader
+	charged int64 // bytes charged to Server.buffersResident while resident
+
+	state      atomic.Int32
+	lastActive atomic.Int64 // UnixNano of the last claim; shed picks the smallest
+	resident   atomic.Bool  // buffers held (lock-free pre-filter for the idle sweep)
+
+	poll connPoller // nil in goroutine mode
+}
+
+func newConnState(s *Server, nc net.Conn) *connState {
+	cs := &connState{srv: s, nc: nc}
+	cs.touch()
+	return cs
+}
+
+func (cs *connState) touch() { cs.lastActive.Store(time.Now().UnixNano()) }
+func (cs *connState) park()  { cs.state.Store(connParked) }
+func (cs *connState) claim() bool {
+	return cs.state.CompareAndSwap(connParked, connBusy)
+}
+
+// acquireBuffers checks the engine's working set out of the tiered pools.
+// Caller guarantees buffers are not already resident.
+func (cs *connState) acquireBuffers(src io.Reader) {
+	n := cs.srv.opts.bufSize
+	cs.src = src
+	cs.r = getReader(src, n)
+	cs.w = getWriter(cs.nc, n)
+	cs.out = getBytes(512)
+	cs.co = getCoalescer()
+	cs.charged = int64(cs.r.Size() + cs.w.Size())
+	cs.srv.buffersResident.Add(cs.charged)
+	cs.resident.Store(true)
+}
+
+// releaseBuffers returns the working set to the pools. Idempotent. Callers
+// release only when nothing is staged or buffered (idle) or the connection
+// is dead (teardown).
+func (cs *connState) releaseBuffers() {
+	if cs.r == nil {
+		return
+	}
+	putReader(cs.r)
+	putWriter(cs.w)
+	putBytes(cs.out)
+	putCoalescer(cs.co)
+	cs.r, cs.w, cs.out, cs.co, cs.src = nil, nil, nil, nil, nil
+	cs.resident.Store(false)
+	cs.srv.buffersResident.Add(-cs.charged)
+	cs.charged = 0
+}
+
+// idleReleasable reports whether the engine holds nothing that would be
+// lost by releasing the buffers: no partial frame, no staged run, no
+// unflushed replies. Poller-mode idle sweep calls it under the conn's
+// processing lock.
+func (cs *connState) idleReleasable() bool {
+	return cs.r != nil && cs.r.Buffered() == 0 && cs.pending == 0 &&
+		len(cs.out) == 0 && cs.co.kind == runNone && cs.w.Buffered() == 0
+}
+
+// flushAll hands the accumulated replies to the writer and flushes — one
+// Write per pipeline batch, as before the refactor.
+func (cs *connState) flushAll() error {
+	if len(cs.out) > 0 {
+		if _, err := cs.w.Write(cs.out); err != nil {
+			return err
+		}
+		cs.out = cs.out[:0]
+	}
+	return cs.w.Flush()
+}
+
+// flushBatch ends a pipeline batch: drain the staged run, flush every
+// reply, account the commands. Reports false when the connection is dead.
+func (cs *connState) flushBatch() bool {
+	var err error
+	if cs.out, err = cs.srv.drain(cs.co, cs.w, cs.out); err != nil {
+		return false
+	}
+	if cs.flushAll() != nil {
+		return false
+	}
+	cs.srv.commands.Add(uint64(cs.pending))
+	cs.pending = 0
+	return true
+}
+
+// step parses and dispatches exactly one request. Reports false when the
+// connection is finished (error, QUIT, or protocol teardown — all handled
+// here, identically in both modes).
+func (cs *connState) step() bool {
+	s := cs.srv
+	err := cs.req.readFrom(cs.r)
+	if err != nil {
+		cs.readFailed(err)
+		return false
+	}
+	cs.out, err = s.dispatch(cs.co, &cs.req, cs.w, cs.out)
+	cs.pending++
+	if err != nil {
+		// errQuit and write errors both end the connection; flush what
+		// the client is owed first (QUIT drained the stage itself).
+		cs.flushAll()
+		s.commands.Add(uint64(cs.pending))
+		cs.pending = 0
+		return false
+	}
+	if cs.out, err = s.spill(cs.w, cs.out); err != nil {
+		return false
+	}
+	return true
+}
+
+// readFailed ends the connection after a read error. A protocol error is
+// reported on the wire: the staged run's replies are owed first, ahead of
+// the error, and the error travels on a FIN (half-close plus drain), not a
+// RST that could destroy it in flight. Every other error (EOF, deadline,
+// shed wake-up) flushes what is owed and goes quiet.
+func (cs *connState) readFailed(err error) {
+	s := cs.srv
+	s.commands.Add(uint64(cs.pending))
+	cs.pending = 0
+	var pe *protoError
+	if errors.As(err, &pe) {
+		var derr error
+		if cs.out, derr = s.drain(cs.co, cs.w, cs.out); derr != nil {
+			return
+		}
+		cs.out = appendError(cs.out, pe.Error())
+		if cs.flushAll() == nil {
+			if tc, ok := cs.nc.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			cs.nc.SetReadDeadline(time.Now().Add(time.Second))
+			if br, ok := cs.src.(blockableReader); ok {
+				br.setBlocking(true)
+			}
+			io.Copy(io.Discard, cs.r)
+		}
+		return
+	}
+	var derr error
+	if cs.out, derr = s.drain(cs.co, cs.w, cs.out); derr == nil {
+		cs.flushAll()
+	}
+}
+
+// runLoop is the goroutine-per-conn mode: one blocking loop owning the
+// connection, byte-compatible with the pre-refactor handler. Buffers are
+// acquired only once the conn speaks, so a connected-but-silent client
+// costs a goroutine and a registration, not a working set.
+func (cs *connState) runLoop() {
+	var first [1]byte
+	n, err := cs.nc.Read(first[:])
+	for err == nil && n == 0 {
+		n, err = cs.nc.Read(first[:])
+	}
+	if err != nil {
+		return
+	}
+	if !cs.claim() {
+		return // shed while we parked on the first read
+	}
+	cs.touch()
+	cs.pre = prefixReader{nc: cs.nc, b: first[0], have: true}
+	cs.acquireBuffers(&cs.pre)
+	r := cs.r
+	for {
+		skipNewlines(r)
+		if cs.pending > 0 && (r.Buffered() == 0 || cs.pending >= cs.srv.opts.pipeline) {
+			if !cs.flushBatch() {
+				return
+			}
+		}
+		if r.Buffered() == 0 {
+			// About to block between batches: park so the shedder may
+			// claim the conn, then re-claim once bytes arrive.
+			cs.park()
+			if _, err := r.Peek(1); err != nil {
+				cs.readFailed(err)
+				return
+			}
+			if !cs.claim() {
+				return
+			}
+			cs.touch()
+		}
+		if !cs.step() {
+			return
+		}
+	}
+}
+
+// prefixReader replays the one byte the lazy-acquisition read consumed
+// before the bufio.Reader existed, then delegates to the socket. It lives
+// inside connState so the wrapper costs no allocation.
+type prefixReader struct {
+	nc   net.Conn
+	b    byte
+	have bool
+}
+
+func (p *prefixReader) Read(buf []byte) (int, error) {
+	if p.have {
+		if len(buf) == 0 {
+			return 0, nil
+		}
+		p.have = false
+		buf[0] = p.b
+		return 1, nil
+	}
+	return p.nc.Read(buf)
+}
+
+// frameReady reports whether the reader's buffered bytes let readFrom
+// consume the next request without touching the socket: either one
+// complete frame (headers, bodies, terminators) is buffered, or the
+// buffered prefix is malformed in a way the parser rejects before needing
+// more bytes. The poller calls it so a half-arrived frame parks in the
+// bufio buffer across readiness cycles instead of stalling a worker —
+// except when the frame outgrows the buffer (legal up to maxRequest),
+// where the caller falls back to blocking reads. A full buffer therefore
+// reports ready.
+func frameReady(r *bufio.Reader) bool {
+	buf, _ := r.Peek(r.Buffered())
+	i := 0
+	for i < len(buf) && (buf[i] == '\r' || buf[i] == '\n') {
+		i++
+	}
+	if i == len(buf) {
+		return false // only blanks: skipNewlines discards them, no frame yet
+	}
+	full := len(buf) == r.Size()
+	j := lineEnd(buf[i:])
+	if j < 0 {
+		return full // incomplete first line (full buffer: readLine reports overflow)
+	}
+	if buf[i] != '*' {
+		return true // complete inline line
+	}
+	n, ok := parseInt(trimCR(buf[i : i+j])[1:])
+	if !ok || n < 1 || n > maxArgs {
+		return true // malformed header: the parser rejects it from the buffer
+	}
+	pos := i + j + 1
+	for k := int64(0); k < n; k++ {
+		rest := buf[pos:]
+		j := lineEnd(rest)
+		if j < 0 {
+			return full
+		}
+		line := trimCR(rest[:j])
+		if len(line) == 0 || line[0] != '$' {
+			return true
+		}
+		blen, ok := parseInt(line[1:])
+		if !ok || blen < 0 || blen > maxBulk {
+			return true
+		}
+		pos += j + 1
+		if int64(len(buf)-pos) < blen+1 {
+			return full // body (+ at least one terminator byte) not here yet
+		}
+		pos += int(blen)
+		if buf[pos] == '\r' {
+			if pos+1 >= len(buf) {
+				return full
+			}
+			pos++
+		}
+		if buf[pos] != '\n' {
+			return true // malformed terminator: parser rejects from the buffer
+		}
+		pos++
+	}
+	return true
+}
+
+// lineEnd returns the index of the first '\n' in b (the line spans b[:i]),
+// or -1.
+func lineEnd(b []byte) int { return bytes.IndexByte(b, '\n') }
+
+// trimCR strips a trailing '\r' from a line whose '\n' is already cut.
+func trimCR(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		return b[:n-1]
+	}
+	return b
+}

@@ -1,0 +1,389 @@
+// Connection-lifecycle tests for the two conn modes: byte-identical
+// transcripts between goroutine-per-conn and the shared poller, buffer
+// pool accounting returning to its floor under churn, idle-grace buffer
+// release, idle-longest-first load shedding, and client recovery from
+// overload via backoff. The transcript property mirrors
+// TestCoalesceReplyOrderProperty: the conn mode, like coalescing, must be
+// invisible on the wire.
+
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// connModes lists the modes to exercise on this platform. ConnModePoller
+// is included only where it actually runs (elsewhere it would silently
+// fall back and re-test goroutine mode).
+func connModes() []ConnMode {
+	modes := []ConnMode{ConnModeGoroutine}
+	if PollerSupported() {
+		modes = append(modes, ConnModePoller)
+	}
+	return modes
+}
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestConnModeTranscriptProperty is the conn-mode counterpart of the
+// coalescing property: for random mixed pipelines, a poller-mode server
+// must produce a reply stream byte-identical to a goroutine-mode server
+// fed the same bytes. A small read buffer forces pipelines to span many
+// readiness cycles, exercising the poller's partial-frame parking.
+func TestConnModeTranscriptProperty(t *testing.T) {
+	if !PollerSupported() {
+		t.Skip("poller conn mode not supported on this platform")
+	}
+	_, _, refAddr := startServer(t, WithBufferSize(512), WithPipeline(4))
+	_, _, polAddr := startServer(t, WithBufferSize(512), WithPipeline(4),
+		WithConnMode(ConnModePoller))
+	rng := rand.New(rand.NewSource(0x90111e4))
+	for round := 0; round < 8; round++ {
+		pipe := randomPipeline(rng, 120)
+		ref := roundTrip(t, refAddr, pipe)
+		got := roundTrip(t, polAddr, pipe)
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("round %d: reply stream diverged between conn modes\npipeline: %q\n ref: %q\n got: %q",
+				round, pipe, ref, got)
+		}
+	}
+}
+
+// TestConnModeBigFrame round-trips a frame several times larger than the
+// read buffer through both modes: the poller must fall back to blocking
+// reads for it (frameReady reports a full buffer as ready) and still
+// produce the goroutine mode's exact bytes.
+func TestConnModeBigFrame(t *testing.T) {
+	val := strings.Repeat("x", 2000)
+	var pipe []byte
+	pipe = append(pipe, fmt.Sprintf("*3\r\n$3\r\nSET\r\n$3\r\nbig\r\n$%d\r\n%s\r\n", len(val), val)...)
+	pipe = append(pipe, "GET big\r\nQUIT\r\n"...)
+	want := fmt.Sprintf(":0\r\n$%d\r\n%s\r\n+OK\r\n", len(val), val)
+	for _, mode := range connModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, _, addr := startServer(t, WithBufferSize(512), WithConnMode(mode))
+			if got := roundTrip(t, addr, pipe); string(got) != want {
+				t.Fatalf("big-frame transcript:\n got %q\nwant %q", got, want)
+			}
+		})
+	}
+}
+
+// TestPollerTrickledFrame feeds one command a few bytes at a time with
+// pauses longer than the idle grace: the half-arrived frame must park in
+// the connection's buffer across readiness cycles — and the idle sweep
+// must not steal the buffers out from under it.
+func TestPollerTrickledFrame(t *testing.T) {
+	if !PollerSupported() {
+		t.Skip("poller conn mode not supported on this platform")
+	}
+	_, _, addr := startServer(t, WithConnMode(ConnModePoller), WithIdleGrace(20*time.Millisecond))
+	conn, r := dialRaw(t, addr)
+	for _, part := range []string{"GE", "T k", "1\r\n"} {
+		if _, err := conn.Write([]byte(part)); err != nil {
+			t.Fatalf("write %q: %v", part, err)
+		}
+		time.Sleep(60 * time.Millisecond) // several sweep ticks per pause
+	}
+	if got := readN(t, r, 5); got != "$-1\r\n" {
+		t.Fatalf("trickled GET reply: %q", got)
+	}
+}
+
+// TestConnChurn churns a few thousand connections through each mode and
+// checks the lifecycle bookkeeping returns to its floor: no connections
+// open, no pooled buffers still charged.
+func TestConnChurn(t *testing.T) {
+	total := 2000
+	if testing.Short() {
+		total = 256
+	}
+	for _, mode := range connModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			srv, _, addr := startServer(t, WithConnMode(mode))
+			const workers = 32
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				n := total / workers
+				if w < total%workers {
+					n++
+				}
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if err := pingOnce(addr); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			close(errs)
+			if err := <-errs; err != nil {
+				t.Fatalf("churn worker: %v", err)
+			}
+			waitFor(t, "open conns to drain", func() bool { return srv.active.Load() == 0 })
+			waitFor(t, "buffer charge to return to 0", func() bool { return srv.buffersResident.Load() == 0 })
+			if got := srv.accepted.Load(); got < uint64(total) {
+				t.Fatalf("accepted %d conns, want >= %d", got, total)
+			}
+		})
+	}
+}
+
+// pingOnce dials, round-trips two pipelined PINGs, and closes.
+func pingOnce(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write([]byte("PING\r\nPING\r\n")); err != nil {
+		return err
+	}
+	buf := make([]byte, 14)
+	for read := 0; read < len(buf); {
+		n, err := conn.Read(buf[read:])
+		if err != nil {
+			return err
+		}
+		read += n
+	}
+	if string(buf) != "+PONG\r\n+PONG\r\n" {
+		return fmt.Errorf("bad ping replies %q", buf)
+	}
+	return nil
+}
+
+// TestPollerIdleRelease checks the tiered-buffer lifecycle on an idle
+// poller connection: buffers are charged while it talks, released after
+// the idle grace while the connection stays open, and transparently
+// re-acquired when it speaks again.
+func TestPollerIdleRelease(t *testing.T) {
+	if !PollerSupported() {
+		t.Skip("poller conn mode not supported on this platform")
+	}
+	srv, _, addr := startServer(t, WithConnMode(ConnModePoller), WithIdleGrace(30*time.Millisecond))
+	conn, r := dialRaw(t, addr)
+	ping := func() {
+		t.Helper()
+		if _, err := conn.Write([]byte("PING\r\n")); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if got := readN(t, r, 7); got != "+PONG\r\n" {
+			t.Fatalf("ping reply %q", got)
+		}
+	}
+	ping()
+	if srv.buffersResident.Load() == 0 {
+		t.Fatal("no buffer charge while the connection is active")
+	}
+	waitFor(t, "idle buffers to be released", func() bool { return srv.buffersResident.Load() == 0 })
+	if got := srv.active.Load(); got != 1 {
+		t.Fatalf("conn count after idle release: %d, want 1 (release must not close)", got)
+	}
+	ping() // buffers silently re-acquired
+	if srv.buffersResident.Load() == 0 {
+		t.Fatal("no buffer charge after the connection resumed")
+	}
+}
+
+// TestShedIdleLongest checks the shedding order: pushing the population
+// past the high-water mark sheds the connection idle the longest, with the
+// busy reply readable ahead of the FIN, while younger connections stay
+// usable.
+func TestShedIdleLongest(t *testing.T) {
+	for _, mode := range connModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			srv, _, addr := startServer(t, WithConnMode(mode), WithShedWater(2))
+			connA, rA := dialRaw(t, addr)
+			_ = connA
+			waitFor(t, "conn A accepted", func() bool { return srv.active.Load() == 1 })
+			time.Sleep(20 * time.Millisecond) // make A measurably idle-longer
+			connB, rB := dialRaw(t, addr)
+			waitFor(t, "conn B accepted", func() bool { return srv.active.Load() == 2 })
+			time.Sleep(20 * time.Millisecond)
+			connC, rC := dialRaw(t, addr) // pushes past the water mark: A is shed
+			if got := readN(t, rA, len(busyReply)); got != string(busyReply) {
+				t.Fatalf("shed conn A read %q, want busy reply", got)
+			}
+			if _, err := rA.ReadByte(); err == nil {
+				t.Fatal("shed conn A still open after busy reply, want EOF")
+			}
+			if got := srv.shed.Load(); got != 1 {
+				t.Fatalf("conns_shed = %d, want 1", got)
+			}
+			for i, cr := range []struct {
+				c net.Conn
+				r interface{ ReadByte() (byte, error) }
+			}{{connB, rB}, {connC, rC}} {
+				if _, err := cr.c.Write([]byte("PING\r\n")); err != nil {
+					t.Fatalf("surviving conn %d write: %v", i, err)
+				}
+				buf := make([]byte, 7)
+				for read := 0; read < len(buf); read++ {
+					b, err := cr.r.ReadByte()
+					if err != nil {
+						t.Fatalf("surviving conn %d read: %v", i, err)
+					}
+					buf[read] = b
+				}
+				if string(buf) != "+PONG\r\n" {
+					t.Fatalf("surviving conn %d reply %q", i, buf)
+				}
+			}
+		})
+	}
+}
+
+// TestOverloadClientRecovery runs the acceptance scenario: client load at
+// twice -maxconns. In-budget connections must stay responsive the whole
+// time; over-budget clients are rejected with the busy reply and must
+// recover on their own — backoff, redial, replay — once capacity frees up.
+func TestOverloadClientRecovery(t *testing.T) {
+	for _, mode := range connModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			const budget = 4
+			srv, _, addr := startServer(t, WithConnMode(mode), WithMaxConns(budget), WithShedWater(0))
+			inBudget := make([]*Client, budget)
+			for i := range inBudget {
+				cl, err := Dial(addr)
+				if err != nil {
+					t.Fatalf("dial in-budget %d: %v", i, err)
+				}
+				t.Cleanup(cl.Close)
+				if !cl.Ping() {
+					t.Fatalf("in-budget client %d ping failed", i)
+				}
+				inBudget[i] = cl
+			}
+			waitFor(t, "budget to fill", func() bool { return srv.active.Load() == budget })
+
+			type result struct {
+				ok      bool
+				retries uint64
+			}
+			results := make(chan result, budget)
+			for i := 0; i < budget; i++ { // 2× maxconns total offered load
+				go func() {
+					cl, err := Dial(addr)
+					if err != nil {
+						results <- result{}
+						return
+					}
+					defer cl.Close()
+					cl.SetRetry(200)
+					results <- result{ok: cl.Ping(), retries: cl.Retries()}
+				}()
+			}
+
+			// The in-budget connections must answer while the server is
+			// bouncing the overload.
+			waitFor(t, "over-budget conns to be rejected", func() bool { return srv.rejected.Load() > 0 })
+			for round := 0; round < 3; round++ {
+				for i, cl := range inBudget {
+					if !cl.Ping() {
+						t.Fatalf("in-budget client %d unresponsive during overload", i)
+					}
+				}
+			}
+			for _, cl := range inBudget {
+				cl.Close()
+			}
+			var retries uint64
+			for i := 0; i < budget; i++ {
+				r := <-results
+				if !r.ok {
+					t.Fatalf("over-budget client %d never recovered", i)
+				}
+				retries += r.retries
+			}
+			if retries == 0 {
+				t.Fatal("over-budget clients recovered without retrying — rejection never happened?")
+			}
+			if srv.rejected.Load() == 0 {
+				t.Fatal("conns_rejected stayed 0 under 2x overload")
+			}
+		})
+	}
+}
+
+// TestStatsConnFields checks the new STATS fields exist, are numeric (the
+// Client.Stats contract) and report the live conn mode.
+func TestStatsConnFields(t *testing.T) {
+	for _, mode := range connModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, _, addr := startServer(t, WithConnMode(mode))
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			defer cl.Close()
+			stats := cl.Stats()
+			for _, field := range []string{"conns_open", "conns_rejected", "conns_shed", "buffers_resident", "poller"} {
+				if _, ok := stats[field]; !ok {
+					t.Errorf("STATS missing %q", field)
+				}
+			}
+			if got := stats["conns_open"]; got != 1 {
+				t.Errorf("conns_open = %d, want 1", got)
+			}
+			wantPoller := int64(0)
+			if mode == ConnModePoller && PollerSupported() {
+				wantPoller = 1
+			}
+			if got := stats["poller"]; got != wantPoller {
+				t.Errorf("poller = %d, want %d", got, wantPoller)
+			}
+			if stats["buffers_resident"] <= 0 {
+				t.Errorf("buffers_resident = %d while a conn is mid-request, want > 0", stats["buffers_resident"])
+			}
+		})
+	}
+}
+
+// TestClientCloseIdempotent pins the Close contract: double Close is safe
+// and a closed client never redials.
+func TestClientCloseIdempotent(t *testing.T) {
+	_, _, addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if !cl.Ping() {
+		t.Fatal("ping failed")
+	}
+	cl.Close()
+	cl.Close() // must not panic or disturb anything
+	defer func() {
+		if recover() == nil {
+			t.Fatal("op on closed client did not panic")
+		}
+		if got := cl.Retries(); got != 0 {
+			t.Fatalf("closed client retried %d times, want 0 (no redial after Close)", got)
+		}
+	}()
+	cl.Ping()
+}

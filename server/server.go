@@ -4,8 +4,8 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,20 +15,88 @@ import (
 
 // options collects construction knobs; see the Option helpers.
 type options struct {
-	maxConns int
-	pipeline int
-	bufSize  int
-	coalesce int
+	maxConns  int
+	pipeline  int
+	bufSize   int
+	coalesce  int
+	connMode  ConnMode
+	idleGrace time.Duration
+	shedWater int
+	shedSet   bool
 }
 
 // Option configures New.
 type Option func(*options)
 
 // WithMaxConns caps concurrent connections; past the cap an accepted
-// connection is answered with -ERR max connections and closed. 0 (the
-// default) means unlimited.
+// connection is answered with -ERR busy retry and soft-closed (the reply
+// travels on a FIN so a well-behaved client can read it, back off and
+// redial — server.Client does). 0 (the default) means unlimited.
 func WithMaxConns(n int) Option {
 	return func(o *options) { o.maxConns = n }
+}
+
+// ConnMode selects how connections are driven; see WithConnMode.
+type ConnMode int
+
+const (
+	// ConnModeGoroutine is the portable default: one goroutine blocks on
+	// each connection.
+	ConnModeGoroutine ConnMode = iota
+	// ConnModePoller multiplexes every connection onto one epoll instance
+	// drained by a small worker pool (linux; elsewhere it silently falls
+	// back to ConnModeGoroutine). Idle connections hold a registration and
+	// a small state struct instead of a goroutine and buffers.
+	ConnModePoller
+)
+
+// String renders the mode the way the -connmode flag spells it.
+func (m ConnMode) String() string {
+	if m == ConnModePoller {
+		return "poller"
+	}
+	return "goroutine"
+}
+
+// ParseConnMode parses the -connmode flag values "goroutine" and "poller".
+func ParseConnMode(s string) (ConnMode, error) {
+	switch s {
+	case "", "goroutine":
+		return ConnModeGoroutine, nil
+	case "poller":
+		return ConnModePoller, nil
+	}
+	return 0, fmt.Errorf("server: unknown conn mode %q (want goroutine or poller)", s)
+}
+
+// PollerSupported reports whether this platform can run ConnModePoller.
+func PollerSupported() bool { return pollerSupported }
+
+// WithConnMode selects the connection-driving mode. Both modes run the
+// same protocol engine (connState) and produce byte-identical transcripts;
+// they differ in idle cost: a parked goroutine per conn versus an epoll
+// registration. An unsupported poller request falls back to goroutine mode
+// (STATS `poller` tells which one is live).
+func WithConnMode(m ConnMode) Option {
+	return func(o *options) { o.connMode = m }
+}
+
+// WithIdleGrace sets how long a poller-mode connection may sit idle before
+// its buffers are returned to the tiered pools (default 5s; negative keeps
+// buffers resident until close). Goroutine-mode conns always hold their
+// buffers from first byte to close — there is no safe point to take them
+// away from a goroutine blocked inside its reader.
+func WithIdleGrace(d time.Duration) Option {
+	return func(o *options) { o.idleGrace = d }
+}
+
+// WithShedWater sets the high-water connection count above which an accept
+// sheds idle-longest connections (busy reply + FIN) to make room, keeping
+// active clients responsive instead of bouncing newcomers. Defaults to 90%
+// of WithMaxConns when that is set; <= 0 disables shedding. Only parked
+// connections (no request in flight) are ever shed.
+func WithShedWater(n int) Option {
+	return func(o *options) { o.shedWater = n; o.shedSet = true }
 }
 
 // WithPipeline sets how many pipelined requests a connection executes
@@ -73,13 +141,18 @@ type Server struct {
 
 	mu    sync.Mutex
 	ln    net.Listener
-	conns map[net.Conn]struct{}
+	conns map[net.Conn]*connState
+	pl    *poller // non-nil when the poller conn mode is live
 
 	closed   atomic.Bool
 	active   atomic.Int64
 	accepted atomic.Uint64
 	rejected atomic.Uint64
+	shed     atomic.Uint64
 	commands atomic.Uint64
+	// buffersResident tracks the bytes of pooled read/write buffers
+	// currently checked out by connections — the STATS RSS proxy.
+	buffersResident atomic.Int64
 	// Coalescing stats: runs that merged >= 2 pipelined requests into one
 	// batched store execution, and the keys those runs carried.
 	coalescedBatches atomic.Uint64
@@ -116,19 +189,40 @@ func newServer(b backend, opts []Option) *Server {
 	if o.coalesce < 0 {
 		o.coalesce = 0
 	}
-	return &Server{st: b, opts: o, conns: make(map[net.Conn]struct{})}
+	if !o.shedSet && o.maxConns > 0 {
+		o.shedWater = o.maxConns - o.maxConns/10
+	}
+	if o.maxConns > 0 && o.shedWater >= o.maxConns {
+		o.shedWater = o.maxConns - 1
+	}
+	if o.idleGrace == 0 {
+		o.idleGrace = 5 * time.Second
+	}
+	return &Server{st: b, opts: o, conns: make(map[net.Conn]*connState)}
 }
 
 // Listen binds addr ("host:port"; ":0" picks a free port) without serving
-// yet, so callers can learn the bound address before the first accept.
+// yet, so callers can learn the bound address before the first accept. In
+// poller conn mode this also spins up the epoll instance and its workers
+// (falling back to goroutine mode if the platform refuses).
 func (s *Server) Listen(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	var pl *poller
+	if s.opts.connMode == ConnModePoller && pollerSupported {
+		if pl, err = newPoller(s); err != nil {
+			pl = nil // fall back to goroutine-per-conn
+		}
+	}
 	s.mu.Lock()
 	s.ln = ln
+	s.pl = pl
 	s.mu.Unlock()
+	if pl != nil {
+		pl.start()
+	}
 	return ln.Addr(), nil
 }
 
@@ -165,15 +259,17 @@ func (s *Server) Serve() error {
 		}
 		acceptDelay = 0
 		s.accepted.Add(1)
+		if hw := s.opts.shedWater; hw > 0 {
+			if over := int(s.active.Load()) - hw + 1; over > 0 {
+				s.shedIdle(over)
+			}
+		}
 		if s.opts.maxConns > 0 && s.active.Load() >= int64(s.opts.maxConns) {
-			s.rejected.Add(1)
-			w := bufio.NewWriterSize(nc, 64)
-			writeError(w, "ERR max connections")
-			w.Flush()
-			nc.Close()
+			s.reject(nc)
 			continue
 		}
-		if !s.track(nc, true) {
+		cs := newConnState(s, nc)
+		if !s.track(cs, true) {
 			// Close won the race between our Accept and the conns-map
 			// insert; it will never see this connection, so close it here
 			// and stop accepting.
@@ -181,9 +277,94 @@ func (s *Server) Serve() error {
 			return nil
 		}
 		s.active.Add(1)
+		if s.pl != nil {
+			if s.pl.register(cs) == nil {
+				continue
+			}
+			// Registration failed (not a TCPConn, fd pressure): fall back
+			// to a goroutine for this one connection.
+		}
 		s.wg.Add(1)
-		go s.handle(nc)
+		go s.handle(cs)
 	}
+}
+
+// reject answers an over-cap accept with the busy reply and a soft close:
+// the bytes are written straight to the socket (no throwaway bufio.Writer)
+// and travel on a FIN, with a short bounded drain of whatever the client
+// already pipelined so the kernel does not convert our close into a RST
+// that destroys the reply in flight. The drain runs on a short-lived
+// goroutine so the accept loop never blocks on a rejected peer.
+func (s *Server) reject(nc net.Conn) {
+	s.rejected.Add(1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer nc.Close()
+		if _, err := nc.Write(busyReply); err != nil {
+			return
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		nc.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		var scratch [256]byte
+		for {
+			if _, err := nc.Read(scratch[:]); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// shedIdle sheds up to n parked connections, idle-longest first, to bring
+// the population back under the high-water mark. Only parked conns are
+// candidates — the CAS in shedConn guarantees no protocol engine owns the
+// conn — so an active client never loses an in-flight request.
+func (s *Server) shedIdle(n int) {
+	type cand struct {
+		cs   *connState
+		last int64
+	}
+	s.mu.Lock()
+	cands := make([]cand, 0, len(s.conns))
+	for _, cs := range s.conns {
+		if cs.state.Load() == connParked {
+			cands = append(cands, cand{cs, cs.lastActive.Load()})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].last < cands[j].last })
+	for _, c := range cands {
+		if n <= 0 {
+			return
+		}
+		if s.shedConn(c.cs) {
+			n--
+		}
+	}
+}
+
+// shedConn claims one parked connection for shedding. On success the busy
+// reply is written (no engine can be writing concurrently: the CAS out of
+// parked excludes it) followed by a FIN; a goroutine-mode conn is then
+// woken out of its blocking read via an expired deadline, a poller-mode
+// conn is torn down in place.
+func (s *Server) shedConn(cs *connState) bool {
+	if !cs.state.CompareAndSwap(connParked, connShed) {
+		return false
+	}
+	s.shed.Add(1)
+	if cs.poll != nil {
+		cs.poll.shed()
+		return true
+	}
+	cs.nc.Write(busyReply)
+	if tc, ok := cs.nc.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	cs.nc.SetReadDeadline(time.Now())
+	return true
 }
 
 // ListenAndServe is Listen followed by Serve.
@@ -210,7 +391,8 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 }
 
 // Close stops accepting, closes every live connection and waits for the
-// handlers to finish. Idempotent. The store is not touched.
+// handlers (and, in poller mode, the epoll workers) to finish. Idempotent.
+// The store is not touched.
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
@@ -222,8 +404,15 @@ func (s *Server) Close() error {
 	for nc := range s.conns {
 		nc.Close()
 	}
+	pl := s.pl
 	s.mu.Unlock()
+	if pl != nil {
+		pl.stop()
+	}
 	s.wg.Wait()
+	if pl != nil {
+		pl.destroy()
+	}
 	return nil
 }
 
@@ -232,106 +421,31 @@ func (s *Server) Close() error {
 // connection accepted concurrently but not yet inserted, so the insert
 // itself must refuse (the closed flag is set before Close takes the
 // lock, making this check race-free).
-func (s *Server) track(nc net.Conn, add bool) bool {
+func (s *Server) track(cs *connState, add bool) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if add {
 		if s.closed.Load() {
 			return false
 		}
-		s.conns[nc] = struct{}{}
+		s.conns[cs.nc] = cs
 	} else {
-		delete(s.conns, nc)
+		delete(s.conns, cs.nc)
 	}
 	return true
 }
 
-// handle runs one connection: parse pipelined requests, stage or
-// execute in arrival order, flush once per batch. The batch ends when
-// the read buffer drains (the client is waiting for answers) or at the
-// pipeline cap, whichever is first; any staged run drains right before
-// the flush, so coalescing never holds a reply past its batch.
-func (s *Server) handle(nc net.Conn) {
+// handle drives one connection in goroutine-per-conn mode. The protocol
+// engine itself — parse pipelined requests, stage or execute in arrival
+// order, flush once per batch — lives in connState (conn.go), shared with
+// the poller mode; this wrapper owns only the goroutine-mode lifecycle.
+func (s *Server) handle(cs *connState) {
 	defer s.wg.Done()
 	defer s.active.Add(-1)
-	defer s.track(nc, false)
-	defer nc.Close()
-
-	r := bufio.NewReaderSize(nc, s.opts.bufSize)
-	w := bufio.NewWriterSize(nc, s.opts.bufSize)
-	var req request
-	var co coalescer
-	// Replies accumulate in out across a pipeline batch and reach the
-	// writer in one call per batch — a bufio.Write per reply costs more
-	// in bookkeeping than the reply bytes on a deep pipeline. flushAll
-	// bounds nothing itself; the spill checks after dispatch and inside
-	// the drains keep out from outgrowing the buffer budget under huge
-	// replies, preserving TCP backpressure.
-	var out []byte
-	flushAll := func() error {
-		if len(out) > 0 {
-			if _, err := w.Write(out); err != nil {
-				return err
-			}
-			out = out[:0]
-		}
-		return w.Flush()
-	}
-	pending := 0
-	for {
-		skipNewlines(r)
-		if pending > 0 && (r.Buffered() == 0 || pending >= s.opts.pipeline) {
-			var err error
-			if out, err = s.drain(&co, w, out); err != nil {
-				return
-			}
-			if flushAll() != nil {
-				return
-			}
-			s.commands.Add(uint64(pending))
-			pending = 0
-		}
-		err := req.readFrom(r)
-		if err != nil {
-			s.commands.Add(uint64(pending))
-			var pe *protoError
-			if errors.As(err, &pe) {
-				// The stream cannot be re-synchronized: report and drop the
-				// connection — but the staged run's replies are owed first,
-				// ahead of the error. Half-close and drain what the client
-				// already sent so the error reply travels on a FIN, not a
-				// RST that could destroy it in flight.
-				if out, err = s.drain(&co, w, out); err != nil {
-					return
-				}
-				out = appendError(out, pe.Error())
-				if flushAll() == nil {
-					if tc, ok := nc.(*net.TCPConn); ok {
-						tc.CloseWrite()
-					}
-					nc.SetReadDeadline(time.Now().Add(time.Second))
-					io.Copy(io.Discard, r)
-				}
-			} else {
-				if out, err = s.drain(&co, w, out); err == nil {
-					flushAll()
-				}
-			}
-			return
-		}
-		out, err = s.dispatch(&co, &req, w, out)
-		pending++
-		if err != nil {
-			// errQuit and write errors both end the connection; flush what
-			// the client is owed first (QUIT drained the stage itself).
-			flushAll()
-			s.commands.Add(uint64(pending))
-			return
-		}
-		if out, err = s.spill(w, out); err != nil {
-			return
-		}
-	}
+	defer s.track(cs, false)
+	defer cs.nc.Close()
+	defer cs.releaseBuffers()
+	cs.runLoop()
 }
 
 // dispatch routes one parsed request: the three coalescable families are
@@ -520,9 +634,16 @@ func cmdEq(b []byte, upper string) bool {
 // the server's connection and command counters. See docs/PROTOCOL.md for
 // the field list and stability contract.
 func (s *Server) statsText() string {
+	s.mu.Lock()
+	poller := s.pl != nil
+	s.mu.Unlock()
 	return s.st.statsPrefix() + fmt.Sprintf(
-		"conns:%d\naccepted:%d\nrejected:%d\ncommands:%d\n"+
-			"coalesced_batches:%d\ncoalesced_keys:%d\n",
-		s.active.Load(), s.accepted.Load(), s.rejected.Load(), s.commands.Load(),
-		s.coalescedBatches.Load(), s.coalescedKeys.Load())
+		"conns:%d\naccepted:%d\ncommands:%d\n"+
+			"coalesced_batches:%d\ncoalesced_keys:%d\n"+
+			"conns_open:%d\nconns_rejected:%d\nconns_shed:%d\n"+
+			"buffers_resident:%d\npoller:%d\n",
+		s.active.Load(), s.accepted.Load(), s.commands.Load(),
+		s.coalescedBatches.Load(), s.coalescedKeys.Load(),
+		s.active.Load(), s.rejected.Load(), s.shed.Load(),
+		s.buffersResident.Load(), b2i(poller))
 }

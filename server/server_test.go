@@ -225,7 +225,8 @@ func (z *zeroReader) Read(p []byte) (int, error) {
 }
 
 // TestServerMaxConns pins the connection cap: the over-cap connection is
-// told why and closed, earlier ones keep working.
+// told to back off (the busy-reply contract in docs/PROTOCOL.md) and
+// soft-closed, earlier ones keep working.
 func TestServerMaxConns(t *testing.T) {
 	_, _, addr := startServer(t, WithMaxConns(1))
 	conn1, r1 := dialRaw(t, addr)
@@ -235,7 +236,7 @@ func TestServerMaxConns(t *testing.T) {
 	}
 	_, r2 := dialRaw(t, addr)
 	line, err := r2.ReadString('\n')
-	if err != nil || line != "-ERR max connections\r\n" {
+	if err != nil || line != "-ERR busy retry\r\n" {
 		t.Fatalf("over-cap connection: %q, %v", line, err)
 	}
 	if _, err := r2.ReadByte(); err != io.EOF {
