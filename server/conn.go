@@ -70,6 +70,7 @@ type connState struct {
 	pending int
 
 	src     io.Reader // what r reads: prefixReader (goroutine) or rawReader (poller)
+	wdst    io.Writer // what w writes: nc when nil (goroutine), deadlineWriter (poller)
 	pre     prefixReader
 	charged int64 // bytes charged to Server.buffersResident while resident
 
@@ -97,8 +98,12 @@ func (cs *connState) claim() bool {
 func (cs *connState) acquireBuffers(src io.Reader) {
 	n := cs.srv.opts.bufSize
 	cs.src = src
+	dst := cs.wdst
+	if dst == nil {
+		dst = cs.nc
+	}
 	cs.r = getReader(src, n)
-	cs.w = getWriter(cs.nc, n)
+	cs.w = getWriter(dst, n)
 	cs.out = getBytes(512)
 	cs.co = getCoalescer()
 	cs.charged = int64(cs.r.Size() + cs.w.Size())
@@ -286,68 +291,89 @@ func (p *prefixReader) Read(buf []byte) (int, error) {
 	return p.nc.Read(buf)
 }
 
-// frameReady reports whether the reader's buffered bytes let readFrom
-// consume the next request without touching the socket: either one
-// complete frame (headers, bodies, terminators) is buffered, or the
-// buffered prefix is malformed in a way the parser rejects before needing
-// more bytes. The poller calls it so a half-arrived frame parks in the
-// bufio buffer across readiness cycles instead of stalling a worker —
-// except when the frame outgrows the buffer (legal up to maxRequest),
-// where the caller falls back to blocking reads. A full buffer therefore
-// reports ready.
-func frameReady(r *bufio.Reader) bool {
+// frameStatus classifies the reader's buffered bytes for the poller: can
+// readFrom consume the next request without touching the socket, and if
+// not, can more bytes ever arrive into this buffer?
+type frameStatus int
+
+const (
+	// frameWait: the frame is incomplete and the buffer has room — park
+	// the partial bytes and wait for the next readiness cycle.
+	frameWait frameStatus = iota
+	// frameBuffered: one complete frame (headers, bodies, terminators) is
+	// buffered, or the buffered prefix is malformed in a way the parser
+	// rejects before needing more bytes. readFrom will not block.
+	frameBuffered
+	// frameOverflow: the frame is incomplete and the buffer is full
+	// (frames are legal up to maxBulk, far past any buffer tier) — no
+	// future readiness cycle can add bytes, so only blocking reads can
+	// finish it. A nonblocking readFrom here would hit EAGAIN mid-parse
+	// and be mistaken for a dead connection.
+	frameOverflow
+)
+
+// frameCheck reports whether the next request can be parsed entirely from
+// the reader's buffered bytes. The poller calls it so a half-arrived frame
+// parks in the bufio buffer across readiness cycles instead of stalling a
+// worker, and so a frame that outgrows the buffer (frameOverflow) is
+// finished with blocking reads instead of a nonblocking parse that cannot
+// succeed.
+func frameCheck(r *bufio.Reader) frameStatus {
 	buf, _ := r.Peek(r.Buffered())
 	i := 0
 	for i < len(buf) && (buf[i] == '\r' || buf[i] == '\n') {
 		i++
 	}
 	if i == len(buf) {
-		return false // only blanks: skipNewlines discards them, no frame yet
+		return frameWait // only blanks: skipNewlines discards them, no frame yet
 	}
-	full := len(buf) == r.Size()
+	incomplete := frameWait
+	if len(buf) == r.Size() {
+		incomplete = frameOverflow
+	}
 	j := lineEnd(buf[i:])
 	if j < 0 {
-		return full // incomplete first line (full buffer: readLine reports overflow)
+		return incomplete // incomplete first line (full buffer: readLine reports overflow unread)
 	}
 	if buf[i] != '*' {
-		return true // complete inline line
+		return frameBuffered // complete inline line
 	}
 	n, ok := parseInt(trimCR(buf[i : i+j])[1:])
 	if !ok || n < 1 || n > maxArgs {
-		return true // malformed header: the parser rejects it from the buffer
+		return frameBuffered // malformed header: the parser rejects it from the buffer
 	}
 	pos := i + j + 1
 	for k := int64(0); k < n; k++ {
 		rest := buf[pos:]
 		j := lineEnd(rest)
 		if j < 0 {
-			return full
+			return incomplete
 		}
 		line := trimCR(rest[:j])
 		if len(line) == 0 || line[0] != '$' {
-			return true
+			return frameBuffered
 		}
 		blen, ok := parseInt(line[1:])
 		if !ok || blen < 0 || blen > maxBulk {
-			return true
+			return frameBuffered
 		}
 		pos += j + 1
 		if int64(len(buf)-pos) < blen+1 {
-			return full // body (+ at least one terminator byte) not here yet
+			return incomplete // body (+ at least one terminator byte) not here yet
 		}
 		pos += int(blen)
 		if buf[pos] == '\r' {
 			if pos+1 >= len(buf) {
-				return full
+				return incomplete
 			}
 			pos++
 		}
 		if buf[pos] != '\n' {
-			return true // malformed terminator: parser rejects from the buffer
+			return frameBuffered // malformed terminator: parser rejects from the buffer
 		}
 		pos++
 	}
-	return true
+	return frameBuffered
 }
 
 // lineEnd returns the index of the first '\n' in b (the line spans b[:i]),

@@ -69,8 +69,9 @@ func TestConnModeTranscriptProperty(t *testing.T) {
 
 // TestConnModeBigFrame round-trips a frame several times larger than the
 // read buffer through both modes: the poller must fall back to blocking
-// reads for it (frameReady reports a full buffer as ready) and still
-// produce the goroutine mode's exact bytes.
+// reads for it (frameCheck reports a full buffer holding an incomplete
+// frame as frameOverflow) and still produce the goroutine mode's exact
+// bytes.
 func TestConnModeBigFrame(t *testing.T) {
 	val := strings.Repeat("x", 2000)
 	var pipe []byte
@@ -105,6 +106,43 @@ func TestPollerTrickledFrame(t *testing.T) {
 	}
 	if got := readN(t, r, 5); got != "$-1\r\n" {
 		t.Fatalf("trickled GET reply: %q", got)
+	}
+}
+
+// TestPollerTrickledBigFrame streams a frame several times larger than
+// the read buffer in small bursts with pauses, so its bytes are never all
+// in the kernel receive queue at once. Once the buffer fills mid-frame,
+// frameCheck must report frameOverflow and the worker must switch to
+// blocking reads for the remainder — a nonblocking parse would hit EAGAIN
+// mid-frame and tear the connection down as dead (the bug this pins).
+func TestPollerTrickledBigFrame(t *testing.T) {
+	if !PollerSupported() {
+		t.Skip("poller conn mode not supported on this platform")
+	}
+	val := strings.Repeat("y", 2000) // ~4x the 512B read buffer
+	frame := fmt.Sprintf("*3\r\n$3\r\nSET\r\n$3\r\nbig\r\n$%d\r\n%s\r\n", len(val), val)
+	_, _, addr := startServer(t, WithBufferSize(512), WithConnMode(ConnModePoller))
+	conn, r := dialRaw(t, addr)
+	for len(frame) > 0 {
+		n := 300
+		if n > len(frame) {
+			n = len(frame)
+		}
+		if _, err := conn.Write([]byte(frame[:n])); err != nil {
+			t.Fatalf("burst write: %v", err)
+		}
+		frame = frame[n:]
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := readN(t, r, 4); got != ":0\r\n" {
+		t.Fatalf("trickled big SET reply: %q", got)
+	}
+	if _, err := conn.Write([]byte("GET big\r\n")); err != nil {
+		t.Fatalf("GET write: %v", err)
+	}
+	want := fmt.Sprintf("$%d\r\n%s\r\n", len(val), val)
+	if got := readN(t, r, len(want)); got != want {
+		t.Fatalf("GET after trickled big SET returned wrong bytes (%d read)", len(got))
 	}
 }
 

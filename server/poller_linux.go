@@ -20,12 +20,15 @@
 // Reads go through rawReader: a nonblocking syscall.Read under
 // syscall.RawConn so a half-arrived frame never stalls a worker — the
 // partial bytes park in the conn's bufio buffer and the worker moves on
-// (frameReady in conn.go decides). Two deliberate exceptions block a
-// worker: frames larger than the read buffer (legal up to maxRequest)
-// stream via blocking reads through the runtime's own netpoller, and
-// replies use ordinary blocking nc.Write — both are rare or already
-// backpressured paths, and a parked worker there is exactly the
-// goroutine-per-conn cost, paid only while it is actually needed.
+// (frameCheck in conn.go decides). Two deliberate exceptions block a
+// worker: frames larger than the read buffer (legal up to maxBulk) stream
+// via blocking reads through the runtime's own netpoller, and replies use
+// blocking nc.Write — both are rare or already backpressured paths, and a
+// parked worker there is exactly the goroutine-per-conn cost, paid only
+// while it is actually needed. Reply writes additionally carry a deadline
+// (deadlineWriter): a zero-window or dead peer bounds the worker — or the
+// dispatcher's help-drain — for pollerWriteTimeout, not for the TCP
+// stack's own timeout of minutes.
 
 package server
 
@@ -45,6 +48,28 @@ const pollerSupported = true
 // errWouldBlock is rawReader's EAGAIN: no bytes now, try again on the next
 // readiness event.
 var errWouldBlock = errors.New("server: read would block")
+
+// pollerWriteTimeout bounds every poller-mode reply write. Workers — and
+// the dispatcher when it help-drains or sheds — write replies
+// synchronously; without a deadline one stalled peer (zero TCP window,
+// dead host) would wedge them until the TCP stack itself gives up,
+// minutes later. A client that cannot accept reply bytes for this long is
+// treated as dead and torn down.
+const pollerWriteTimeout = 5 * time.Second
+
+// deadlineWriter is what a poller-mode connection's bufio.Writer flushes
+// into: it arms a write deadline ahead of every write so no reply flush
+// can outlive pollerWriteTimeout. Goroutine-mode conns write to the
+// socket directly — a wedged write there costs one parked goroutine, not
+// a shared worker.
+type deadlineWriter struct {
+	nc net.Conn
+}
+
+func (dw *deadlineWriter) Write(p []byte) (int, error) {
+	dw.nc.SetWriteDeadline(time.Now().Add(pollerWriteTimeout))
+	return dw.nc.Write(p)
+}
 
 // rawReader reads straight from the fd. Nonblocking by default: EAGAIN
 // surfaces as errWouldBlock without waiting. With setBlocking(true) an
@@ -95,6 +120,7 @@ type pollConn struct {
 	p   *poller
 	fd  int
 	raw rawReader
+	wdl deadlineWriter
 
 	// procMu serializes the three parties that may touch the engine state:
 	// the worker processing a readiness batch, the idle sweep releasing
@@ -191,7 +217,9 @@ func (p *poller) register(cs *connState) error {
 	}
 	pc := &pollConn{cs: cs, p: p, fd: fd}
 	pc.raw.rc = rc
+	pc.wdl.nc = cs.nc
 	cs.poll = pc
+	cs.wdst = &pc.wdl
 	p.mu.Lock()
 	p.conns[int32(fd)] = pc
 	p.mu.Unlock()
@@ -204,6 +232,7 @@ func (p *poller) register(cs *connState) error {
 		delete(p.conns, int32(fd))
 		p.mu.Unlock()
 		cs.poll = nil
+		cs.wdst = nil // the fallback goroutine writes to the socket directly
 		return err
 	}
 	return nil
@@ -265,7 +294,16 @@ func (p *poller) waitLoop() {
 			pc := p.conns[fd]
 			p.mu.Unlock()
 			if pc != nil {
-				p.ready <- pc
+				select {
+				case p.ready <- pc:
+				default:
+					// Queue full: every worker is busy (or wedged on a slow
+					// peer). Serve inline rather than park the dispatcher on
+					// the channel behind them — inline work is bounded by
+					// pollerWriteTimeout, a blocked send is bounded by
+					// nothing.
+					pc.serve()
+				}
 			}
 		}
 		// Help the workers before blocking again: drain whatever is still
@@ -274,7 +312,9 @@ func (p *poller) waitLoop() {
 		// processing inline instead of paying a goroutine wake-up per conn
 		// per readiness cycle (which roughly halves throughput there). The
 		// queue is only drained, never waited on, so a slow connection in
-		// this loop delays dispatch by at most one conn's batch.
+		// this loop delays dispatch by at most one conn's batch — and every
+		// reply write in that batch is deadline-bounded (deadlineWriter), so
+		// "one batch" is time-bounded too, not hostage to a dead peer.
 	help:
 		for {
 			select {
@@ -375,27 +415,29 @@ func (pc *pollConn) process() (done bool) {
 	r := cs.r
 	for {
 		drained, ferr := cs.fillAvailable()
+	frames:
 		for {
 			skipNewlines(r)
 			if r.Buffered() == 0 {
 				break
 			}
-			if !frameReady(r) {
-				if r.Buffered() == r.Size() {
-					// Frame larger than the buffer: finish it with
-					// blocking reads through the runtime poller.
-					pc.raw.block = true
-					ok := cs.step()
-					pc.raw.block = false
-					if !ok {
-						return true
-					}
-					continue
+			switch frameCheck(r) {
+			case frameWait:
+				break frames // half-arrived frame: parks in the buffer until more bytes
+			case frameOverflow:
+				// Frame larger than the buffer: no readiness cycle can add
+				// bytes to a full buffer, so finish it with blocking reads
+				// through the runtime poller.
+				pc.raw.block = true
+				ok := cs.step()
+				pc.raw.block = false
+				if !ok {
+					return true
 				}
-				break // half-arrived frame: parks in the buffer until more bytes
-			}
-			if !cs.step() {
-				return true
+			default: // frameBuffered: the parse cannot touch the socket
+				if !cs.step() {
+					return true
+				}
 			}
 			if cs.pending >= cs.srv.opts.pipeline {
 				if !cs.flushBatch() {
@@ -451,6 +493,9 @@ func (pc *pollConn) shed() {
 	if pc.closed {
 		return
 	}
+	// shed runs on the accept loop: bound the courtesy write so a shed
+	// target with a full send buffer cannot stall new accepts.
+	pc.cs.nc.SetWriteDeadline(time.Now().Add(time.Second))
 	pc.cs.nc.Write(busyReply)
 	if tc, ok := pc.cs.nc.(*net.TCPConn); ok {
 		tc.CloseWrite()

@@ -349,7 +349,13 @@ func (s *Server) shedIdle(n int) {
 // reply is written (no engine can be writing concurrently: the CAS out of
 // parked excludes it) followed by a FIN; a goroutine-mode conn is then
 // woken out of its blocking read via an expired deadline, a poller-mode
-// conn is torn down in place.
+// conn is torn down in place. The goroutine-mode write runs on a
+// short-lived goroutine with a write deadline, like reject(): shedConn is
+// called from the accept loop, and a shed target whose send buffer is
+// full (dead peer) must not stall new accepts — the opposite of what
+// shedding under overload is for. The read deadline that wakes the parked
+// handler is set only after the reply and FIN, so the handler cannot
+// close the conn under the in-flight write.
 func (s *Server) shedConn(cs *connState) bool {
 	if !cs.state.CompareAndSwap(connParked, connShed) {
 		return false
@@ -359,11 +365,16 @@ func (s *Server) shedConn(cs *connState) bool {
 		cs.poll.shed()
 		return true
 	}
-	cs.nc.Write(busyReply)
-	if tc, ok := cs.nc.(*net.TCPConn); ok {
-		tc.CloseWrite()
-	}
-	cs.nc.SetReadDeadline(time.Now())
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		cs.nc.SetWriteDeadline(time.Now().Add(time.Second))
+		cs.nc.Write(busyReply)
+		if tc, ok := cs.nc.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		cs.nc.SetReadDeadline(time.Now())
+	}()
 	return true
 }
 
