@@ -6,7 +6,7 @@
 //	optik-bench [flags] <figure>
 //
 // where <figure> is one of: fig5, fig7, fig9, fig10, fig11, fig12, stacks,
-// resize, churn, server, net, ordered, all.
+// resize, churn, server, net, ordered, conns, evict, all.
 //
 // Flags:
 //
@@ -77,7 +77,7 @@ func main() {
 	connsFlag := flag.String("conns", "64,1024,4096", "comma-separated connection populations for the conns figure")
 	activeFlag := flag.String("active", "100,5", "comma-separated active-connection percentages for the conns figure")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|churn|server|net|ordered|conns|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: optik-bench [flags] <fig5|fig7|fig9|fig10|fig11|fig12|stacks|resize|churn|server|net|ordered|conns|evict|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -146,6 +146,7 @@ func main() {
 		"net":     figures.FigNet,
 		"ordered": figures.FigOrdered,
 		"conns":   figures.FigConns,
+		"evict":   figures.FigEvict,
 		"all":     figures.All,
 	}
 	run, ok := runners[figure]

@@ -8,7 +8,7 @@
 //	optik-server [-addr :7979] [-shards 0] [-shard-buckets 1024]
 //	             [-batch 512] [-coalesce 256] [-maxconns 0]
 //	             [-connmode goroutine] [-idle-grace 5s] [-shed-water 0]
-//	             [-ordered]
+//	             [-byte-budget 0] [-ordered]
 //
 // Flags:
 //
@@ -32,6 +32,11 @@
 //	-shed-water    population high-water mark above which the server
 //	               sheds idle-longest conns with -ERR busy retry
 //	               (default: 90% of -maxconns when that is set)
+//	-byte-budget   byte budget of the hash store (default 0 = unbounded):
+//	               above it, maintenance passes and write-path hands
+//	               evict sampled-idle entries back to the budget; STATS
+//	               reports bytes_used and evicted (hash store only —
+//	               the ordered store carries no TTL/eviction layer)
 //	-ordered       back the server with the range-partitioned skip-list
 //	               store instead of the hash store: keys must be decimal
 //	               uint64s, and the ordered command family (SCAN, RANGE,
@@ -72,6 +77,7 @@ func main() {
 	connMode := flag.String("connmode", "goroutine", "connection mode: goroutine (one goroutine per conn) or poller (shared epoll poller; linux only)")
 	idleGrace := flag.Duration("idle-grace", 0, "idle grace before a conn's buffers return to the pool (0 = default 5s)")
 	shedWater := flag.Int("shed-water", 0, "shed idle conns above this population (0 = default: 90% of -maxconns)")
+	byteBudget := flag.Int64("byte-budget", 0, "byte budget of the hash store, 0 = unbounded (incompatible with -ordered)")
 	ordered := flag.Bool("ordered", false, "back the server with the range-partitioned skip-list store (decimal keys, SCAN/RANGE/MIN/MAX)")
 	keyMax := flag.Uint64("keymax", 0, "largest expected key of the ordered store (0 = full key space; ignored without -ordered)")
 	flag.Parse()
@@ -103,6 +109,10 @@ func main() {
 	var shardCount int
 	var closeStore func()
 	if *ordered {
+		if *byteBudget > 0 {
+			fmt.Fprintln(os.Stderr, "optik-server: -byte-budget requires the hash store (drop -ordered)")
+			os.Exit(2)
+		}
 		stOpts := []store.Option{store.WithShards(*shards)}
 		if *keyMax > 0 {
 			stOpts = append(stOpts, store.WithKeyMax(*keyMax))
@@ -112,7 +122,11 @@ func main() {
 		shardCount = st.Index().Shards()
 		closeStore = st.Close
 	} else {
-		st := store.NewStrings(store.WithShards(*shards), store.WithShardBuckets(*shardBuckets))
+		stOpts := []store.Option{store.WithShards(*shards), store.WithShardBuckets(*shardBuckets)}
+		if *byteBudget > 0 {
+			stOpts = append(stOpts, store.WithByteBudget(*byteBudget))
+		}
+		st := store.NewStrings(stOpts...)
 		srv = server.New(st, sopts...)
 		shardCount = st.Index().Shards()
 		closeStore = st.Close

@@ -492,6 +492,96 @@ retry:
 	}
 }
 
+// DeleteIfValue removes key only while it still maps to val, reporting
+// whether it did. confirm, when non-nil, runs while the bucket's OPTIK
+// lock is held after the value check passes; returning false aborts the
+// removal with the lock Reverted (no version bump, so concurrent readers'
+// snapshots stay valid — nothing changed). This is the conditional-delete
+// primitive a layer above needs to retire an entry it sampled without a
+// lock: the value check proves the mapping is the one it saw, and the
+// confirm hook lets it re-validate its own state (store.Strings checks
+// the value slot still holds the pair it judged expired or idle) at a
+// point where no concurrent delete/re-insert can be in flight for this
+// key — both would need this bucket's lock.
+func (r *Resizable) DeleteIfValue(key, val uint64, confirm func() bool) bool {
+	ds.CheckKey(key)
+	rc := reclaimer{Pool: r.pool}
+	defer rc.Release()
+	r.help(&rc)
+	return r.deleteIfValue(&rc, key, val, confirm)
+}
+
+// deleteIfValue is DeleteIfValue's body with a caller-supplied reclamation
+// handle; the shape is delete's, plus the value/confirm checks inside the
+// critical section.
+func (r *Resizable) deleteIfValue(rc *reclaimer, key, val uint64, confirm func() bool) bool {
+	t := r.root.Load()
+	var bo backoff.Backoff
+retry:
+	for {
+		b := &t.buckets[t.index(key)]
+		vn := b.lock.GetVersionWait()
+		head := b.head.Load()
+		if head == &forwarded {
+			t = t.next.Load()
+			continue
+		}
+		slot := -1
+		for i := range b.inline {
+			if b.inline[i].key.Load() == key {
+				slot = i
+				break
+			}
+		}
+		if slot >= 0 {
+			if !b.lock.TryLockVersion(vn) {
+				bo.Wait()
+				continue
+			}
+			// Validated: the slot still holds key, so the value is its.
+			if b.inline[slot].val.Load() != val || (confirm != nil && !confirm()) {
+				b.lock.Revert()
+				return false
+			}
+			b.inline[slot].key.Store(0)
+			b.lock.Unlock()
+			r.noteDelete(key)
+			return true
+		}
+		var pred *node
+		cur := head
+		for hops := 0; cur != nil && cur.key.Load() < key; {
+			pred, cur = cur, cur.next.Load()
+			if hops++; hops&chainGuardMask == 0 && !b.lock.GetVersion().Same(vn) {
+				continue retry
+			}
+		}
+		if cur == nil || cur.key.Load() != key {
+			if b.lock.GetVersion().Same(vn) {
+				return false
+			}
+			continue
+		}
+		if !b.lock.TryLockVersion(vn) {
+			bo.Wait()
+			continue
+		}
+		if cur.val.Load() != val || (confirm != nil && !confirm()) {
+			b.lock.Revert()
+			return false
+		}
+		if pred == nil {
+			b.head.Store(cur.next.Load())
+		} else {
+			pred.next.Store(cur.next.Load())
+		}
+		b.lock.Unlock()
+		rc.Retire(cur)
+		r.noteDelete(key)
+		return true
+	}
+}
+
 // noteDelete records a successful removal on the striped counter and, on
 // the same amortization schedule as the growth check, considers shrinking.
 // The check fires when the cell's op count crosses a multiple of 64 —

@@ -98,6 +98,12 @@ type Row struct {
 	BuffersResident int64 `json:"buffers_resident,omitempty"`
 	// ConnsShed counts connections the server shed during the run.
 	ConnsShed int64 `json:"conns_shed,omitempty"`
+	// HitRate/BytesUsed/Evicted are the evict rows' governance readings:
+	// cache hit rate over the run, peak bytes_used the sampler observed,
+	// and entries evicted for the budget.
+	HitRate   float64 `json:"hit_rate,omitempty"`
+	BytesUsed int64   `json:"bytes_used,omitempty"`
+	Evicted   uint64  `json:"evicted,omitempty"`
 }
 
 // Recorder accumulates rows for machine-readable output. The figure
@@ -1123,6 +1129,50 @@ func Stacks(o RunOpts) {
 
 // All regenerates every figure, plus the resize-under-load, churn and
 // server scenarios.
+// FigEvict measures the memory-governance loop: a hotspot cache stream
+// (read-through refills, a slice of SETEX traffic) whose working set is
+// four times the byte budget, run ungoverned and governed. The
+// ungoverned row is the baseline the governed row's hit rate is read
+// against; the governed row's peak bytes_used is the budget claim.
+func FigEvict(o RunOpts) {
+	o = o.Normalize()
+	cfg := workload.EvictConfig{
+		Duration: o.Duration,
+		Keys:     16384,
+		ValueLen: 200,
+		SetPct:   10,
+		TTLPct:   20,
+		TTLSecs:  1,
+	}
+	budget := cfg.WorkingSetBytes() / 4
+	wlLabel := fmt.Sprintf("hotspot 98/20 get90/set10 ttl20%% keys %d x %dB", cfg.Keys, cfg.ValueLen)
+	fmt.Fprintf(o.Out, "# Evict — byte-budget governance, %s, budget %d KiB (working set / 4)\n",
+		wlLabel, budget/1024)
+	fmt.Fprintf(o.Out, "%-8s %16s %8s %16s %8s %14s %10s\n",
+		"threads", "evict-nobudget", "hit", "evict-budget", "hit", "bytes max KiB", "evicted")
+	for _, th := range o.Threads {
+		c := cfg
+		c.Threads = th
+		base := workload.RunEvict(c)
+		g := c
+		g.Budget = budget
+		res := workload.RunEvict(g)
+		fmt.Fprintf(o.Out, "%-8d %16.3f %8.3f %16.3f %8.3f %14d %10d\n",
+			th, base.Mops, base.HitRate, res.Mops, res.HitRate, res.BytesMax/1024, res.Evicted)
+		o.Record.add(Row{
+			Figure: "Evict", Workload: wlLabel, Impl: "evict-nobudget", Threads: th,
+			Mops: base.Mops, HitRate: base.HitRate, BytesUsed: base.BytesMax,
+			MaxProcs: base.MaxProcs,
+		})
+		o.Record.add(Row{
+			Figure: "Evict", Workload: wlLabel, Impl: "evict-budget", Threads: th,
+			Mops: res.Mops, HitRate: res.HitRate, BytesUsed: res.BytesMax,
+			Evicted: res.Evicted, MaxProcs: res.MaxProcs,
+		})
+	}
+	fmt.Fprintln(o.Out)
+}
+
 func All(o RunOpts) {
 	Fig5(o)
 	Fig7(o)
@@ -1136,4 +1186,5 @@ func All(o RunOpts) {
 	FigServer(o)
 	FigNet(o)
 	FigOrdered(o)
+	FigEvict(o)
 }

@@ -80,6 +80,136 @@ func SetModel() Model {
 	}
 }
 
+// KV-TTL operations for KVTTLModel histories: the string store's
+// observable surface with expiry in the mix. Every op is deterministic
+// given the state — the clock is part of the state, advanced by explicit
+// OpKVAdvance operations recorded in the history, so "an expired Get must
+// linearize as a miss after its deadline, never before" is exactly what
+// the checker decides. (The relative forms — SetEX, Expire-by-seconds —
+// are excluded: their deadline depends on the nondeterministic instant
+// the operation linearizes at; the sequential property suite covers
+// them.)
+const (
+	OpKVGet = iota
+	OpKVSet
+	OpKVDel
+	OpKVExpireAt
+	OpKVPersist
+	OpKVAdvance
+)
+
+// KVInput is the input of one KV-TTL operation. Advance carries the
+// absolute clock value in Deadline; ExpireAt carries the absolute expiry
+// deadline there.
+type KVInput struct {
+	Op       int
+	Key      uint64
+	Val      string
+	Deadline int64
+}
+
+// KVOutput is the observed result: the value for Get, the
+// replaced/present/had-TTL bool for the writes.
+type KVOutput struct {
+	Val string
+	OK  bool
+}
+
+// kvState is the per-key state plus the clock: presence, value, deadline
+// (0 = no TTL), and the model time. An entry past its deadline is
+// normalized to absent before every step.
+type kvState struct {
+	present  bool
+	val      string
+	deadline int64
+	now      int64
+}
+
+func (s kvState) normalized() kvState {
+	if s.present && s.deadline != 0 && s.deadline <= s.now {
+		return kvState{now: s.now}
+	}
+	return s
+}
+
+// KVTTLModel returns the sequential specification of the string store
+// with TTL, partitioned per key with the clock-advance operations
+// replicated into every partition (they commute with themselves and are
+// the only cross-key coupling, so P-compositionality still holds: each
+// single-key restriction must be linearizable against the shared clock).
+// start is the injected clock's initial value — the model time before the
+// first Advance; mismatching it makes a past-deadline ExpireAt diverge.
+func KVTTLModel(start int64) Model {
+	return Model{
+		Init: func() any { return kvState{now: start} },
+		Step: func(state, input, output any) (bool, any) {
+			s := state.(kvState).normalized()
+			in := input.(KVInput)
+			out := output.(KVOutput)
+			switch in.Op {
+			case OpKVAdvance:
+				if in.Deadline > s.now {
+					s.now = in.Deadline
+				}
+				return true, s
+			case OpKVGet:
+				if out.OK {
+					return s.present && s.val == out.Val, s
+				}
+				return !s.present, s
+			case OpKVSet:
+				return out.OK == s.present, kvState{present: true, val: in.Val, now: s.now}
+			case OpKVDel:
+				return out.OK == s.present, kvState{now: s.now}
+			case OpKVExpireAt:
+				if !s.present {
+					return !out.OK, s
+				}
+				if !out.OK {
+					return false, s
+				}
+				d := in.Deadline
+				if d <= 0 {
+					d = 1
+				}
+				s.deadline = d
+				return true, s
+			case OpKVPersist:
+				if out.OK {
+					if !s.present || s.deadline == 0 {
+						return false, s
+					}
+					s.deadline = 0
+					return true, s
+				}
+				return !s.present || s.deadline == 0, s
+			}
+			return false, s
+		},
+		Key: func(state any) string {
+			s := state.(kvState)
+			return fmt.Sprintf("%v:%s:%d:%d", s.present, s.val, s.deadline, s.now)
+		},
+		Partition: func(ops []Operation) [][]Operation {
+			byKey := map[uint64][]Operation{}
+			var advances []Operation
+			for _, op := range ops {
+				in := op.Input.(KVInput)
+				if in.Op == OpKVAdvance {
+					advances = append(advances, op)
+					continue
+				}
+				byKey[in.Key] = append(byKey[in.Key], op)
+			}
+			parts := make([][]Operation, 0, len(byKey))
+			for _, p := range byKey {
+				parts = append(parts, append(p, advances...))
+			}
+			return parts
+		},
+	}
+}
+
 // Queue operations for QueueModel histories.
 const (
 	OpEnqueue = iota

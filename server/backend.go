@@ -50,6 +50,16 @@ type orderedBackend interface {
 	Max() (uint64, string, bool)
 }
 
+// ttlBackend is the extra surface of a backend with per-entry expiry
+// (EXPIRE/SETEX/TTL/PERSIST). Discovered by assertion exactly like
+// orderedBackend; the sorted store answers -ERR.
+type ttlBackend interface {
+	SetEXHashed(k uint64, val string, secs int64) bool
+	ExpireHashed(k uint64, secs int64) bool
+	TTLHashed(k uint64) int64
+	PersistHashed(k uint64) bool
+}
+
 // stringsBackend adapts store.Strings (the promoted methods cover the
 // whole *Hashed family).
 type stringsBackend struct {
@@ -63,13 +73,16 @@ func (b stringsBackend) key(arg []byte) (uint64, bool) {
 func (b stringsBackend) statsPrefix() string {
 	idx := b.Index()
 	retired, reclaimed, reused := idx.ReclaimStats()
+	lazy, swept, evicted := b.TTLStats()
 	return fmt.Sprintf(
 		"len:%d\nshards:%d\nbuckets:%d\nresizes:%d\n"+
 			"nodes_retired:%d\nnodes_reclaimed:%d\nnodes_reused:%d\n"+
-			"values_allocated:%d\nvalues_free:%d\n",
+			"values_allocated:%d\nvalues_free:%d\n"+
+			"bytes_used:%d\nexpired_lazy:%d\nexpired_swept:%d\nevicted:%d\n",
 		idx.Len(), idx.Shards(), idx.Buckets(), idx.Resizes(),
 		retired, reclaimed, reused,
-		b.Values().Allocated(), b.Values().FreeLen())
+		b.Values().Allocated(), b.Values().FreeLen(),
+		b.BytesUsed(), lazy, swept, evicted)
 }
 
 // sortedBackend adapts store.SortedStrings; its index methods take the
@@ -136,8 +149,9 @@ func (b sortedBackend) statsPrefix() string {
 	return fmt.Sprintf(
 		"len:%d\nshards:%d\nordered:1\n"+
 			"nodes_retired:%d\nnodes_reclaimed:%d\nnodes_reused:%d\n"+
-			"values_allocated:%d\nvalues_free:%d\n",
+			"values_allocated:%d\nvalues_free:%d\nbytes_used:%d\n",
 		idx.Len(), idx.Shards(),
 		retired, reclaimed, reused,
-		b.st.Values().Allocated(), b.st.Values().FreeLen())
+		b.st.Values().Allocated(), b.st.Values().FreeLen(),
+		b.st.Values().Bytes())
 }

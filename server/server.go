@@ -574,6 +574,12 @@ func (s *Server) execute(req *request, w *bufio.Writer, out []byte) ([]byte, err
 			k, v, ok := ob.Max()
 			return executeEndpoint(out, k, v, ok), nil
 		}
+	case cmdEq(cmd, "EXPIRE"), cmdEq(cmd, "SETEX"), cmdEq(cmd, "TTL"), cmdEq(cmd, "PERSIST"):
+		tb, ok := s.st.(ttlBackend)
+		if !ok {
+			return appendError(out, "ERR TTL commands require the hash store (run optik-server without -ordered)"), nil
+		}
+		return s.executeTTL(tb, cmd, rest, out)
 	case cmdEq(cmd, "LEN"):
 		if len(rest) != 0 {
 			return arity(out, "len")
@@ -598,6 +604,63 @@ func (s *Server) execute(req *request, w *bufio.Writer, out []byte) ([]byte, err
 		out = appendError(out, fmt.Sprintf("ERR unknown command %q", cmd))
 	}
 	return out, nil
+}
+
+// executeTTL answers the expiry family. All four are barriers (they reach
+// here through dispatch's default case), so they order after any staged
+// coalesced run — a pipelined SET k / EXPIRE k pair applies in arrival
+// order. Bad seconds (non-numeric, overflow, and SETEX's non-positive)
+// are soft errors: the frame was well-formed, the connection stays up.
+func (s *Server) executeTTL(tb ttlBackend, cmd []byte, rest [][]byte, out []byte) ([]byte, error) {
+	switch {
+	case cmdEq(cmd, "EXPIRE"):
+		if len(rest) != 2 {
+			return arity(out, "expire")
+		}
+		k, ok := s.st.key(rest[0])
+		if !ok {
+			return appendError(out, "ERR invalid key"), nil
+		}
+		secs, ok := parseInt(rest[1])
+		if !ok {
+			return appendError(out, "ERR value is not an integer or out of range"), nil
+		}
+		return appendInt(out, b2i(tb.ExpireHashed(k, secs))), nil
+	case cmdEq(cmd, "SETEX"):
+		if len(rest) != 3 {
+			return arity(out, "setex")
+		}
+		k, ok := s.st.key(rest[0])
+		if !ok {
+			return appendError(out, "ERR invalid key"), nil
+		}
+		secs, ok := parseInt(rest[1])
+		if !ok {
+			return appendError(out, "ERR value is not an integer or out of range"), nil
+		}
+		if secs <= 0 {
+			return appendError(out, "ERR invalid expire time in 'setex' command"), nil
+		}
+		return appendInt(out, b2i(tb.SetEXHashed(k, string(rest[2]), secs))), nil
+	case cmdEq(cmd, "TTL"):
+		if len(rest) != 1 {
+			return arity(out, "ttl")
+		}
+		k, ok := s.st.key(rest[0])
+		if !ok {
+			return appendError(out, "ERR invalid key"), nil
+		}
+		return appendInt(out, tb.TTLHashed(k)), nil
+	default: // PERSIST
+		if len(rest) != 1 {
+			return arity(out, "persist")
+		}
+		k, ok := s.st.key(rest[0])
+		if !ok {
+			return appendError(out, "ERR invalid key"), nil
+		}
+		return appendInt(out, b2i(tb.PersistHashed(k))), nil
+	}
 }
 
 // arity reports a wrong-argument-count error for cmd; the connection

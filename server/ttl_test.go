@@ -1,0 +1,230 @@
+package server
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/optik-go/optik/store"
+)
+
+// startTTLServer brings up a server over a hash store driven by an
+// injected clock, so the wire-level expiry tests advance time by hand —
+// no sleeps.
+func startTTLServer(t *testing.T, opts ...store.Option) (*atomic.Int64, string) {
+	t.Helper()
+	var clock atomic.Int64
+	clock.Store(1_000_000_000)
+	opts = append([]store.Option{
+		store.WithClock(clock.Load),
+		store.WithShards(2),
+		store.WithShardBuckets(64),
+	}, opts...)
+	st := store.NewStrings(opts...)
+	srv := New(st)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		st.Close()
+	})
+	return &clock, addr.String()
+}
+
+// TestServerTTLTranscript pins the exact bytes of an expiry session: the
+// TTL family's replies before and after the (injected) clock passes the
+// deadlines.
+func TestServerTTLTranscript(t *testing.T) {
+	clock, addr := startTTLServer(t)
+	conn, r := dialRaw(t, addr)
+
+	send := "SETEX s 1 ephemeral\r\nSET k v\r\nTTL k\r\nEXPIRE k 100\r\nTTL k\r\n" +
+		"PERSIST k\r\nTTL k\r\nTTL missing\r\nEXPIRE missing 5\r\nPERSIST k\r\n"
+	want := ":0\r\n:0\r\n:-1\r\n:1\r\n:100\r\n" +
+		":1\r\n:-1\r\n:-2\r\n:0\r\n:0\r\n"
+	if _, err := conn.Write([]byte(send)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := readN(t, r, len(want)); got != want {
+		t.Fatalf("transcript mismatch:\n got %q\nwant %q", got, want)
+	}
+
+	// Two simulated seconds later: the SETEX key is gone, the persisted
+	// key survives, and a SETEX over the expired entry is a fresh insert.
+	clock.Add(2_000_000_000)
+	send = "GET s\r\nGET k\r\nSETEX s 1 back\r\nGET s\r\nEXPIRE k -1\r\nGET k\r\n"
+	want = "$-1\r\n$1\r\nv\r\n:0\r\n$4\r\nback\r\n:1\r\n$-1\r\n"
+	if _, err := conn.Write([]byte(send)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := readN(t, r, len(want)); got != want {
+		t.Fatalf("post-expiry transcript mismatch:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestServerTTLBarriersWithPipeline pins arrival-order semantics: TTL
+// commands are barriers, so a pipelined coalesced run ahead of them
+// answers first and their effects apply to the already-staged writes.
+func TestServerTTLBarriersWithPipeline(t *testing.T) {
+	_, addr := startTTLServer(t)
+	conn, r := dialRaw(t, addr)
+
+	send := "SET a 1\r\nSET b 2\r\nEXPIRE a 50\r\nMGET a b\r\nTTL a\r\nTTL b\r\n"
+	want := ":0\r\n:0\r\n:1\r\n*2\r\n$1\r\n1\r\n$1\r\n2\r\n:50\r\n:-1\r\n"
+	if _, err := conn.Write([]byte(send)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := readN(t, r, len(want)); got != want {
+		t.Fatalf("barrier transcript mismatch:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestServerTTLSoftErrors covers the expiry family's soft errors: bad
+// seconds (non-numeric, overflow, SETEX non-positive), wrong arity. The
+// connection survives every one.
+func TestServerTTLSoftErrors(t *testing.T) {
+	_, addr := startTTLServer(t)
+	conn, r := dialRaw(t, addr)
+
+	cases := []struct{ send, wantPrefix string }{
+		{"EXPIRE k abc\r\n", "-ERR value is not an integer"},
+		{"EXPIRE k 99999999999999999999\r\n", "-ERR value is not an integer"},
+		{"SETEX k 0 v\r\n", "-ERR invalid expire time"},
+		{"SETEX k -5 v\r\n", "-ERR invalid expire time"},
+		{"SETEX k nope v\r\n", "-ERR value is not an integer"},
+		{"EXPIRE k\r\n", "-ERR wrong number of arguments for 'expire'"},
+		{"SETEX k 5\r\n", "-ERR wrong number of arguments for 'setex'"},
+		{"TTL\r\n", "-ERR wrong number of arguments for 'ttl'"},
+		{"PERSIST a b\r\n", "-ERR wrong number of arguments for 'persist'"},
+	}
+	for _, c := range cases {
+		if _, err := conn.Write([]byte(c.send)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("%q: read: %v", c.send, err)
+		}
+		if !strings.HasPrefix(line, c.wantPrefix) {
+			t.Fatalf("%q: got %q, want prefix %q", c.send, line, c.wantPrefix)
+		}
+	}
+	conn.Write([]byte("PING\r\n"))
+	if line, _ := r.ReadString('\n'); line != "+PONG\r\n" {
+		t.Fatalf("connection dead after soft errors: %q", line)
+	}
+}
+
+// TestTTLCommandsOnOrderedServer: the sorted store has no expiry; the
+// whole family answers a soft error and the connection stays usable.
+func TestTTLCommandsOnOrderedServer(t *testing.T) {
+	_, c := startOrdered(t)
+	addr := c.addr
+	conn, r := dialRaw(t, addr)
+	for _, send := range []string{"EXPIRE 1 5\r\n", "SETEX 1 5 v\r\n", "TTL 1\r\n", "PERSIST 1\r\n"} {
+		if _, err := conn.Write([]byte(send)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("%q: read: %v", send, err)
+		}
+		if !strings.HasPrefix(line, "-ERR TTL commands require the hash store") {
+			t.Fatalf("%q: got %q", send, line)
+		}
+	}
+	conn.Write([]byte("PING\r\n"))
+	if line, _ := r.ReadString('\n'); line != "+PONG\r\n" {
+		t.Fatalf("connection dead after TTL errors: %q", line)
+	}
+}
+
+// hashStatsFields and orderedStatsFields are the documented STATS field
+// lists (docs/PROTOCOL.md); serverStatsFields is the server-side suffix
+// shared by both modes.
+var (
+	hashStatsFields = []string{
+		"len", "shards", "buckets", "resizes",
+		"nodes_retired", "nodes_reclaimed", "nodes_reused",
+		"values_allocated", "values_free",
+		"bytes_used", "expired_lazy", "expired_swept", "evicted",
+	}
+	orderedStatsFields = []string{
+		"len", "shards", "ordered",
+		"nodes_retired", "nodes_reclaimed", "nodes_reused",
+		"values_allocated", "values_free", "bytes_used",
+	}
+	serverStatsFields = []string{
+		"conns", "accepted", "commands",
+		"coalesced_batches", "coalesced_keys",
+		"conns_open", "conns_rejected", "conns_shed",
+		"buffers_resident", "poller",
+	}
+)
+
+// TestServerStatsFields asserts every documented STATS field is present
+// (and numeric — Client.Stats panics on a non-numeric value) in both
+// store modes, including the memory-governance counters.
+func TestServerStatsFields(t *testing.T) {
+	t.Run("hash", func(t *testing.T) {
+		_, _, addr := startServer(t)
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer c.Close()
+		st := c.Stats()
+		for _, f := range append(append([]string{}, hashStatsFields...), serverStatsFields...) {
+			if _, ok := st[f]; !ok {
+				t.Errorf("hash STATS missing %q", f)
+			}
+		}
+		if _, ok := st["ordered"]; ok {
+			t.Error("hash STATS must not report ordered:1")
+		}
+	})
+	t.Run("ordered", func(t *testing.T) {
+		_, c := startOrdered(t)
+		st := c.Stats()
+		for _, f := range append(append([]string{}, orderedStatsFields...), serverStatsFields...) {
+			if _, ok := st[f]; !ok {
+				t.Errorf("ordered STATS missing %q", f)
+			}
+		}
+		for _, f := range []string{"buckets", "resizes", "expired_lazy", "expired_swept", "evicted"} {
+			if _, ok := st[f]; ok {
+				t.Errorf("ordered STATS must not report hash-only %q", f)
+			}
+		}
+	})
+}
+
+// TestServerTTLStatsCounters drives lazy expiry over the wire and checks
+// the governance counters move.
+func TestServerTTLStatsCounters(t *testing.T) {
+	clock, addr := startTTLServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	conn, r := dialRaw(t, addr)
+	conn.Write([]byte("SETEX gone 1 xx\r\nSET stay 1 \r\n"))
+	readN(t, r, len(":0\r\n:0\r\n"))
+	st := c.Stats()
+	if st["bytes_used"] <= 0 {
+		t.Fatalf("bytes_used = %d, want > 0", st["bytes_used"])
+	}
+	clock.Add(2_000_000_000)
+	conn.Write([]byte("GET gone\r\n"))
+	readN(t, r, len("$-1\r\n"))
+	st = c.Stats()
+	if st["expired_lazy"] == 0 {
+		t.Fatal("expired_lazy did not move after lazy-expired GET")
+	}
+	if st["len"] != 1 {
+		t.Fatalf("len = %d, want 1", st["len"])
+	}
+}

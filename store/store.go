@@ -66,6 +66,11 @@ type options struct {
 	// keyMax bounds the range partition of the ordered store (see
 	// WithKeyMax); the hash-routed New ignores it.
 	keyMax uint64
+	// clock and byteBudget configure the value layer's memory governance
+	// (see WithClock/WithByteBudget and store/ttl.go); the index-only New
+	// ignores them.
+	clock      func() int64
+	byteBudget int64
 }
 
 // Option configures New.
@@ -97,6 +102,24 @@ func WithMaintenanceInterval(d time.Duration) Option {
 // hashmap.Scheduler). Benchmarks isolating the data path use this.
 func WithoutMaintenance() Option {
 	return func(o *options) { o.maintenance = false }
+}
+
+// WithClock injects the nanosecond clock the value layer's TTL machinery
+// reads (NewStrings only). The default is a coarse time.Now cached per
+// maintenance pass and refreshed by TTL-setting operations; tests inject
+// a clock they advance by hand, so every expiry behavior reproduces
+// deterministically — no sleeps.
+func WithClock(now func() int64) Option {
+	return func(o *options) { o.clock = now }
+}
+
+// WithByteBudget bounds the value layer's approximate live footprint
+// (NewStrings only): when bytes_used exceeds n, the maintenance pass
+// evicts sampled-idle entries until back under. 0 (the default) means
+// unbounded. The budget governs bytes, not elements — the store sheds a
+// few large values or many small ones alike.
+func WithByteBudget(n int64) Option {
+	return func(o *options) { o.byteBudget = n }
 }
 
 // New returns a Store with every shard registered on one shared
@@ -171,6 +194,15 @@ func (s *Store) Set(key, val uint64) (uint64, bool) {
 // Del removes key, returning its value, if present.
 func (s *Store) Del(key uint64) (uint64, bool) {
 	return s.shardFor(key).Delete(key)
+}
+
+// DelIfValue removes key only while it still maps to val; confirm, when
+// non-nil, runs under the owning bucket's lock after the value check and
+// can veto the removal. The value layer's expiry/eviction retirement uses
+// it to splice out exactly the slot it judged dead, never a recycled
+// successor that reused the same slot for the same hash.
+func (s *Store) DelIfValue(key, val uint64, confirm func() bool) bool {
+	return s.shardFor(key).DeleteIfValue(key, val, confirm)
 }
 
 // Search implements ds.Set (alias of Get), so the workload drivers and

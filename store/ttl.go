@@ -1,0 +1,545 @@
+// Memory governance for the string store: per-entry TTL and sampled
+// eviction under a byte budget.
+//
+// The design extends OPTIK's decoupling of validation from reclamation to
+// expiry. A TTL is an absolute deadline carried in the immutable value
+// pair, and a reader validates it lazily exactly where it already
+// validates the pair's hash against slot recycling — an expired pair is a
+// miss, and the dead slot retires through the index's conditional-delete
+// splice (DelIfValue, confirmed by pair identity under the bucket lock,
+// so a recycled slot that reuses the same handle for the same hash is
+// never mistaken for the entry that expired). Readers of TTL-less entries
+// pay one predictable branch; nothing on the hot path ever blocks on the
+// clock or the sweeper.
+//
+// Background governance rides the shared maintenance scheduler: each pass
+// refreshes the coarse cached clock, advances the approx-LRU epoch,
+// sweeps a cursor quantum of the arena for expired pairs, and — when a
+// byte budget is configured and exceeded — evicts sampled-idle entries
+// (best-of-K by touched-epoch age, the classic clock/approx-LRU sample)
+// until back under budget. Writers lend the same bounded hand inline
+// when an insert finds bytes past the watermark (evictHand), so the
+// budget holds even when a saturated box starves the scheduler
+// goroutine.
+//
+// Everything is driven through one injectable clock (WithClock), so tests
+// advance time by hand and every expiry behavior reproduces
+// deterministically — no sleeps, no flakes. The default clock is a coarse
+// time.Now cached per maintenance pass and refreshed by TTL-setting
+// operations, so reads never pay a syscall.
+package store
+
+import (
+	"math"
+	"time"
+)
+
+const (
+	// nsPerSec converts the TTL commands' seconds to the clock's ns.
+	nsPerSec = int64(time.Second)
+	// sweepQuantum bounds how many arena slots one maintenance pass
+	// examines for expiry: the sweep is incremental by design, the same
+	// bounded-help bargain as the table's migration quanta.
+	sweepQuantum = 2048
+	// evictSampleK is the sample width of one eviction choice: evict the
+	// oldest-touched of K random live entries. K=8 tracks true LRU
+	// closely at a tiny fraction of its bookkeeping (the standard
+	// sampled-LRU result).
+	evictSampleK = 8
+	// evictProbeMax bounds the slot probes spent collecting those K live
+	// candidates: arena slots read nil once freed, and a store evicted
+	// well under its allocated high-water mark would otherwise sample
+	// mostly holes — best-of-2-live is barely better than random, and
+	// random eviction of a zipfian resident set is what churns the warm
+	// tail into a refill storm.
+	evictProbeMax = 4 * evictSampleK
+	// evictMaxFails bounds consecutive fruitless eviction attempts (free
+	// or vanished slots) before a pass gives up; the next pass resumes.
+	evictMaxFails = 64
+	// evictBusyMax caps successful evictions in one busy-pass hand, so
+	// MaintainBusy stays bounded as its contract requires. The idle pass
+	// and Quiesce run to budget (cancellable).
+	evictBusyMax = 4096
+	// epochPeriod is the target wall-clock width of one approx-LRU epoch:
+	// the write-path hands tick the epoch (CAS-gated, one winner) once
+	// this much clock has passed since the last tick, so recency keeps
+	// ~millisecond resolution even when a saturated box starves the
+	// background scheduler that used to be the only epoch source.
+	epochPeriod = int64(time.Millisecond)
+	// aggressiveMinAge is the idle threshold of the aggressive eviction
+	// mode: entries untouched for at least this many epochs go in bulk.
+	// At the ~1ms epoch cadence this reads "idle for tens of
+	// milliseconds" — long enough that a working set's warm tail (drawn
+	// every few ms) never qualifies, short enough that one-shot entries
+	// stop occupying a budgeted store within a blink.
+	aggressiveMinAge = 32
+	// evictHandRounds bounds the write path's inline governance hand to
+	// this many sample rounds per insert, keeping the worst-case SET
+	// latency spike small while still reclaiming several entries' bytes
+	// per entry inserted (each aggressive round retires up to
+	// evictSampleK victims).
+	evictHandRounds = 4
+)
+
+// initTTL wires the governance layer into a freshly built Strings: seeds
+// the sweep rng and the cached clock, and registers the maintenance hook
+// on the index's shared scheduler (when one exists — WithoutMaintenance
+// stores are driven via Quiesce).
+func (s *Strings) initTTL() {
+	s.sweepRng = 0x9E3779B97F4A7C15
+	s.handRng.Store(0x6A09E667F3BCC909)
+	if s.clock == nil {
+		s.cachedNow.Store(time.Now().UnixNano())
+	}
+	if s.index.sched != nil {
+		s.index.sched.Register(ttlMaintainer{s})
+	}
+}
+
+// now is the read-path clock: the injected clock, or the coarse cached
+// time.Now the maintenance pass refreshes. Reads never pay a syscall, at
+// the cost of entries expiring up to one pass interval late.
+func (s *Strings) now() int64 {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return s.cachedNow.Load()
+}
+
+// nowFresh is the write-path clock for TTL-setting operations and TTL
+// itself: a fresh time.Now (cached for subsequent reads), or the injected
+// clock verbatim.
+func (s *Strings) nowFresh() int64 {
+	if s.clock != nil {
+		return s.clock()
+	}
+	n := time.Now().UnixNano()
+	s.cachedNow.Store(n)
+	return n
+}
+
+// expiredNow is the lazy-expiry judgment of the read path and of the
+// write paths' displaced-entry accounting. TTL-less pairs cost one
+// branch, exactly as before. For a pair carrying a deadline the coarse
+// cached clock answers first; a "still live" verdict is then confirmed
+// against a fresh reading, because the cache trails real time by up to a
+// whole (possibly backed-off, possibly starvation-stretched) maintenance
+// interval — long enough on an idle store for a just-lapsed entry to be
+// served as a hit. The fresh reading is deliberately not written back:
+// concurrent readers of TTL'd keys must not ping-pong a shared cache
+// line for a value the next pass refreshes anyway.
+func (s *Strings) expiredNow(p *pair) bool {
+	if p.deadline == 0 {
+		return false
+	}
+	if s.clock != nil {
+		return p.deadline <= s.clock()
+	}
+	return p.deadline <= s.cachedNow.Load() || p.deadline <= time.Now().UnixNano()
+}
+
+// deadlineFor converts a relative TTL in seconds to an absolute clock
+// deadline, saturating on overflow. 0 is reserved for "no TTL", so a
+// computed zero (or any non-positive deadline) clamps to 1 — an entry
+// expired since the epoch.
+func (s *Strings) deadlineFor(secs int64) int64 {
+	now := s.nowFresh()
+	if secs > (math.MaxInt64-now)/nsPerSec {
+		return math.MaxInt64
+	}
+	if secs < (math.MinInt64+now)/nsPerSec {
+		return 1
+	}
+	d := now + secs*nsPerSec
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
+// SetEX stores key→value with a TTL of secs seconds, returning true if it
+// replaced a live value. Non-positive secs produce an already-expired
+// entry (the server rejects them before they get here).
+func (s *Strings) SetEX(key, value string, secs int64) bool {
+	return s.SetEXHashed(HashKey(key), value, secs)
+}
+
+// SetEXHashed is SetEX for a pre-hashed key.
+func (s *Strings) SetEXHashed(k uint64, value string, secs int64) bool {
+	slot := s.values.put(k, value, s.deadlineFor(secs), s.epoch.Load())
+	old, replaced := s.index.Set(k, slot)
+	live := replaced && !s.releaseChecked(old)
+	s.evictHand()
+	return live
+}
+
+// Expire sets key's TTL to secs seconds from now, returning whether the
+// key was live to receive it. Non-positive secs delete the key (Redis
+// semantics), reporting whether it was present.
+func (s *Strings) Expire(key string, secs int64) bool {
+	return s.ExpireHashed(HashKey(key), secs)
+}
+
+// ExpireHashed is Expire for a pre-hashed key.
+func (s *Strings) ExpireHashed(k uint64, secs int64) bool {
+	if secs <= 0 {
+		return s.DelHashed(k)
+	}
+	return s.ExpireAtHashed(k, s.deadlineFor(secs))
+}
+
+// ExpireAt sets key's TTL to an absolute clock deadline in nanoseconds,
+// returning whether the key was live. Deadlines <= 0 clamp to 1 (expired
+// since the epoch). This is the deterministic primitive the relative
+// forms build on; the linearizability harness drives it directly.
+func (s *Strings) ExpireAt(key string, deadline int64) bool {
+	return s.ExpireAtHashed(HashKey(key), deadline)
+}
+
+// ExpireAtHashed is ExpireAt for a pre-hashed key. The loop is the OPTIK
+// shape again: read the slot, build a replacement pair carrying the new
+// deadline, publish by pointer CAS. Pair pointers are never reused, so
+// the CAS cannot ABA; a recycled slot always fails it and the lap
+// restarts through the index. Expired pairs are never re-armed — they
+// retire, keeping an expired pair's identity stable for the confirm
+// callbacks that splice it out.
+func (s *Strings) ExpireAtHashed(k uint64, deadline int64) bool {
+	if deadline <= 0 {
+		deadline = 1
+	}
+	for {
+		slot, ok := s.index.Get(k)
+		if !ok {
+			return false
+		}
+		p := s.values.loadPair(slot)
+		if p == nil || p.hash != k {
+			continue
+		}
+		if s.expiredNow(p) {
+			s.retireExpired(k, slot, p)
+			return false
+		}
+		np := &pair{hash: k, val: p.val, deadline: deadline}
+		np.touched.Store(p.touched.Load())
+		if s.values.casPair(slot, p, np) {
+			return true
+		}
+	}
+}
+
+// Persist clears key's TTL, returning true only if the key was live and
+// actually carried one.
+func (s *Strings) Persist(key string) bool {
+	return s.PersistHashed(HashKey(key))
+}
+
+// PersistHashed is Persist for a pre-hashed key.
+func (s *Strings) PersistHashed(k uint64) bool {
+	for {
+		slot, ok := s.index.Get(k)
+		if !ok {
+			return false
+		}
+		p := s.values.loadPair(slot)
+		if p == nil || p.hash != k {
+			continue
+		}
+		if s.expiredNow(p) {
+			s.retireExpired(k, slot, p)
+			return false
+		}
+		if p.deadline == 0 {
+			return false
+		}
+		np := &pair{hash: k, val: p.val}
+		np.touched.Store(p.touched.Load())
+		if s.values.casPair(slot, p, np) {
+			return true
+		}
+	}
+}
+
+// TTL returns key's remaining time to live in seconds, rounded up: -2 if
+// the key is absent (or expired), -1 if it is live with no TTL.
+func (s *Strings) TTL(key string) int64 {
+	return s.TTLHashed(HashKey(key))
+}
+
+// TTLHashed is TTL for a pre-hashed key. It reads a fresh clock — an
+// operator asking "how long has this left" deserves better than the
+// pass-coarse cache.
+func (s *Strings) TTLHashed(k uint64) int64 {
+	now := s.nowFresh()
+	for {
+		slot, ok := s.index.Get(k)
+		if !ok {
+			return -2
+		}
+		p := s.values.loadPair(slot)
+		if p == nil || p.hash != k {
+			continue
+		}
+		if p.expiredAt(now) {
+			s.retireExpired(k, slot, p)
+			return -2
+		}
+		if p.deadline == 0 {
+			return -1
+		}
+		return (p.deadline - now + nsPerSec - 1) / nsPerSec
+	}
+}
+
+// BytesUsed returns the store's approximate live footprint in bytes.
+func (s *Strings) BytesUsed() int64 { return s.values.Bytes() }
+
+// ByteBudget returns the configured budget (0 = unbounded).
+func (s *Strings) ByteBudget() int64 { return s.budget }
+
+// TTLStats snapshots the governance counters: entries retired lazily by
+// readers, retired by the background sweep, and evicted for the budget.
+func (s *Strings) TTLStats() (expiredLazy, expiredSwept, evicted uint64) {
+	return s.expiredLazy.Load(), s.expiredSwept.Load(), s.evicted.Load()
+}
+
+// retireExpired splices an expired entry out on behalf of the reader that
+// tripped over it: remove k's index entry only if it still maps to slot
+// AND slot still holds exactly the pair judged expired (confirmed under
+// the bucket lock — a concurrent delete+insert can recycle the slot for
+// the same hash, and an unconditional delete here would kill that live
+// successor). Losing the race means someone else already retired it; the
+// read stays a miss either way.
+func (s *Strings) retireExpired(k, slot uint64, p *pair) {
+	if s.index.DelIfValue(k, slot, func() bool { return s.values.loadPair(slot) == p }) {
+		s.values.Release(slot)
+		s.expiredLazy.Add(1)
+	}
+}
+
+// retireSwept is retireExpired for the background sweep's counter.
+func (s *Strings) retireSwept(slot uint64, p *pair) {
+	if s.index.DelIfValue(p.hash, slot, func() bool { return s.values.loadPair(slot) == p }) {
+		s.values.Release(slot)
+		s.expiredSwept.Add(1)
+	}
+}
+
+// ttlMaintainer adapts the store's governance pass to the shared
+// scheduler's Maintainer contract.
+type ttlMaintainer struct{ s *Strings }
+
+// ActivitySample hashes the write-visible arena state: the byte counter
+// moves on any insert, delete, or size-changing overwrite. A same-size
+// overwrite can alias to an unchanged sample; that only upgrades the next
+// pass from busy to idle, which does strictly more maintenance — safe by
+// the Maintainer contract.
+func (m ttlMaintainer) ActivitySample() uint64 {
+	return uint64(m.s.values.Bytes()) ^ m.s.values.Allocated()<<48
+}
+
+// MaintainIdle runs the full governance pass, cancellable, evicting all
+// the way to budget.
+func (m ttlMaintainer) MaintainIdle(cancel <-chan struct{}) {
+	m.s.maintainPass(cancel, 0)
+}
+
+// MaintainBusy lends the bounded hand: same sweep quantum, eviction
+// capped per call so the pass never blocks a busy store's scheduler slot.
+func (m ttlMaintainer) MaintainBusy() {
+	m.s.maintainPass(nil, evictBusyMax)
+}
+
+// maintain is the synchronous full pass Quiesce drives home.
+func (s *Strings) maintain(cancel <-chan struct{}) {
+	s.maintainPass(cancel, 0)
+}
+
+// maintainPass is one governance round: refresh the coarse clock, tick
+// the approx-LRU epoch, sweep a cursor quantum of the arena for expired
+// pairs, then — over budget — evict sampled-idle entries until under (or
+// the busy cap / fail bound / cancel hits). maxEvict 0 means "to budget".
+// maintMu serializes passes (the scheduler and a concurrent Quiesce may
+// both drive one); the pass never blocks user operations.
+func (s *Strings) maintainPass(cancel <-chan struct{}, maxEvict int) {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	now := s.nowFresh()
+	epoch := s.epoch.Add(1)
+	s.epochTick.Store(now)
+	limit := s.values.Allocated()
+	if limit == 0 {
+		return
+	}
+	quantum := uint64(sweepQuantum)
+	if quantum > limit {
+		quantum = limit
+	}
+	for i := uint64(0); i < quantum; i++ {
+		if canceled(cancel) {
+			return
+		}
+		slot := s.sweepCursor % limit
+		s.sweepCursor++
+		if p := s.values.loadPair(slot); p != nil && p.expiredAt(now) {
+			s.retireSwept(slot, p)
+		}
+	}
+	if s.budget == 0 {
+		return
+	}
+	fails, done, tick := 0, 0, 0
+	for s.values.Bytes() > s.budget && fails < evictMaxFails {
+		if canceled(cancel) || (maxEvict > 0 && done >= maxEvict) {
+			return
+		}
+		// Pressure-adaptive width: mildly over budget, evict the single
+		// oldest of the sample (classic best-of-K approx-LRU). More than
+		// ~6% over — insertion pressure is outrunning one-at-a-time
+		// eviction — evict every idle entry the sample turns up, trading
+		// victim precision for the ~K× throughput that keeps bytes_used
+		// pinned instead of drifting to the working-set size.
+		aggressive := s.values.Bytes() > s.budget+s.budget/16
+		n := s.evictSample(&s.sweepRng, now, epoch, limit, aggressive)
+		if n == 0 {
+			fails++
+			continue
+		}
+		done += n
+		fails = 0
+		// Long passes re-tick the epoch, so "idle" keeps meaning
+		// "untouched since recently" rather than "untouched since a pass
+		// that started a million evictions ago" — entries the traffic is
+		// actually using stay distinguishable from the razed cold mass.
+		if tick += n; tick >= sweepQuantum {
+			tick = 0
+			now = s.nowFresh()
+			epoch = s.epoch.Add(1)
+			s.epochTick.Store(now)
+		}
+	}
+}
+
+// evictSample runs one eviction round over up to K random live entries
+// (probing at most evictProbeMax arena slots to find them — free slots
+// read nil, Release clears them, and skipping holes instead of counting
+// them keeps the sample a genuine best-of-K over residents) and returns
+// how many entries it retired. Expired pairs met along the way retire
+// immediately as swept. In the normal mode only the least recently
+// touched pair of the sample is evicted (largest epoch age, wraparound
+// uint32 arithmetic); in aggressive mode every sampled pair idle for
+// aggressiveMinAge epochs goes, with the best-of-K single victim as the
+// fallback when the whole sample is fresh (fresh inserts must not stall
+// convergence). rng is caller-owned xorshift state — the sweeper passes
+// its maintMu-guarded field, write-path hands a private local — so
+// concurrent rounds never race; every retirement below it is a
+// thread-safe confirmed delete.
+func (s *Strings) evictSample(rng *uint64, now int64, epoch uint32, limit uint64, aggressive bool) int {
+	var best *pair
+	var bestSlot uint64
+	var bestAge uint32
+	evicted, live := 0, 0
+	for i := 0; i < evictProbeMax && live < evictSampleK; i++ {
+		*rng ^= *rng << 13
+		*rng ^= *rng >> 7
+		*rng ^= *rng << 17
+		slot := *rng % limit
+		p := s.values.loadPair(slot)
+		if p == nil {
+			continue
+		}
+		live++
+		if p.expiredAt(now) {
+			s.retireSwept(slot, p)
+			continue
+		}
+		// Wraparound guard: an entry touched after this round snapshotted
+		// the epoch reads as a "future" stamp, and raw subtraction would
+		// alias the very freshest entries to astronomical ages — razing
+		// exactly the hottest keys. Signed interpretation clamps them to
+		// age 0.
+		age := epoch - p.touched.Load()
+		if int32(age) < 0 {
+			age = 0
+		}
+		if aggressive && age >= aggressiveMinAge {
+			if s.evictOne(slot, p) {
+				evicted++
+			}
+			continue
+		}
+		if best == nil || age > bestAge {
+			best, bestSlot, bestAge = p, slot, age
+		}
+	}
+	if evicted == 0 && best != nil && s.evictOne(bestSlot, best) {
+		evicted = 1
+	}
+	return evicted
+}
+
+// evictOne retires one victim through the same confirmed conditional
+// delete as expiry (see retireExpired for the recycling race it guards).
+func (s *Strings) evictOne(slot uint64, p *pair) bool {
+	if s.index.DelIfValue(p.hash, slot, func() bool { return s.values.loadPair(slot) == p }) {
+		s.values.Release(slot)
+		s.evicted.Add(1)
+		return true
+	}
+	return false
+}
+
+// evictHand is the write path's bounded governance hand: an insert that
+// observes bytes_used past the aggressive watermark lends a few eviction
+// sample rounds inline, on the inserting goroutine's own time — the same
+// bargain the hash table strikes for resize migration (a busy structure
+// drives its own maintenance on the backs of its updates), and the same
+// one Redis strikes at maxmemory (the command that crosses the watermark
+// pays for the reclaim). The background passes alone cannot be trusted
+// with the budget: on a saturated box the scheduler goroutine runs tens
+// of milliseconds apart, and a hot write stream outgrows any bounded
+// burst it could evict that rarely. The hand is deliberately lock-free —
+// it must not queue behind (or be starved by) a running maintenance
+// pass, because a pass fighting a hot write stream for one core is
+// exactly when the writers' help is needed; each hand derives a private
+// rng from one atomic bump and races the confirmed deletes safely.
+func (s *Strings) evictHand() {
+	if s.budget == 0 || s.values.Bytes() <= s.budget+s.budget/16 {
+		return
+	}
+	limit := s.values.Allocated()
+	if limit == 0 {
+		return
+	}
+	rng := s.handRng.Add(0x9E3779B97F4A7C15)
+	// A fresh clock, not the cached one: the hand is the component that
+	// keeps the recency epoch running when a saturated box starves the
+	// background passes, and the cached clock only moves when those very
+	// passes run — gating the tick on it would deadlock the epoch at
+	// pass cadence and collapse every resident entry into one
+	// indistinguishable age bucket (eviction degrades to random, and
+	// random eviction of a zipfian resident set is a refill storm). The
+	// clock read is noise next to the probing below, and refreshing the
+	// cache here also tightens lazy expiry while the passes are starved.
+	now := s.nowFresh()
+	if last := s.epochTick.Load(); now-last >= epochPeriod && s.epochTick.CompareAndSwap(last, now) {
+		s.epoch.Add(1)
+	}
+	epoch := s.epoch.Load()
+	for i := 0; i < evictHandRounds && s.values.Bytes() > s.budget; i++ {
+		s.evictSample(&rng, now, epoch, limit, true)
+	}
+}
+
+// canceled is a non-blocking poll of the scheduler's stop channel.
+func canceled(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,465 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"github.com/optik-go/optik/internal/rng"
+)
+
+// testClock is the injected deterministic clock every TTL test drives:
+// time moves only when the test says so, so expiry behavior reproduces
+// exactly — no sleeps anywhere in this file.
+type testClock struct{ now atomic.Int64 }
+
+func newTestClock(start int64) *testClock {
+	c := &testClock{}
+	c.now.Store(start)
+	return c
+}
+
+func (c *testClock) fn() func() int64 { return c.now.Load }
+func (c *testClock) advance(d int64)  { c.now.Add(d) }
+func (c *testClock) set(t int64)      { c.now.Store(t) }
+
+// ttlRef is the reference model the property test checks the store
+// against: a plain map of value+deadline, normalized so an entry past
+// its deadline is absent.
+type ttlRef struct {
+	m   map[string]ttlRefEntry
+	now func() int64
+}
+
+type ttlRefEntry struct {
+	val      string
+	deadline int64 // 0 = no TTL
+}
+
+func newTTLRef(now func() int64) *ttlRef {
+	return &ttlRef{m: make(map[string]ttlRefEntry), now: now}
+}
+
+func (r *ttlRef) live(key string) (ttlRefEntry, bool) {
+	e, ok := r.m[key]
+	if !ok {
+		return e, false
+	}
+	if e.deadline != 0 && e.deadline <= r.now() {
+		delete(r.m, key)
+		return e, false
+	}
+	return e, true
+}
+
+func (r *ttlRef) set(key, val string) bool {
+	_, lived := r.live(key)
+	r.m[key] = ttlRefEntry{val: val}
+	return lived
+}
+
+func (r *ttlRef) setEX(key, val string, deadline int64) bool {
+	_, lived := r.live(key)
+	r.m[key] = ttlRefEntry{val: val, deadline: deadline}
+	return lived
+}
+
+func (r *ttlRef) get(key string) (string, bool) {
+	e, ok := r.live(key)
+	if !ok {
+		return "", false
+	}
+	return e.val, true
+}
+
+func (r *ttlRef) del(key string) bool {
+	_, lived := r.live(key)
+	delete(r.m, key)
+	return lived
+}
+
+func (r *ttlRef) expireAt(key string, deadline int64) bool {
+	e, lived := r.live(key)
+	if !lived {
+		return false
+	}
+	if deadline <= 0 {
+		deadline = 1
+	}
+	e.deadline = deadline
+	r.m[key] = e
+	return true
+}
+
+func (r *ttlRef) persist(key string) bool {
+	e, lived := r.live(key)
+	if !lived || e.deadline == 0 {
+		return false
+	}
+	e.deadline = 0
+	r.m[key] = e
+	return true
+}
+
+func (r *ttlRef) ttl(key string) int64 {
+	e, lived := r.live(key)
+	if !lived {
+		return -2
+	}
+	if e.deadline == 0 {
+		return -1
+	}
+	return (e.deadline - r.now() + nsPerSec - 1) / nsPerSec
+}
+
+// TestTTLProperty drives randomized TTL op sequences against the
+// reference model under the injected clock, checking every return value
+// and, periodically, full observable equivalence over the key space.
+func TestTTLProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			clk := newTestClock(1_000_000_000)
+			s := NewStrings(WithClock(clk.fn()), WithShards(4), WithShardBuckets(16), WithoutMaintenance())
+			ref := newTTLRef(clk.fn())
+			r := rng.NewXorshift(seed)
+			const keySpace = 32
+			key := func() string { return fmt.Sprintf("k%02d", r.Intn(keySpace)) }
+			for step := 0; step < 20_000; step++ {
+				switch op := r.Intn(100); {
+				case op < 20: // Get
+					k := key()
+					gv, gok := s.Get(k)
+					wv, wok := ref.get(k)
+					if gok != wok || gv != wv {
+						t.Fatalf("step %d: Get(%s) = (%q,%v), want (%q,%v)", step, k, gv, gok, wv, wok)
+					}
+				case op < 40: // Set (clears TTL)
+					k, v := key(), fmt.Sprintf("v%d", step)
+					if got, want := s.Set(k, v), ref.set(k, v); got != want {
+						t.Fatalf("step %d: Set(%s) replaced = %v, want %v", step, k, got, want)
+					}
+				case op < 55: // SetEX
+					k, v := key(), fmt.Sprintf("x%d", step)
+					secs := int64(1 + r.Intn(5))
+					want := ref.setEX(k, v, clk.now.Load()+secs*nsPerSec)
+					if got := s.SetEX(k, v, secs); got != want {
+						t.Fatalf("step %d: SetEX(%s) replaced = %v, want %v", step, k, got, want)
+					}
+				case op < 65: // ExpireAt (absolute, may be in the past)
+					k := key()
+					deadline := clk.now.Load() + int64(r.Intn(7)-2)*nsPerSec
+					if got, want := s.ExpireAt(k, deadline), ref.expireAt(k, deadline); got != want {
+						t.Fatalf("step %d: ExpireAt(%s,%d) = %v, want %v", step, k, deadline, got, want)
+					}
+				case op < 72: // Expire (relative; secs<=0 deletes)
+					k := key()
+					secs := int64(r.Intn(6) - 2)
+					var want bool
+					if secs <= 0 {
+						want = ref.del(k)
+					} else {
+						want = ref.expireAt(k, clk.now.Load()+secs*nsPerSec)
+					}
+					if got := s.Expire(k, secs); got != want {
+						t.Fatalf("step %d: Expire(%s,%d) = %v, want %v", step, k, secs, got, want)
+					}
+				case op < 79: // Persist
+					k := key()
+					if got, want := s.Persist(k), ref.persist(k); got != want {
+						t.Fatalf("step %d: Persist(%s) = %v, want %v", step, k, got, want)
+					}
+				case op < 86: // TTL
+					k := key()
+					if got, want := s.TTL(k), ref.ttl(k); got != want {
+						t.Fatalf("step %d: TTL(%s) = %d, want %d", step, k, got, want)
+					}
+				case op < 93: // Del
+					k := key()
+					if got, want := s.Del(k), ref.del(k); got != want {
+						t.Fatalf("step %d: Del(%s) = %v, want %v", step, k, got, want)
+					}
+				default: // advance the clock up to 2.5s
+					clk.advance(int64(r.Intn(2_500_000_000)))
+				}
+				if step%997 == 0 {
+					for i := 0; i < keySpace; i++ {
+						k := fmt.Sprintf("k%02d", i)
+						gv, gok := s.Get(k)
+						wv, wok := ref.get(k)
+						if gok != wok || gv != wv {
+							t.Fatalf("step %d: audit Get(%s) = (%q,%v), want (%q,%v)", step, k, gv, gok, wv, wok)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTTLSemanticsEdges pins the documented edge semantics one by one.
+func TestTTLSemanticsEdges(t *testing.T) {
+	clk := newTestClock(1_000_000_000)
+	s := NewStrings(WithClock(clk.fn()), WithShards(1), WithoutMaintenance())
+
+	// Expire on a missing key reports false and creates nothing.
+	if s.Expire("missing", 10) {
+		t.Fatal("Expire(missing) = true")
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Expire(missing) materialized a key")
+	}
+	if got := s.TTL("missing"); got != -2 {
+		t.Fatalf("TTL(missing) = %d, want -2", got)
+	}
+
+	// SetEX then plain Set: the overwrite clears the TTL.
+	s.SetEX("k", "a", 5)
+	if got := s.TTL("k"); got != 5 {
+		t.Fatalf("TTL after SetEX = %d, want 5", got)
+	}
+	if !s.Set("k", "b") {
+		t.Fatal("Set over live SetEX entry should report replaced")
+	}
+	if got := s.TTL("k"); got != -1 {
+		t.Fatalf("TTL after overwriting Set = %d, want -1 (cleared)", got)
+	}
+	clk.advance(10 * nsPerSec)
+	if v, ok := s.Get("k"); !ok || v != "b" {
+		t.Fatalf("key with cleared TTL expired: (%q,%v)", v, ok)
+	}
+
+	// SetEX over an expired entry is a fresh insert.
+	s.SetEX("e", "1", 1)
+	clk.advance(2 * nsPerSec)
+	if s.SetEX("e", "2", 1) {
+		t.Fatal("SetEX over expired entry reported replaced")
+	}
+
+	// Expiry boundary: an entry is live strictly before its deadline and
+	// a miss at it.
+	s.SetEX("b", "v", 3)
+	clk.advance(3*nsPerSec - 1)
+	if _, ok := s.Get("b"); !ok {
+		t.Fatal("entry expired before its deadline")
+	}
+	if got := s.TTL("b"); got != 1 {
+		t.Fatalf("TTL 1ns before deadline = %d, want 1 (ceil)", got)
+	}
+	clk.advance(1)
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("entry still live at its deadline")
+	}
+	if got := s.TTL("b"); got != -2 {
+		t.Fatalf("TTL at deadline = %d, want -2", got)
+	}
+
+	// Del of an expired entry is a miss; Persist on TTL-less is false.
+	s.SetEX("d", "v", 1)
+	clk.advance(2 * nsPerSec)
+	if s.Del("d") {
+		t.Fatal("Del(expired) = true")
+	}
+	s.Set("p", "v")
+	if s.Persist("p") {
+		t.Fatal("Persist on TTL-less key = true")
+	}
+	if !s.Expire("p", 100) || !s.Persist("p") {
+		t.Fatal("Expire+Persist round trip failed")
+	}
+	if got := s.TTL("p"); got != -1 {
+		t.Fatalf("TTL after Persist = %d, want -1", got)
+	}
+
+	// Overflow seconds saturate instead of wrapping.
+	s.Set("o", "v")
+	if !s.Expire("o", math.MaxInt64/2) {
+		t.Fatal("Expire with huge secs failed")
+	}
+	if got := s.TTL("o"); got <= 0 {
+		t.Fatalf("TTL after saturating Expire = %d, want positive", got)
+	}
+	if _, ok := s.Get("o"); !ok {
+		t.Fatal("saturated-TTL entry not live")
+	}
+}
+
+// TestTTLMGetBatchExpiry pins the batched read path: expired entries are
+// misses in MGet exactly as in Get, and live ones still serve.
+func TestTTLMGetBatchExpiry(t *testing.T) {
+	clk := newTestClock(1_000_000_000)
+	s := NewStrings(WithClock(clk.fn()), WithShards(2), WithoutMaintenance())
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+		if i%2 == 0 {
+			s.SetEX(keys[i], "ephemeral", 1)
+		} else {
+			s.Set(keys[i], "durable")
+		}
+	}
+	vals := make([]string, len(keys))
+	found := make([]bool, len(keys))
+	s.MGet(keys, vals, found)
+	for i := range keys {
+		if !found[i] {
+			t.Fatalf("pre-expiry MGet missed %s", keys[i])
+		}
+	}
+	clk.advance(2 * nsPerSec)
+	s.MGet(keys, vals, found)
+	for i := range keys {
+		wantLive := i%2 == 1
+		if found[i] != wantLive {
+			t.Fatalf("post-expiry MGet %s: found=%v, want %v", keys[i], found[i], wantLive)
+		}
+		if wantLive && vals[i] != "durable" {
+			t.Fatalf("post-expiry MGet %s = %q", keys[i], vals[i])
+		}
+	}
+}
+
+// TestTTLByteAccounting pins the byte counter: exact on a quiescent
+// store, charged at put, credited at release — including releases driven
+// by expiry and by the sweep.
+func TestTTLByteAccounting(t *testing.T) {
+	clk := newTestClock(1_000_000_000)
+	s := NewStrings(WithClock(clk.fn()), WithShards(1), WithoutMaintenance())
+	if got := s.BytesUsed(); got != 0 {
+		t.Fatalf("empty store BytesUsed = %d", got)
+	}
+	s.Set("a", "0123456789") // 10 bytes
+	want := int64(10 + pairOverhead)
+	if got := s.BytesUsed(); got != want {
+		t.Fatalf("BytesUsed after one Set = %d, want %d", got, want)
+	}
+	s.Set("a", "01234") // overwrite: 5 bytes replaces 10
+	want = 5 + pairOverhead
+	if got := s.BytesUsed(); got != want {
+		t.Fatalf("BytesUsed after overwrite = %d, want %d", got, want)
+	}
+	// Expire/Persist rebuild the pair but never change its size.
+	s.Expire("a", 100)
+	s.Persist("a")
+	if got := s.BytesUsed(); got != want {
+		t.Fatalf("BytesUsed after Expire+Persist = %d, want %d", got, want)
+	}
+	s.Del("a")
+	if got := s.BytesUsed(); got != 0 {
+		t.Fatalf("BytesUsed after Del = %d, want 0", got)
+	}
+	// Lazy expiry retires the slot and credits its bytes back.
+	s.SetEX("e", "xx", 1)
+	clk.advance(2 * nsPerSec)
+	s.Get("e")
+	if got := s.BytesUsed(); got != 0 {
+		t.Fatalf("BytesUsed after lazy expiry = %d, want 0", got)
+	}
+	// The sweep finds expired entries no reader ever touches again.
+	for i := 0; i < 50; i++ {
+		s.SetEX(fmt.Sprintf("s%d", i), "value", 1)
+	}
+	clk.advance(2 * nsPerSec)
+	s.Quiesce()
+	if got := s.BytesUsed(); got != 0 {
+		t.Fatalf("BytesUsed after sweep = %d, want 0", got)
+	}
+	_, swept, _ := s.TTLStats()
+	if swept == 0 {
+		t.Fatal("sweep retired nothing")
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len after sweep = %d, want 0", got)
+	}
+}
+
+// TestByteBudgetEviction pins the budget enforcement: exceed the budget,
+// run the governance pass, land at or under it — and prefer evicting
+// cold entries over recently touched ones.
+func TestByteBudgetEviction(t *testing.T) {
+	clk := newTestClock(1_000_000_000)
+	const (
+		valLen = 100
+		perKey = valLen + pairOverhead
+		hot    = 50
+		cold   = 40
+		fill   = 60
+		budget = int64(perKey * 100) // room for 100 of the 150 keys
+	)
+	s := NewStrings(WithClock(clk.fn()), WithShards(2), WithoutMaintenance(), WithByteBudget(budget))
+	val := make([]byte, valLen)
+	for i := range val {
+		val[i] = 'v'
+	}
+	// Phase 1, under budget: hot and cold together, then several epochs
+	// in which only the hot set is touched — cold pairs keep their birth
+	// stamp and age.
+	for i := 0; i < hot; i++ {
+		s.Set(fmt.Sprintf("hot%03d", i), string(val))
+	}
+	for i := 0; i < cold; i++ {
+		s.Set(fmt.Sprintf("cold%03d", i), string(val))
+	}
+	for pass := 0; pass < 4; pass++ {
+		s.Quiesce() // ticks the epoch; under budget, evicts nothing
+		for i := 0; i < hot; i++ {
+			s.Get(fmt.Sprintf("hot%03d", i))
+		}
+	}
+	if _, _, evicted := s.TTLStats(); evicted != 0 {
+		t.Fatalf("evicted %d entries while under budget", evicted)
+	}
+	// Phase 2: fresh filler pushes the store past budget; the governance
+	// pass must land at or under it, shedding the aged cold set first.
+	for i := 0; i < fill; i++ {
+		s.Set(fmt.Sprintf("fill%03d", i), string(val))
+	}
+	if got := s.BytesUsed(); got <= budget {
+		t.Fatalf("setup: BytesUsed = %d, want > budget %d", got, budget)
+	}
+	s.Quiesce()
+	if got := s.BytesUsed(); got > budget {
+		t.Fatalf("post-Quiesce BytesUsed = %d, want <= budget %d", got, budget)
+	}
+	_, _, evicted := s.TTLStats()
+	if evicted == 0 {
+		t.Fatal("nothing evicted")
+	}
+	hotLive, coldLive := 0, 0
+	for i := 0; i < hot; i++ {
+		if _, ok := s.Get(fmt.Sprintf("hot%03d", i)); ok {
+			hotLive++
+		}
+	}
+	for i := 0; i < cold; i++ {
+		if _, ok := s.Get(fmt.Sprintf("cold%03d", i)); ok {
+			coldLive++
+		}
+	}
+	hotRate := float64(hotLive) / float64(hot)
+	coldRate := float64(coldLive) / float64(cold)
+	if hotRate < coldRate+0.2 {
+		t.Fatalf("approx-LRU not preferring cold: hot survival %.2f, cold survival %.2f", hotRate, coldRate)
+	}
+}
+
+// TestTTLDefaultClock exercises the uninjected path (cached coarse clock)
+// without depending on real time passing: a fresh store's TTL ops work
+// and a TTL far in the future stays live.
+func TestTTLDefaultClock(t *testing.T) {
+	s := NewStrings(WithShards(1), WithoutMaintenance())
+	s.SetEX("k", "v", 3600)
+	if v, ok := s.Get("k"); !ok || v != "v" {
+		t.Fatalf("Get = (%q,%v)", v, ok)
+	}
+	if got := s.TTL("k"); got <= 0 || got > 3600 {
+		t.Fatalf("TTL = %d, want (0,3600]", got)
+	}
+	if !s.Expire("k", -1) {
+		t.Fatal("Expire(k,-1) should delete and report presence")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("key survived Expire(-1)")
+	}
+}

@@ -24,15 +24,48 @@ import (
 	"sync/atomic"
 
 	"github.com/optik-go/optik/ds/stack"
+	"github.com/optik-go/optik/internal/core"
 )
 
-// pair is one stored value: the key hash it belongs to plus the value.
-// Pairs are immutable once published; replacing a value builds a new pair
-// in a new or recycled slot.
+// pair is one stored value: the key hash it belongs to, the value, and an
+// optional absolute expiry deadline (0 = no TTL) in the store clock's
+// nanoseconds. Pairs are immutable once published — replacing a value (or
+// a deadline: Expire/Persist build a new pair and CAS the slot pointer)
+// never mutates one in place — except for touched, the approx-LRU epoch
+// stamp the eviction sampler reads, which is atomic and advisory.
 type pair struct {
-	hash uint64
-	val  string
+	hash     uint64
+	val      string
+	deadline int64
+	// touched is the maintenance epoch of the last Get (or the Put, for a
+	// never-read pair). Readers store it only when the epoch moved since
+	// their last visit, so a hot entry writes the line once per epoch, not
+	// once per read.
+	touched atomic.Uint32
 }
+
+// expiredAt reports whether the pair's deadline has passed at now.
+func (p *pair) expiredAt(now int64) bool {
+	return p.deadline != 0 && p.deadline <= now
+}
+
+// touch refreshes the approx-LRU stamp if the epoch moved.
+func (p *pair) touch(epoch uint32) {
+	if p.touched.Load() != epoch {
+		p.touched.Store(epoch)
+	}
+}
+
+// PairOverhead is the bytes charged per live entry beyond the value
+// bytes: the pair struct, the arena's slot pointer, and a nominal share
+// of the index entry. Approximate by design — the byte budget governs
+// order of magnitude, not malloc-exact accounting. Exported so budget
+// planners (the eviction workload, capacity math in operators' tooling)
+// can convert between entry counts and budget bytes.
+const PairOverhead = 56
+
+// pairOverhead is the internal alias the value layer charges with.
+const pairOverhead = PairOverhead
 
 // Values is a growable arena of value slots addressed by the uint64
 // handle the index stores. Slots are chunked so growth never moves
@@ -44,6 +77,10 @@ type Values struct {
 	chunks [valueDirSize]atomic.Pointer[valueChunk]
 	next   atomic.Uint64
 	free   *stack.Optik
+	// bytes tracks the live footprint (value bytes + pairOverhead per
+	// entry), charged at Put and released with the slot. Striped so the
+	// hot Put/Release paths never serialize on one counter line.
+	bytes *core.Striped
 }
 
 const (
@@ -56,7 +93,7 @@ type valueChunk [valueChunkSize]atomic.Pointer[pair]
 
 // NewValues returns an empty arena.
 func NewValues() *Values {
-	return &Values{free: stack.NewOptik()}
+	return &Values{free: stack.NewOptik(), bytes: core.NewStriped(0)}
 }
 
 // Put stores a fresh {hash, val} pair and returns its slot handle,
@@ -64,6 +101,12 @@ func NewValues() *Values {
 // soon as the pointer store lands — before the caller publishes the slot
 // through its index — so no reader can reach a half-built pair.
 func (v *Values) Put(hash uint64, val string) uint64 {
+	return v.put(hash, val, 0, 0)
+}
+
+// put is Put with the TTL deadline (0 = none) and the approx-LRU epoch
+// stamp the pair is born with.
+func (v *Values) put(hash uint64, val string, deadline int64, epoch uint32) uint64 {
 	slot, ok := v.free.Pop()
 	if !ok {
 		slot = v.next.Add(1) - 1
@@ -79,9 +122,36 @@ func (v *Values) Put(hash uint64, val string) uint64 {
 		v.chunks[ci].CompareAndSwap(nil, new(valueChunk))
 		c = v.chunks[ci].Load()
 	}
-	c[slot&(valueChunkSize-1)].Store(&pair{hash: hash, val: val})
+	p := &pair{hash: hash, val: val, deadline: deadline}
+	p.touched.Store(epoch)
+	c[slot&(valueChunkSize-1)].Store(p)
+	v.bytes.Add(slot, int64(len(val))+pairOverhead)
 	return slot
 }
+
+// loadPair returns the pair currently in slot (nil before the slot's
+// chunk exists). Callers validate hash — and, with TTL in play, pointer
+// identity — exactly as Load does.
+func (v *Values) loadPair(slot uint64) *pair {
+	c := v.chunks[slot>>valueChunkBits].Load()
+	if c == nil {
+		return nil
+	}
+	return c[slot&(valueChunkSize-1)].Load()
+}
+
+// casPair swaps slot's pair pointer from old to new. Pair pointers are
+// never reused, so the compare is ABA-safe. The replacement MUST be
+// byte-for-byte equal in accounting terms (same hash, same val length):
+// Release uncharges whatever pair it finds in the slot, and a racing
+// size-changing swap would skew the byte counter.
+func (v *Values) casPair(slot uint64, old, new *pair) bool {
+	return v.chunks[slot>>valueChunkBits].Load()[slot&(valueChunkSize-1)].CompareAndSwap(old, new)
+}
+
+// Bytes returns the approximate live footprint in bytes: value bytes plus
+// pairOverhead per live entry. Same non-linearizable contract as Len.
+func (v *Values) Bytes() int64 { return v.bytes.Sum() }
 
 // Load returns the value in slot if it still belongs to hash. A false
 // return means the slot was recycled by a concurrent delete/replace since
@@ -96,10 +166,19 @@ func (v *Values) Load(slot, hash uint64) (string, bool) {
 }
 
 // Release recycles a slot whose index entry has been removed or replaced.
-// The old pair is left in place for stale readers; they validate its hash
-// and retry, and the pair itself is garbage-collected once the last one
-// moves on.
+// The slot's pair pointer is cleared: stale readers observe nil, report a
+// miss and retry through their index (the same validate-and-retry they
+// already run for a recycled hash), and — critically — the eviction
+// sampler can tell a free slot from a live one. Leaving the dead pair in
+// place would make every freed slot look like a perfect eviction victim
+// (old epoch, never expiring) whose conditional delete can only fail,
+// and the victim search would starve on its own leftovers. The releasing
+// caller owns the unmapped slot, so the load-uncharge-clear sequence
+// cannot race a recycling Put; the only concurrent swap possible is
+// Expire/Persist's size-invariant casPair, which leaves the uncharge
+// amount unchanged.
 func (v *Values) Release(slot uint64) {
+	v.uncharge(slot)
 	v.free.Push(slot)
 }
 
@@ -108,7 +187,20 @@ func (v *Values) Release(slot uint64) {
 // a pipelined burst of deletes pays one contended CAS instead of one per
 // slot. Same visibility contract as Release.
 func (v *Values) ReleaseBatch(slots []uint64) {
+	for _, slot := range slots {
+		v.uncharge(slot)
+	}
 	v.free.PushAll(slots)
+}
+
+// uncharge credits back the bytes a slot's resident pair was charged and
+// clears the pair pointer (see Release for why freed slots must read nil).
+func (v *Values) uncharge(slot uint64) {
+	sp := &v.chunks[slot>>valueChunkBits].Load()[slot&(valueChunkSize-1)]
+	if p := sp.Load(); p != nil {
+		v.bytes.Add(slot, -(int64(len(p.val)) + pairOverhead))
+		sp.Store(nil)
+	}
 }
 
 // Allocated returns how many slots have ever been carved from the arena
@@ -159,12 +251,49 @@ func clampHash(v uint64) uint64 {
 type Strings struct {
 	index  *Store
 	values *Values
+
+	// Memory governance (see ttl.go): the injectable clock (nil = coarse
+	// time.Now cached in cachedNow, refreshed once per maintenance pass
+	// and on TTL-setting ops), the byte budget (0 = unbounded), the
+	// approx-LRU epoch the sampler advances, the expiry/eviction
+	// counters, and the sweeper's cursor/rng state under maintMu.
+	clock        func() int64
+	cachedNow    atomic.Int64
+	budget       int64
+	epoch        atomic.Uint32
+	expiredLazy  atomic.Uint64
+	expiredSwept atomic.Uint64
+	evicted      atomic.Uint64
+	maintMu      sync.Mutex
+	sweepCursor  uint64
+	sweepRng     uint64
+	// handRng seeds the write path's lock-free eviction hands (see
+	// evictHand): each hand derives a private xorshift state from one
+	// atomic bump, so concurrent hands probe independent slots without
+	// sharing the sweeper's maintMu-guarded rng.
+	handRng atomic.Uint64
+	// epochTick is the clock reading of the last approx-LRU epoch tick;
+	// hands CAS it forward every epochPeriod (see evictHand), passes
+	// overwrite it.
+	epochTick atomic.Int64
 }
 
 // NewStrings returns a string store; the options configure the underlying
-// index exactly as in New.
+// index exactly as in New, and WithClock/WithByteBudget configure the
+// memory-governance layer (ttl.go).
 func NewStrings(opts ...Option) *Strings {
-	return &Strings{index: New(opts...), values: NewValues()}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &Strings{
+		index:  New(opts...),
+		values: NewValues(),
+		clock:  o.clock,
+		budget: o.byteBudget,
+	}
+	s.initTTL()
+	return s
 }
 
 // Index exposes the underlying sharded index for stats aggregation.
@@ -176,8 +305,14 @@ func (s *Strings) Values() *Values { return s.values }
 // Close stops the index's maintenance scheduler.
 func (s *Strings) Close() { s.index.Close() }
 
-// Quiesce drives every index shard's maintenance home.
-func (s *Strings) Quiesce() { s.index.Quiesce() }
+// Quiesce drives every index shard's maintenance home, then runs one full
+// synchronous governance pass (expiry sweep + eviction to budget), so a
+// quiesced store's bytes_used sits at or under its budget
+// deterministically — tests and workload phase transitions rely on it.
+func (s *Strings) Quiesce() {
+	s.index.Quiesce()
+	s.maintain(nil)
+}
 
 // Len returns the live key count (same non-linearizable contract as
 // Store.Len).
@@ -189,14 +324,28 @@ func (s *Strings) Set(key, value string) bool {
 	return s.SetHashed(HashKey(key), value)
 }
 
-// SetHashed is Set for a pre-hashed key (see HashKey/HashKeyBytes).
+// SetHashed is Set for a pre-hashed key (see HashKey/HashKeyBytes). A
+// plain Set clears any TTL the key carried (the new pair's deadline is
+// zero); overwriting an already-expired entry reports a fresh insert.
 func (s *Strings) SetHashed(k uint64, value string) bool {
-	slot := s.values.Put(k, value)
+	slot := s.values.put(k, value, 0, s.epoch.Load())
 	old, replaced := s.index.Set(k, slot)
-	if replaced {
-		s.values.Release(old)
+	live := replaced && !s.releaseChecked(old)
+	s.evictHand()
+	return live
+}
+
+// releaseChecked recycles a replaced/removed slot and reports whether its
+// pair had already expired (in which case the operation that displaced it
+// observed a miss, not a hit). The caller owns the unmapped slot, so the
+// pair load cannot race a recycling Put.
+func (s *Strings) releaseChecked(slot uint64) (wasExpired bool) {
+	if p := s.values.loadPair(slot); p != nil && s.expiredNow(p) {
+		wasExpired = true
+		s.expiredLazy.Add(1)
 	}
-	return replaced
+	s.values.Release(slot)
+	return wasExpired
 }
 
 // Get returns the value stored under key. The loop is the OPTIK shape in
@@ -209,16 +358,30 @@ func (s *Strings) Get(key string) (string, bool) {
 	return s.GetHashed(HashKey(key))
 }
 
-// GetHashed is Get for a pre-hashed key.
+// GetHashed is Get for a pre-hashed key. An expired pair is a miss: the
+// deadline is validated lazily right where the hash is, and the dead slot
+// retires through the same conditional-delete splice the sweeper uses
+// (confirmed by pair identity under the bucket lock, so a concurrent
+// recycle of the slot for the same hash is never mistaken for the expired
+// entry). TTL-less pairs pay one predictable branch.
 func (s *Strings) GetHashed(k uint64) (string, bool) {
 	for {
 		slot, ok := s.index.Get(k)
 		if !ok {
 			return "", false
 		}
-		if val, ok := s.values.Load(slot, k); ok {
-			return val, true
+		p := s.values.loadPair(slot)
+		if p == nil || p.hash != k {
+			continue
 		}
+		if s.expiredNow(p) {
+			s.retireExpired(k, slot, p)
+			return "", false
+		}
+		if s.budget != 0 {
+			p.touch(s.epoch.Load())
+		}
+		return p.val, true
 	}
 }
 
@@ -227,14 +390,14 @@ func (s *Strings) Del(key string) bool {
 	return s.DelHashed(HashKey(key))
 }
 
-// DelHashed is Del for a pre-hashed key.
+// DelHashed is Del for a pre-hashed key. Deleting an entry whose TTL has
+// already passed reports false — the key was observably absent.
 func (s *Strings) DelHashed(k uint64) bool {
 	old, ok := s.index.Del(k)
 	if !ok {
 		return false
 	}
-	s.values.Release(old)
-	return true
+	return !s.releaseChecked(old)
 }
 
 // batchStrScratch pools the per-batch hash/slot/flag slices of the
@@ -287,19 +450,32 @@ func (s *Strings) MGetHashed(hashes []uint64, vals []string, found []bool) {
 }
 
 // mgetSlots is the shared body of MGet/MGetHashed: one batched index
-// pass, then arena loads validated against slot recycling.
+// pass, then arena loads validated against slot recycling and expiry.
 func (s *Strings) mgetSlots(hashes []uint64, vals []string, found []bool, slots []uint64) {
 	s.index.MGet(hashes, slots, found)
+	var epoch uint32
+	if s.budget != 0 {
+		epoch = s.epoch.Load()
+	}
 	for i := range hashes {
 		if !found[i] {
 			vals[i] = ""
 			continue
 		}
-		if v, ok := s.values.Load(slots[i], hashes[i]); ok {
-			vals[i] = v
-		} else {
+		p := s.values.loadPair(slots[i])
+		if p == nil || p.hash != hashes[i] {
 			vals[i], found[i] = s.GetHashed(hashes[i])
+			continue
 		}
+		if s.expiredNow(p) {
+			s.retireExpired(hashes[i], slots[i], p)
+			vals[i], found[i] = "", false
+			continue
+		}
+		if s.budget != 0 {
+			p.touch(epoch)
+		}
+		vals[i] = p.val
 	}
 }
 
@@ -314,19 +490,28 @@ func (s *Strings) MSetHashed(hashes []uint64, vals []string, replaced []bool) in
 	sc := grabStrScratch(len(hashes))
 	defer strScratchPool.Put(sc)
 	slots, old := sc.slots[:len(hashes)], sc.old[:len(hashes)]
+	epoch := s.epoch.Load()
 	for i, h := range hashes {
-		slots[i] = s.values.Put(h, vals[i])
+		slots[i] = s.values.put(h, vals[i], 0, epoch)
 	}
 	inserted := s.index.MSetEach(hashes, slots, old, replaced)
 	// Compact the replaced handles into the (now index-owned, no longer
-	// needed) slots scratch and recycle them in one splice.
+	// needed) slots scratch and recycle them in one splice. A replaced
+	// pair that had already expired counts as a fresh insert, exactly as
+	// the scalar SetHashed reports it.
 	rel := slots[:0]
 	for i := range hashes {
 		if replaced[i] {
+			if p := s.values.loadPair(old[i]); p != nil && s.expiredNow(p) {
+				replaced[i] = false
+				inserted++
+				s.expiredLazy.Add(1)
+			}
 			rel = append(rel, old[i])
 		}
 	}
 	s.values.ReleaseBatch(rel)
+	s.evictHand()
 	return inserted
 }
 
@@ -342,6 +527,11 @@ func (s *Strings) MDelHashed(hashes []uint64, found []bool) int {
 	rel := sc.slots[:0]
 	for i := range hashes {
 		if found[i] {
+			if p := s.values.loadPair(old[i]); p != nil && s.expiredNow(p) {
+				found[i] = false
+				deleted--
+				s.expiredLazy.Add(1)
+			}
 			rel = append(rel, old[i])
 		}
 	}
